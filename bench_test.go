@@ -1,0 +1,119 @@
+package trader_test
+
+// One benchmark per experiment of DESIGN.md §4. Each regenerates the
+// corresponding figure/claim of the paper; `go test -bench=. -benchmem`
+// therefore reproduces the full evaluation. The per-iteration wall time is
+// the cost of simulating the whole experiment (tens of virtual seconds of
+// TV operation per iteration for the system-level ones).
+
+import (
+	"testing"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/exper"
+	"trader/internal/sim"
+	"trader/internal/spectrum"
+	"trader/internal/statemachine"
+)
+
+func benchTable(b *testing.B, run func() (*exper.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1ClosedLoop(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E1ClosedLoop(1) })
+}
+
+// BenchmarkE2FrameworkOverhead measures the monitor's hot path directly:
+// one observation through the Output Observer and Comparator.
+func BenchmarkE2FrameworkOverhead(b *testing.B) {
+	k := sim.NewKernel(1)
+	r := statemachine.NewRegion("r")
+	r.Add(&statemachine.State{Name: "s", Entry: func(c *statemachine.Context) { c.Set("x", 0) }})
+	model := statemachine.MustModel("bench", k, r)
+	mon, err := core.NewMonitor(k, model, core.Configuration{Observables: []core.Observable{
+		{EventName: "out", ValueName: "x", ModelVar: "x", Threshold: 0.5, Tolerance: 1},
+	}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		b.Fatal(err)
+	}
+	e := event.Event{Kind: event.Output, Name: "out"}.With("x", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mon.HandleOutput(e)
+	}
+}
+
+func BenchmarkE2SocketPath(b *testing.B) {
+	// Cross-process framing cost: one event encoded + decoded + compared.
+	n := b.N
+	b.ResetTimer()
+	if _, err := exper.E2SocketThroughput(n); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkE3ComparatorTradeoff(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E3ComparatorTradeoff(1) })
+}
+
+func BenchmarkE4SpectrumDiagnosis(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E4Diagnosis(42) })
+}
+
+// BenchmarkE4RankOnly isolates the ranking computation on the paper-sized
+// matrix (60 000 blocks × 27 transactions).
+func BenchmarkE4RankOnly(b *testing.B) {
+	p := spectrum.GenerateTVProgram(42, 60000)
+	fault := p.FaultInFeature("teletext")
+	m := p.RunScenario(spectrum.PaperScenario(), fault)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rank(spectrum.Ochiai)
+	}
+}
+
+func BenchmarkE5ModeConsistency(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E5ModeConsistency(1) })
+}
+
+func BenchmarkE6PartialRecovery(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E6Recovery(1) })
+}
+
+func BenchmarkE7Migration(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E7Migration(3) })
+}
+
+func BenchmarkE8Perception(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E8Perception(42) })
+}
+
+func BenchmarkE9StressTest(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E9Stress(9) })
+}
+
+func BenchmarkE10WarningPriority(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E10WarningPriority(1) })
+}
+
+func BenchmarkE11ModelExploration(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E11ModelQuality(1) })
+}
+
+func BenchmarkE12MediaPlayer(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E12MediaPlayer(2) })
+}
+
+func BenchmarkE13FMEA(b *testing.B) {
+	benchTable(b, func() (*exper.Table, error) { return exper.E13FMEA(1) })
+}

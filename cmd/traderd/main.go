@@ -1,0 +1,113 @@
+// Command traderd is the awareness-monitor daemon: the right-hand process of
+// Fig. 2. It listens on a Unix domain socket; a System Under Observation
+// (e.g. cmd/tvsim) connects and streams input/output/state events; traderd
+// executes the specification model, compares, and sends error reports back
+// on the same connection.
+//
+// Usage:
+//
+//	traderd [-socket /tmp/trader.sock] [-suo tv|mediaplayer] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"trader/internal/core"
+	"trader/internal/mediaplayer"
+	"trader/internal/sim"
+	"trader/internal/statemachine"
+	"trader/internal/tvsim"
+	"trader/internal/wire"
+)
+
+func main() {
+	socket := flag.String("socket", "/tmp/trader.sock", "unix socket path")
+	suo := flag.String("suo", "tv", "SUO profile: tv or mediaplayer")
+	verbose := flag.Bool("v", false, "log every error report")
+	flag.Parse()
+
+	_ = os.Remove(*socket)
+	ln, err := net.Listen("unix", *socket)
+	if err != nil {
+		log.Fatalf("traderd: listen: %v", err)
+	}
+	defer ln.Close()
+	log.Printf("traderd: monitoring %q SUOs on %s", *suo, *socket)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("traderd: accept: %v", err)
+			return
+		}
+		go serve(conn, *suo, *verbose)
+	}
+}
+
+// newMonitor builds the monitor for the chosen SUO profile. Each connection
+// gets its own monitor and virtual clock, driven by the SUO's event
+// timestamps.
+func newMonitor(suo string) (*core.Monitor, error) {
+	k := sim.NewKernel(1)
+	var model *statemachine.Model
+	var cfg core.Configuration
+	switch suo {
+	case "tv":
+		model = tvsim.BuildSpecModel(k, tvsim.Config{})
+		model.OnConfig(func(region, leaf string) {
+			if region == "power" {
+				model.SetVar("quality", map[string]float64{"on": 1}[leaf])
+			}
+		})
+		cfg = core.Configuration{Observables: []core.Observable{
+			{Name: "audio-volume", EventName: "audio", ValueName: "volume", ModelVar: "volume", Threshold: 0.5, Tolerance: 1},
+			{Name: "channel", EventName: "screen", ValueName: "channel", ModelVar: "channel"},
+			{Name: "teletext-visible", EventName: "screen", ValueName: "teletext", ModelVar: "teletext"},
+			{Name: "teletext-fresh", EventName: "teletext", ValueName: "fresh", ModelVar: "teletextFresh", Tolerance: 2, EnableVar: "teletext"},
+			{Name: "frame-quality", EventName: "frame", ValueName: "quality", ModelVar: "quality", Threshold: 0.3, Tolerance: 3, EnableVar: "power",
+				MaxSilence: 200 * sim.Millisecond},
+			{Name: "swivel-angle", EventName: "swivel", ValueName: "angle", ModelVar: "swivelTarget", Threshold: 0.5, Tolerance: 60},
+		}}
+	case "mediaplayer":
+		model = mediaplayer.BuildSpecModel(k, mediaplayer.Config{})
+		cfg = core.Configuration{Observables: []core.Observable{
+			{Name: "fps", EventName: "av", ValueName: "fps", ModelVar: "fps",
+				Threshold: 5, Tolerance: 1, EnableVar: "playing", MaxSilence: 500 * sim.Millisecond},
+			{Name: "av-drift", EventName: "av", ValueName: "drift", ModelVar: "drift",
+				Threshold: 80, Tolerance: 1, EnableVar: "playing"},
+		}}
+	default:
+		return nil, fmt.Errorf("unknown SUO profile %q", suo)
+	}
+	mon, err := core.NewMonitor(k, model, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := mon.Start(); err != nil {
+		return nil, err
+	}
+	return mon, nil
+}
+
+func serve(conn net.Conn, suo string, verbose bool) {
+	defer conn.Close()
+	mon, err := newMonitor(suo)
+	if err != nil {
+		log.Printf("traderd: %v", err)
+		return
+	}
+	if verbose {
+		mon.OnError(func(r wire.ErrorReport) { log.Printf("traderd: %s", r) })
+	}
+	wc := wire.NewConn(conn)
+	if err := mon.ServeConn(wc); err != nil {
+		log.Printf("traderd: connection ended: %v", err)
+	}
+	st := mon.Stats()
+	log.Printf("traderd: session done: %d inputs, %d outputs, %d comparisons, %d errors",
+		st.InputsSeen, st.OutputsSeen, st.Comparisons, st.Errors)
+}

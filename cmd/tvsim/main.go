@@ -1,0 +1,120 @@
+// Command tvsim runs the TV simulator as a standalone SUO process: it plays
+// a user scenario, injects faults from a schedule, and (optionally) streams
+// its events to a traderd monitor over a Unix socket — the full Fig. 2
+// deployment across a real process boundary.
+//
+// Usage:
+//
+//	tvsim [-seed 1] [-duration 20] [-socket /tmp/trader.sock]
+//	      [-faults video-crash,txt-sync,audio-skew]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strings"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/faults"
+	"trader/internal/sim"
+	"trader/internal/tvsim"
+	"trader/internal/wire"
+)
+
+// knownFaults maps schedule names to fault definitions.
+var knownFaults = map[string]faults.Fault{
+	"video-crash": {ID: "video-crash", Kind: faults.TaskCrash, Target: "video", At: 5 * sim.Second},
+	"txt-sync":    {ID: "txt-sync", Kind: faults.SyncLoss, Target: "teletext", At: 8 * sim.Second, Duration: 4 * sim.Second},
+	"audio-skew":  {ID: "audio-skew", Kind: faults.ValueCorruption, Target: "audio", At: 12 * sim.Second, Param: -15},
+	"overload":    {ID: "overload", Kind: faults.Overload, Target: "video", At: 6 * sim.Second, Duration: 5 * sim.Second, Param: 2.5},
+	"bad-input":   {ID: "bad-input", Kind: faults.BadInput, Target: "tuner", At: 4 * sim.Second, Duration: 3 * sim.Second, Param: 0.4},
+}
+
+func main() {
+	seed := flag.Int64("seed", 1, "random seed")
+	duration := flag.Int("duration", 20, "virtual seconds to run")
+	socket := flag.String("socket", "", "traderd unix socket to stream events to (empty: standalone)")
+	faultList := flag.String("faults", "txt-sync", "comma-separated fault schedule; available: video-crash,txt-sync,audio-skew,overload,bad-input")
+	flag.Parse()
+
+	k := sim.NewKernel(*seed)
+	tv := tvsim.New(k, tvsim.Config{})
+
+	if *faultList != "" {
+		for _, name := range strings.Split(*faultList, ",") {
+			fault, ok := knownFaults[strings.TrimSpace(name)]
+			if !ok {
+				log.Fatalf("tvsim: unknown fault %q", name)
+			}
+			tv.Injector().Schedule(fault)
+			log.Printf("tvsim: scheduled %s", fault)
+		}
+	}
+
+	if *socket != "" {
+		conn, err := net.Dial("unix", *socket)
+		if err != nil {
+			log.Fatalf("tvsim: dial %s: %v", *socket, err)
+		}
+		defer conn.Close()
+		wc := wire.NewConn(conn)
+		core.ForwardBus(tv.Bus(), wc, "tvsim", func(err error) {
+			log.Printf("tvsim: forward: %v", err)
+		})
+		// Print error reports coming back from the monitor.
+		go func() {
+			for {
+				msg, err := wc.Decode()
+				if err != nil {
+					return
+				}
+				if msg.Type == wire.TypeError && msg.Error != nil {
+					log.Printf("tvsim: MONITOR ERROR %s", *msg.Error)
+				}
+			}
+		}()
+		log.Printf("tvsim: streaming events to %s", *socket)
+	}
+
+	// Event accounting for the session summary.
+	var frames, errors int
+	tv.Bus().Subscribe("", func(e event.Event) {
+		switch e.Name {
+		case "frame":
+			frames++
+		}
+		if e.Kind == event.Err {
+			errors++
+		}
+	})
+
+	// A watching user: power on, teletext, periodic volume nudges.
+	tv.PressKey(tvsim.KeyPower)
+	tv.PressKey(tvsim.KeyText)
+	horizon := sim.Time(*duration) * sim.Second
+	for t := sim.Second; t < horizon; t += 2 * sim.Second {
+		up := (t/sim.Second)%4 == 1
+		k.ScheduleAt(t, func() {
+			if up {
+				tv.PressKey(tvsim.KeyVolUp)
+			} else {
+				tv.PressKey(tvsim.KeyVolDown)
+			}
+		})
+	}
+	k.Run(horizon)
+
+	fmt.Printf("tvsim: ran %s of virtual time\n", horizon)
+	fmt.Printf("tvsim: %d keys handled, %d frames shown, %d frame deadline misses\n",
+		tv.KeysHandled, frames, tv.FrameMisses())
+	for _, a := range tv.Injector().History() {
+		to := "…"
+		if a.To != 0 {
+			to = a.To.String()
+		}
+		fmt.Printf("tvsim: fault %s active %s → %s\n", a.Fault.ID, a.From, to)
+	}
+}

@@ -1,0 +1,13 @@
+// Package trader reproduces "Dependability for high-tech systems: an
+// industry-as-laboratory approach" (Brinksma & Hooman, DATE 2008): a
+// model-based run-time awareness and correction framework for high-volume
+// embedded systems, together with every substrate the paper's case studies
+// depend on — a TV simulator on a SoC resource model, executable timed state
+// machines, spectrum-based diagnosis, mode-consistency checking, partial
+// recovery, load-balancing, user-perception modelling, stress testing,
+// warning prioritization and architecture-level FMEA.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// benchmarks in bench_test.go regenerate every experiment (E1–E13).
+package trader

@@ -1,0 +1,69 @@
+// stresstest: the TASS development-time stress study (Sect. 4.7) combined
+// with the IMEC load-balancing recovery (Sect. 4.5): a CPU eater starves the
+// TV's video pipeline; without balancing, frames degrade; with the balancer,
+// the pipeline migrates to the second processor and quality recovers.
+//
+// Run with:
+//
+//	go run ./examples/stresstest
+package main
+
+import (
+	"fmt"
+
+	"trader/internal/event"
+	"trader/internal/loadbal"
+	"trader/internal/sim"
+	"trader/internal/stress"
+	"trader/internal/tvsim"
+)
+
+func run(balance bool) {
+	k := sim.NewKernel(11)
+	tv := tvsim.New(k, tvsim.Config{})
+	tv.PressKey(tvsim.KeyPower)
+
+	var qSum float64
+	var qN int
+	tv.Bus().Subscribe("frame", func(e event.Event) {
+		q, _ := e.Get("quality")
+		qSum += q
+		qN++
+	})
+
+	var b *loadbal.Balancer
+	if balance {
+		b = loadbal.New(k, tv.CPUs(), loadbal.Policy{CheckEvery: 100 * sim.Millisecond})
+		b.Start()
+	}
+
+	k.Run(sim.Second)
+	eater := stress.NewCPUEater(tv.CPUs()[0], 0.5, 0)
+	eater.Activate()
+	k.Run(6 * sim.Second)
+	eater.Deactivate()
+	k.Run(8 * sim.Second)
+
+	var missed, completed uint64
+	for _, c := range tv.CPUs() {
+		missed += c.Stats().DeadlineMisses
+		completed += c.Stats().JobsCompleted
+	}
+	label := "without balancer"
+	if balance {
+		label = "with balancer   "
+	}
+	fmt.Printf("%s: mean quality %.3f, %d/%d deadline misses", label, qSum/float64(qN), missed, completed)
+	if b != nil {
+		for _, m := range b.Migrations {
+			fmt.Printf(", migrated %s %s→%s at %v", m.Task, m.From, m.To, m.At)
+		}
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("CPU eater takes 50% of cpu0 from t=1s to t=7s; video pipeline needs 45%")
+	run(false)
+	run(true)
+}

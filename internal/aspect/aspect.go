@@ -1,0 +1,114 @@
+// Package aspect provides ready-made observation aspects for the koala
+// weaver: publishing inter-component calls as events, recording call stacks
+// (mirroring the on-chip call-stack tracing of Sect. 4.1), and measuring
+// call latencies. These are the standard probes the awareness framework
+// weaves onto a SUO "with minimal adaptation of the software of the system".
+package aspect
+
+import (
+	"fmt"
+
+	"trader/internal/event"
+	"trader/internal/koala"
+	"trader/internal/sim"
+)
+
+// ObserveCalls publishes an Output-kind event on bus for every call matching
+// the pointcut. Event name is "call:<iface>.<method>"; the event carries the
+// call's scalar arguments.
+func ObserveCalls(w *koala.Weaver, pc koala.Pointcut, bus *event.Bus, kernel *sim.Kernel) {
+	var seq uint64
+	w.Weave(pc, koala.Advice{
+		Name: "observe-calls",
+		After: func(c koala.Call, result koala.Args) {
+			seq++
+			e := event.Event{
+				Kind:   event.Output,
+				Name:   fmt.Sprintf("call:%s.%s", c.Interface, c.Method),
+				Source: c.Callee,
+				At:     kernel.Now(),
+				Seq:    seq,
+			}
+			for k, v := range c.Args {
+				e = e.With("arg."+k, v)
+			}
+			for k, v := range result {
+				e = e.With("ret."+k, v)
+			}
+			bus.Publish(e)
+		},
+	})
+}
+
+// StackMonitor records the live call stack through woven interfaces — the
+// software analogue of the hardware call-stack trace (functions, parameters,
+// result values) the paper exploits for observation.
+type StackMonitor struct {
+	stack    []koala.Call
+	MaxDepth int
+	// Frames counts total pushed frames.
+	Frames uint64
+	// OnOverflow, when non-nil, runs when depth exceeds Limit.
+	Limit      int
+	OnOverflow func(depth int)
+}
+
+// Install weaves the monitor at the pointcut.
+func (s *StackMonitor) Install(w *koala.Weaver, pc koala.Pointcut) {
+	w.Weave(pc, koala.Advice{
+		Name: "stack-monitor",
+		Around: func(c koala.Call, proceed func(koala.Args) koala.Args) koala.Args {
+			s.stack = append(s.stack, c)
+			s.Frames++
+			if d := len(s.stack); d > s.MaxDepth {
+				s.MaxDepth = d
+			}
+			if s.Limit > 0 && len(s.stack) > s.Limit && s.OnOverflow != nil {
+				s.OnOverflow(len(s.stack))
+			}
+			defer func() { s.stack = s.stack[:len(s.stack)-1] }()
+			return proceed(c.Args)
+		},
+	})
+}
+
+// Depth returns the current stack depth.
+func (s *StackMonitor) Depth() int { return len(s.stack) }
+
+// Stack returns a copy of the current call stack, outermost first.
+func (s *StackMonitor) Stack() []koala.Call {
+	out := make([]koala.Call, len(s.stack))
+	copy(out, s.stack)
+	return out
+}
+
+// LatencyProbe measures virtual-time latency of matched calls per method.
+type LatencyProbe struct {
+	kernel *sim.Kernel
+	// PerMethod maps "iface.method" to its latency series (seconds).
+	PerMethod map[string]*sim.Series
+}
+
+// NewLatencyProbe creates a probe using the kernel clock.
+func NewLatencyProbe(kernel *sim.Kernel) *LatencyProbe {
+	return &LatencyProbe{kernel: kernel, PerMethod: make(map[string]*sim.Series)}
+}
+
+// Install weaves the probe at the pointcut.
+func (p *LatencyProbe) Install(w *koala.Weaver, pc koala.Pointcut) {
+	w.Weave(pc, koala.Advice{
+		Name: "latency-probe",
+		Around: func(c koala.Call, proceed func(koala.Args) koala.Args) koala.Args {
+			start := p.kernel.Now()
+			r := proceed(c.Args)
+			key := c.Interface + "." + c.Method
+			s, ok := p.PerMethod[key]
+			if !ok {
+				s = &sim.Series{Name: key}
+				p.PerMethod[key] = s
+			}
+			s.Observe((p.kernel.Now() - start).Seconds())
+			return r
+		},
+	})
+}

@@ -1,0 +1,130 @@
+package aspect
+
+import (
+	"testing"
+
+	"trader/internal/event"
+	"trader/internal/koala"
+	"trader/internal/sim"
+)
+
+func build(t *testing.T) (*sim.Kernel, *koala.System, *koala.Component) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	sys := koala.NewSystem(k, "s", event.NewBus())
+	p := sys.AddComponent("decoder")
+	p.Provide("IVideo", koala.Iface{
+		"decode": func(a koala.Args) koala.Args {
+			return koala.Args{"q": a["bits"] / 2}
+		},
+	})
+	c := sys.AddComponent("pipeline")
+	c.Require("IVideo")
+	if err := sys.Bind("pipeline", "IVideo", "decoder"); err != nil {
+		t.Fatal(err)
+	}
+	return k, sys, c
+}
+
+func TestObserveCallsPublishesEvents(t *testing.T) {
+	k, sys, c := build(t)
+	var got []event.Event
+	sys.Bus().Subscribe("", func(e event.Event) { got = append(got, e) })
+	ObserveCalls(sys.Weaver(), koala.Pointcut{}, sys.Bus(), k)
+	c.Call("IVideo", "decode", koala.Args{"bits": 8})
+	if len(got) != 1 {
+		t.Fatalf("events = %d, want 1", len(got))
+	}
+	e := got[0]
+	if e.Name != "call:IVideo.decode" || e.Source != "decoder" || e.Kind != event.Output {
+		t.Fatalf("event = %+v", e)
+	}
+	if v, _ := e.Get("arg.bits"); v != 8 {
+		t.Fatalf("arg.bits = %v", v)
+	}
+	if v, _ := e.Get("ret.q"); v != 4 {
+		t.Fatalf("ret.q = %v", v)
+	}
+}
+
+func TestStackMonitorDepthAndOverflow(t *testing.T) {
+	k := sim.NewKernel(1)
+	sys := koala.NewSystem(k, "s", nil)
+	sm := &StackMonitor{Limit: 2}
+	overflowed := 0
+	sm.OnOverflow = func(d int) { overflowed = d }
+
+	// Recursive component: a.Call m -> b.m which calls back a.m' etc.
+	a := sys.AddComponent("a")
+	b := sys.AddComponent("b")
+	depth := 0
+	a.Require("I")
+	b.Require("J")
+	var observedMid []koala.Call
+	a.Provide("J", koala.Iface{
+		"m": func(args koala.Args) koala.Args {
+			depth++
+			if depth < 3 {
+				observedMid = sm.Stack()
+				return b.Call("J", "m", args) // J provided by a; b calls a
+			}
+			return args
+		},
+	})
+	b.Provide("I", koala.Iface{
+		"m": func(args koala.Args) koala.Args {
+			return b.Call("J", "m", args)
+		},
+	})
+	if err := sys.Bind("a", "I", "b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Bind("b", "J", "a"); err != nil {
+		t.Fatal(err)
+	}
+	sm.Install(sys.Weaver(), koala.Pointcut{})
+	a.Call("I", "m", nil)
+	// Call chain: a.I.m -> b.J.m -> b.J.m -> b.J.m = 4 woven frames.
+	if sm.MaxDepth != 4 {
+		t.Fatalf("MaxDepth = %d, want 4", sm.MaxDepth)
+	}
+	if sm.Depth() != 0 {
+		t.Fatalf("Depth after return = %d, want 0", sm.Depth())
+	}
+	if overflowed < 3 {
+		t.Fatalf("overflow reported at depth %d, want ≥ 3", overflowed)
+	}
+	if sm.Frames != 4 {
+		t.Fatalf("Frames = %d, want 4", sm.Frames)
+	}
+	if len(observedMid) == 0 {
+		t.Fatal("mid-call stack snapshot empty")
+	}
+}
+
+func TestLatencyProbe(t *testing.T) {
+	k := sim.NewKernel(1)
+	sys := koala.NewSystem(k, "s", nil)
+	p := sys.AddComponent("slow")
+	p.Provide("I", koala.Iface{
+		"m": func(a koala.Args) koala.Args {
+			// Simulate virtual work by advancing the kernel inside the call.
+			k.Schedule(50, func() {})
+			k.Run(k.Now() + 50)
+			return a
+		},
+	})
+	c := sys.AddComponent("c")
+	c.Require("I")
+	_ = sys.Bind("c", "I", "slow")
+	probe := NewLatencyProbe(k)
+	probe.Install(sys.Weaver(), koala.Pointcut{})
+	c.Call("I", "m", nil)
+	s := probe.PerMethod["I.m"]
+	if s == nil || s.N() != 1 {
+		t.Fatalf("no latency recorded: %+v", probe.PerMethod)
+	}
+	if got := s.Mean(); got != (50 * sim.Nanosecond).Seconds() {
+		t.Fatalf("latency = %v, want 50ns", got)
+	}
+}

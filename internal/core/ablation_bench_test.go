@@ -1,0 +1,86 @@
+package core
+
+// Ablation benches for comparator design choices: per-observable enable
+// gating (event-based comparison control from the model) versus always-on
+// comparison, and the cost of widening the observable set.
+
+import (
+	"fmt"
+	"testing"
+
+	"trader/internal/event"
+	"trader/internal/sim"
+)
+
+func benchMonitor(b *testing.B, nObs int, gated bool) *Monitor {
+	b.Helper()
+	k := sim.NewKernel(1)
+	var obs []Observable
+	for i := 0; i < nObs; i++ {
+		o := Observable{
+			EventName: "out", ValueName: fmt.Sprintf("v%d", i), ModelVar: "x",
+			Threshold: 0.5, Tolerance: 1,
+		}
+		if gated {
+			o.EnableVar = "gate"
+		}
+		obs = append(obs, o)
+	}
+	m, err := NewMonitor(k, tinyModel(k), Configuration{Observables: obs})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func benchEvent(nObs int) event.Event {
+	e := event.Event{Kind: event.Output, Name: "out"}
+	for i := 0; i < nObs; i++ {
+		e = e.With(fmt.Sprintf("v%d", i), 0)
+	}
+	return e
+}
+
+func BenchmarkAblationCompareUngated(b *testing.B) {
+	m := benchMonitor(b, 4, false)
+	e := benchEvent(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.HandleOutput(e)
+	}
+}
+
+func BenchmarkAblationCompareGatedOpen(b *testing.B) {
+	m := benchMonitor(b, 4, true) // gate starts at 1 (open)
+	e := benchEvent(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.HandleOutput(e)
+	}
+}
+
+func BenchmarkAblationCompareGatedClosed(b *testing.B) {
+	m := benchMonitor(b, 4, true)
+	m.HandleInput(eventNamed("gate")) // close the gate: comparisons skipped
+	e := benchEvent(4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.HandleOutput(e)
+	}
+}
+
+func BenchmarkAblationObservableCount1(b *testing.B)  { benchObsCount(b, 1) }
+func BenchmarkAblationObservableCount8(b *testing.B)  { benchObsCount(b, 8) }
+func BenchmarkAblationObservableCount32(b *testing.B) { benchObsCount(b, 32) }
+
+func benchObsCount(b *testing.B, n int) {
+	m := benchMonitor(b, n, false)
+	e := benchEvent(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.HandleOutput(e)
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"trader/internal/wire"
+)
+
+// Group coordinates several awareness monitors over one system — the
+// hierarchical and incremental application the paper describes: "we can
+// apply this approach hierarchically and incrementally to parts of the
+// system ... Typically, there will be several awareness monitors in a
+// complex system, for different components, different aspects, and
+// different kinds of faults." Each member monitor has its own (partial)
+// specification model and observable set; the group provides shared
+// lifecycle, fan-in of error reports tagged with the reporting monitor, and
+// aggregate statistics.
+type Group struct {
+	names    []string
+	monitors map[string]*Monitor
+	handlers []func(monitor string, r wire.ErrorReport)
+	started  bool
+}
+
+// NewGroup returns an empty monitor group.
+func NewGroup() *Group {
+	return &Group{monitors: make(map[string]*Monitor)}
+}
+
+// Add registers a monitor under a name and routes its error reports into
+// the group's handlers. Monitors must be added before Start.
+func (g *Group) Add(name string, m *Monitor) error {
+	if g.started {
+		return fmt.Errorf("core: group already started")
+	}
+	if _, dup := g.monitors[name]; dup {
+		return fmt.Errorf("core: duplicate monitor %q in group", name)
+	}
+	g.monitors[name] = m
+	g.names = append(g.names, name)
+	m.OnError(func(r wire.ErrorReport) {
+		for _, h := range g.handlers {
+			h(name, r)
+		}
+	})
+	return nil
+}
+
+// OnError registers a fan-in handler receiving every member's reports.
+func (g *Group) OnError(fn func(monitor string, r wire.ErrorReport)) {
+	g.handlers = append(g.handlers, fn)
+}
+
+// Monitor returns the named member, or nil.
+func (g *Group) Monitor(name string) *Monitor { return g.monitors[name] }
+
+// Names returns the member names in registration order.
+func (g *Group) Names() []string {
+	out := make([]string, len(g.names))
+	copy(out, g.names)
+	return out
+}
+
+// Start starts every member. On failure, already-started members are
+// stopped and the error returned.
+func (g *Group) Start() error {
+	if g.started {
+		return fmt.Errorf("core: group already started")
+	}
+	var startedMembers []string
+	for _, name := range g.names {
+		if err := g.monitors[name].Start(); err != nil {
+			for _, s := range startedMembers {
+				g.monitors[s].Stop()
+			}
+			return fmt.Errorf("core: starting monitor %q: %w", name, err)
+		}
+		startedMembers = append(startedMembers, name)
+	}
+	g.started = true
+	return nil
+}
+
+// Stop stops every member.
+func (g *Group) Stop() {
+	for _, name := range g.names {
+		g.monitors[name].Stop()
+	}
+	g.started = false
+}
+
+// Stats aggregates the members' counters.
+func (g *Group) Stats() MonitorStats {
+	var agg MonitorStats
+	for _, name := range g.names {
+		st := g.monitors[name].Stats()
+		agg.InputsSeen += st.InputsSeen
+		agg.OutputsSeen += st.OutputsSeen
+		agg.Comparisons += st.Comparisons
+		agg.Deviations += st.Deviations
+		agg.Errors += st.Errors
+		agg.ModelErrors += st.ModelErrors
+		agg.SilenceScans += st.SilenceScans
+	}
+	return agg
+}
+
+// StatsByMonitor returns per-member counters keyed by name, with names
+// sorted for deterministic iteration by callers that print them.
+func (g *Group) StatsByMonitor() map[string]MonitorStats {
+	out := make(map[string]MonitorStats, len(g.monitors))
+	names := append([]string(nil), g.names...)
+	sort.Strings(names)
+	for _, n := range names {
+		out[n] = g.monitors[n].Stats()
+	}
+	return out
+}

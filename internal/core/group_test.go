@@ -1,0 +1,252 @@
+package core_test
+
+import (
+	"testing"
+
+	"trader/internal/core"
+	"trader/internal/faults"
+	"trader/internal/sim"
+	"trader/internal/statemachine"
+	"trader/internal/tvsim"
+	"trader/internal/wire"
+)
+
+// audioOnlyModel is a deliberately partial spec model: it tracks only the
+// audible level (the paper: "the approach allows the use of partial models,
+// concentrating on what is most relevant for the user").
+func audioOnlyModel(k *sim.Kernel) *statemachine.Model {
+	r := statemachine.NewRegion("audio")
+	audible := func(c *statemachine.Context) {
+		if c.Get("power") == 0 || c.Get("muted") == 1 {
+			c.Set("volume", 0)
+		} else {
+			c.Set("volume", c.Get("volSetting"))
+		}
+	}
+	key := func(kk tvsim.Key) func(*statemachine.Context) bool {
+		return func(c *statemachine.Context) bool {
+			v, ok := c.Event.Get("key")
+			return ok && tvsim.Key(v) == kk
+		}
+	}
+	r.Add(&statemachine.State{
+		Name: "s",
+		Entry: func(c *statemachine.Context) {
+			c.Set("volSetting", 20)
+			audible(c)
+		},
+		Transitions: []statemachine.Transition{
+			{Event: "key", Guard: key(tvsim.KeyPower), Action: func(c *statemachine.Context) {
+				c.SetBool("power", c.Get("power") == 0)
+				audible(c)
+			}},
+			{Event: "key", Guard: func(c *statemachine.Context) bool {
+				return c.Get("power") == 1 && key(tvsim.KeyVolUp)(c)
+			}, Action: func(c *statemachine.Context) {
+				if v := c.Get("volSetting") + 5; v <= 100 {
+					c.Set("volSetting", v)
+				}
+				c.Set("muted", 0)
+				audible(c)
+			}},
+			{Event: "key", Guard: func(c *statemachine.Context) bool {
+				return c.Get("power") == 1 && key(tvsim.KeyVolDown)(c)
+			}, Action: func(c *statemachine.Context) {
+				if v := c.Get("volSetting") - 5; v >= 0 {
+					c.Set("volSetting", v)
+				}
+				c.Set("muted", 0)
+				audible(c)
+			}},
+			{Event: "key", Guard: func(c *statemachine.Context) bool {
+				return c.Get("power") == 1 && key(tvsim.KeyMute)(c)
+			}, Action: func(c *statemachine.Context) {
+				c.SetBool("muted", c.Get("muted") == 0)
+				audible(c)
+			}},
+		},
+	})
+	return statemachine.MustModel("audio-partial", k, r)
+}
+
+// videoOnlyModel tracks only frame quality expectations.
+func videoOnlyModel(k *sim.Kernel) *statemachine.Model {
+	r := statemachine.NewRegion("video")
+	key := func(kk tvsim.Key) func(*statemachine.Context) bool {
+		return func(c *statemachine.Context) bool {
+			v, ok := c.Event.Get("key")
+			return ok && tvsim.Key(v) == kk
+		}
+	}
+	r.Add(&statemachine.State{
+		Name: "s",
+		Transitions: []statemachine.Transition{
+			{Event: "key", Guard: key(tvsim.KeyPower), Action: func(c *statemachine.Context) {
+				on := c.Get("power") == 0
+				c.SetBool("power", on)
+				if on {
+					c.Set("quality", 1)
+				} else {
+					c.Set("quality", 0)
+				}
+			}},
+		},
+	})
+	return statemachine.MustModel("video-partial", k, r)
+}
+
+// TestGroupHierarchicalMonitors runs two independent partial monitors on
+// one TV: an audio monitor and a video monitor, each with its own partial
+// model. Faults in each subsystem are reported by exactly the responsible
+// monitor.
+func TestGroupHierarchicalMonitors(t *testing.T) {
+	k := sim.NewKernel(11)
+	tv := tvsim.New(k, tvsim.Config{})
+
+	audioMon, err := core.NewMonitor(k, audioOnlyModel(k), core.Configuration{
+		Observables: []core.Observable{
+			{Name: "audio-volume", EventName: "audio", ValueName: "volume",
+				ModelVar: "volume", Threshold: 0.5, Tolerance: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	videoMon, err := core.NewMonitor(k, videoOnlyModel(k), core.Configuration{
+		Observables: []core.Observable{
+			{Name: "frame-quality", EventName: "frame", ValueName: "quality",
+				ModelVar: "quality", Threshold: 0.3, Tolerance: 3, EnableVar: "power",
+				MaxSilence: 200 * sim.Millisecond},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g := core.NewGroup()
+	if err := g.Add("audio", audioMon); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("video", videoMon); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add("audio", audioMon); err == nil {
+		t.Fatal("duplicate add should fail")
+	}
+	var reports []struct {
+		mon string
+		r   wire.ErrorReport
+	}
+	g.OnError(func(mon string, r wire.ErrorReport) {
+		reports = append(reports, struct {
+			mon string
+			r   wire.ErrorReport
+		}{mon, r})
+	})
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	audioMon.AttachBus(tv.Bus())
+	videoMon.AttachBus(tv.Bus())
+
+	tv.PressKey(tvsim.KeyPower)
+	k.Run(sim.Second)
+	if len(reports) != 0 {
+		t.Fatalf("healthy run flagged: %v", reports)
+	}
+
+	// Audio fault → only the audio monitor reports.
+	tv.Injector().Schedule(faults.Fault{
+		ID: "skew", Kind: faults.ValueCorruption, Target: "audio",
+		At: k.Now(), Duration: sim.Second, Param: -15,
+	})
+	k.Run(k.Now() + 100*sim.Millisecond)
+	tv.PressKey(tvsim.KeyVolUp)
+	tv.PressKey(tvsim.KeyVolUp)
+	k.Run(k.Now() + sim.Second)
+	for _, rep := range reports {
+		if rep.mon != "audio" {
+			t.Fatalf("audio fault reported by %q: %+v", rep.mon, rep.r)
+		}
+	}
+	if len(reports) == 0 {
+		t.Fatal("audio fault undetected")
+	}
+	audioReports := len(reports)
+
+	// Video fault → only the video monitor adds reports.
+	tv.Injector().Schedule(faults.Fault{
+		ID: "crash", Kind: faults.TaskCrash, Target: "video", At: k.Now(),
+	})
+	k.Run(k.Now() + sim.Second)
+	videoReports := 0
+	for _, rep := range reports[audioReports:] {
+		if rep.mon != "video" {
+			t.Fatalf("video fault reported by %q: %+v", rep.mon, rep.r)
+		}
+		videoReports++
+	}
+	if videoReports == 0 {
+		t.Fatal("video fault undetected")
+	}
+
+	// Aggregate stats add up.
+	agg := g.Stats()
+	per := g.StatsByMonitor()
+	if agg.Errors != per["audio"].Errors+per["video"].Errors {
+		t.Fatal("aggregate error count wrong")
+	}
+	if agg.Errors == 0 || agg.Comparisons == 0 {
+		t.Fatal("aggregation lost data")
+	}
+	if names := g.Names(); len(names) != 2 || names[0] != "audio" {
+		t.Fatalf("Names = %v", names)
+	}
+	if g.Monitor("audio") != audioMon || g.Monitor("ghost") != nil {
+		t.Fatal("member lookup wrong")
+	}
+
+	g.Stop()
+	tv.PressKey(tvsim.KeyVolUp)
+	if g.Stats().InputsSeen != agg.InputsSeen {
+		t.Fatal("stopped group still observing")
+	}
+}
+
+func TestGroupLifecycleErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := core.NewGroup()
+	m, err := core.NewMonitor(k, audioOnlyModel(k), core.Configuration{
+		Observables: []core.Observable{
+			{EventName: "audio", ValueName: "volume", ModelVar: "volume"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = g.Add("a", m)
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err == nil {
+		t.Fatal("double group start should fail")
+	}
+	if err := g.Add("b", m); err == nil {
+		t.Fatal("add after start should fail")
+	}
+	// Start failure propagates: a monitor whose model is already started.
+	g2 := core.NewGroup()
+	started, err := core.NewMonitor(k, audioOnlyModel(k), core.Configuration{
+		Observables: []core.Observable{
+			{EventName: "audio", ValueName: "volume", ModelVar: "volume"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = started.Start()
+	_ = g2.Add("bad", started)
+	if err := g2.Start(); err == nil {
+		t.Fatal("group start should surface member failure")
+	}
+}

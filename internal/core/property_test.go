@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"trader/internal/event"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+// Property: the comparator reports an error exactly when a run of
+// consecutive deviations exceeds the tolerance — for any observation
+// sequence, threshold and tolerance. This pins down the Sect. 4.3 policy.
+func TestPropertyComparatorPolicy(t *testing.T) {
+	f := func(obsRaw []int8, thresholdRaw, tolRaw uint8) bool {
+		threshold := float64(thresholdRaw % 10)
+		tolerance := int(tolRaw % 5)
+		k := sim.NewKernel(1)
+		m, err := NewMonitor(k, tinyModel(k), Configuration{Observables: []Observable{{
+			EventName: "out", ValueName: "x", ModelVar: "x",
+			Threshold: threshold, Tolerance: tolerance,
+		}}})
+		if err != nil {
+			return false
+		}
+		reports := 0
+		m.OnError(func(wire.ErrorReport) { reports++ })
+		if err := m.Start(); err != nil {
+			return false
+		}
+		// Model expects x = 0 throughout; feed the raw sequence.
+		expectedReports := 0
+		streak := 0
+		inError := false
+		for _, o := range obsRaw {
+			v := float64(o)
+			m.HandleOutput(outEvent(v))
+			if math.Abs(v) > threshold {
+				streak++
+				if streak > tolerance && !inError {
+					inError = true
+					expectedReports++
+				}
+			} else {
+				streak = 0
+				inError = false
+			}
+		}
+		return reports == expectedReports
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a gated observable never reports regardless of its values.
+func TestPropertyGatingSilencesAll(t *testing.T) {
+	f := func(obsRaw []int8) bool {
+		k := sim.NewKernel(1)
+		m, err := NewMonitor(k, tinyModel(k), Configuration{Observables: []Observable{{
+			EventName: "out", ValueName: "x", ModelVar: "x", EnableVar: "gate",
+		}}})
+		if err != nil {
+			return false
+		}
+		reports := 0
+		m.OnError(func(wire.ErrorReport) { reports++ })
+		if err := m.Start(); err != nil {
+			return false
+		}
+		// Close the gate, then feed arbitrary garbage.
+		m.HandleInput(eventNamed("gate"))
+		for _, o := range obsRaw {
+			m.HandleOutput(outEvent(float64(o)))
+		}
+		return reports == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func eventNamed(name string) event.Event {
+	return event.Event{Kind: event.Input, Name: name}
+}

@@ -1,0 +1,85 @@
+package core
+
+import (
+	"io"
+
+	"trader/internal/event"
+	"trader/internal/wire"
+)
+
+// This file implements the process-boundary deployment of Fig. 2: the SUO
+// and the awareness monitor are separate processes connected by a socket.
+// The SUO side forwards its bus events as wire frames; the monitor side
+// serves a connection, advancing its virtual clock to each frame's
+// timestamp so timers (model "after" transitions, silence sweeps,
+// time-based comparison) fire exactly as they would in-process.
+
+// ForwardBus subscribes to a SUO event bus and forwards every input/output/
+// state event over the connection. It returns the subscription so the
+// caller can detach. Send errors invoke onErr (may be nil) and detach.
+func ForwardBus(bus *event.Bus, conn *wire.Conn, suo string, onErr func(error)) *event.Subscription {
+	var sub *event.Subscription
+	sub = bus.Subscribe("", func(e event.Event) {
+		if e.Kind == event.Err {
+			return
+		}
+		if err := conn.SendEvent(suo, e); err != nil {
+			if onErr != nil {
+				onErr(err)
+			}
+			sub.Unsubscribe()
+		}
+	})
+	return sub
+}
+
+// ServeConn reads frames from the connection until EOF, driving the monitor.
+// The monitor's virtual clock is advanced to each event's timestamp before
+// the event is processed. Detected errors are sent back as error frames (in
+// addition to any OnError handlers). It returns nil on clean EOF.
+func (m *Monitor) ServeConn(conn *wire.Conn) error {
+	m.OnError(func(r wire.ErrorReport) {
+		// Best-effort: a broken error channel must not stop detection.
+		_ = conn.Encode(wire.Message{Type: wire.TypeError, Error: &r, At: r.At})
+	})
+	for {
+		msg, err := conn.Decode()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch msg.Type {
+		case wire.TypeInput, wire.TypeOutput, wire.TypeState:
+			if msg.Event == nil {
+				continue
+			}
+			e := *msg.Event
+			if e.At > m.kernel.Now() {
+				m.kernel.Run(e.At)
+			}
+			switch msg.Type {
+			case wire.TypeInput:
+				m.HandleInput(e)
+			case wire.TypeOutput:
+				m.HandleOutput(e)
+			case wire.TypeState:
+				// State events are observations too; route them through the
+				// comparator like outputs (internal states may be compared).
+				m.HandleOutput(e)
+			}
+		case wire.TypeControl:
+			switch msg.Control {
+			case wire.CtrlStart:
+				if !m.started {
+					_ = m.Start()
+				}
+			case wire.CtrlStop:
+				m.Stop()
+			}
+		case wire.TypeHello, wire.TypeHeartbeat:
+			// Identification/liveness only.
+		}
+	}
+}

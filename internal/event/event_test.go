@@ -1,0 +1,238 @@
+package event
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventGetWith(t *testing.T) {
+	e := Event{Name: "frame"}
+	if _, ok := e.Get("q"); ok {
+		t.Fatal("Get on empty event should miss")
+	}
+	e = e.With("q", 0.9)
+	if v, ok := e.Get("q"); !ok || v != 0.9 {
+		t.Fatalf("Get(q) = %v,%v", v, ok)
+	}
+	e2 := e.With("q", 0.5)
+	if v, _ := e2.Get("q"); v != 0.5 {
+		t.Fatalf("With should replace: got %v", v)
+	}
+	if v, _ := e.Get("q"); v != 0.9 {
+		t.Fatalf("With should not mutate original: got %v", v)
+	}
+	e3 := e.With("vol", 10)
+	if len(e3.Values) != 2 {
+		t.Fatalf("len(Values) = %d, want 2", len(e3.Values))
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{Kind: Output, Name: "audio", Source: "amp", At: 1000}
+	e = e.With("vol", 7)
+	s := e.String()
+	for _, want := range []string{"output", "amp/audio", "vol=7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{Input: "input", Output: "output", State: "state", Err: "error", Kind(9): "kind(9)"}
+	for k, want := range cases {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestBusNamedAndCatchAll(t *testing.T) {
+	b := NewBus()
+	var named, all int
+	b.Subscribe("key", func(Event) { named++ })
+	b.Subscribe("", func(Event) { all++ })
+	b.Publish(Event{Name: "key"})
+	b.Publish(Event{Name: "frame"})
+	if named != 1 {
+		t.Fatalf("named = %d, want 1", named)
+	}
+	if all != 2 {
+		t.Fatalf("all = %d, want 2", all)
+	}
+	if b.Published != 2 {
+		t.Fatalf("Published = %d, want 2", b.Published)
+	}
+}
+
+func TestBusUnsubscribe(t *testing.T) {
+	b := NewBus()
+	n := 0
+	s := b.Subscribe("key", func(Event) { n++ })
+	b.Publish(Event{Name: "key"})
+	s.Unsubscribe()
+	s.Unsubscribe() // idempotent
+	b.Publish(Event{Name: "key"})
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+}
+
+func TestBusDeliveryOrder(t *testing.T) {
+	b := NewBus()
+	var order []int
+	b.Subscribe("e", func(Event) { order = append(order, 1) })
+	b.Subscribe("e", func(Event) { order = append(order, 2) })
+	b.Subscribe("", func(Event) { order = append(order, 3) })
+	b.Publish(Event{Name: "e"})
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestBusPublishFromHandler(t *testing.T) {
+	b := NewBus()
+	var got []string
+	b.Subscribe("a", func(Event) {
+		got = append(got, "a")
+		b.Publish(Event{Name: "b"})
+	})
+	b.Subscribe("b", func(Event) { got = append(got, "b") })
+	b.Publish(Event{Name: "a"})
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("got = %v", got)
+	}
+}
+
+func TestBusSubscribeDuringDelivery(t *testing.T) {
+	b := NewBus()
+	n := 0
+	b.Subscribe("e", func(Event) {
+		b.Subscribe("e", func(Event) { n++ })
+	})
+	b.Publish(Event{Name: "e"}) // new sub must not fire for this event
+	if n != 0 {
+		t.Fatalf("late subscriber fired during its own subscription event")
+	}
+	b.Publish(Event{Name: "e"})
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+}
+
+func TestLogRing(t *testing.T) {
+	l := NewLog(3)
+	for i := 0; i < 5; i++ {
+		l.Append(Event{Seq: uint64(i)})
+	}
+	if l.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", l.Len())
+	}
+	if l.Dropped != 2 {
+		t.Fatalf("Dropped = %d, want 2", l.Dropped)
+	}
+	snap := l.Snapshot()
+	for i, e := range snap {
+		if e.Seq != uint64(i+2) {
+			t.Fatalf("Snapshot = %v, want seqs [2 3 4]", snap)
+		}
+	}
+}
+
+func TestLogFilter(t *testing.T) {
+	l := NewLog(10)
+	for i := 0; i < 6; i++ {
+		k := Input
+		if i%2 == 0 {
+			k = Output
+		}
+		l.Append(Event{Kind: k, Seq: uint64(i)})
+	}
+	outs := l.Filter(func(e Event) bool { return e.Kind == Output })
+	if len(outs) != 3 {
+		t.Fatalf("Filter = %d events, want 3", len(outs))
+	}
+}
+
+func TestLogZeroCapacity(t *testing.T) {
+	l := NewLog(0)
+	l.Append(Event{Seq: 1})
+	l.Append(Event{Seq: 2})
+	if l.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", l.Len())
+	}
+	if l.Snapshot()[0].Seq != 2 {
+		t.Fatal("should retain newest")
+	}
+}
+
+// Property: ring log retains exactly the last min(cap, n) events in order.
+func TestPropertyLogRetention(t *testing.T) {
+	f := func(capRaw uint8, nRaw uint8) bool {
+		capacity := int(capRaw%20) + 1
+		n := int(nRaw % 100)
+		l := NewLog(capacity)
+		for i := 0; i < n; i++ {
+			l.Append(Event{Seq: uint64(i)})
+		}
+		want := n
+		if want > capacity {
+			want = capacity
+		}
+		snap := l.Snapshot()
+		if len(snap) != want {
+			return false
+		}
+		for i, e := range snap {
+			if e.Seq != uint64(n-want+i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: With never loses other keys and always sets the requested one.
+func TestPropertyWith(t *testing.T) {
+	f := func(keys []uint8, setKey uint8, v float64) bool {
+		var e Event
+		for _, k := range keys {
+			e = e.With(string(rune('a'+k%26)), float64(k))
+		}
+		name := string(rune('a' + setKey%26))
+		e2 := e.With(name, v)
+		got, ok := e2.Get(name)
+		if !ok || got != v {
+			return false
+		}
+		for _, val := range e.Values {
+			if val.Name == name {
+				continue
+			}
+			g, ok := e2.Get(val.Name)
+			if !ok || g != val.V {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkBusPublish(b *testing.B) {
+	bus := NewBus()
+	for i := 0; i < 8; i++ {
+		bus.Subscribe("e", func(Event) {})
+	}
+	e := Event{Name: "e"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(e)
+	}
+}

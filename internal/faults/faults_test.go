@@ -1,0 +1,138 @@
+package faults
+
+import (
+	"testing"
+
+	"trader/internal/sim"
+)
+
+func TestScheduleActivateDeactivate(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k)
+	var trace []string
+	inj.OnKind(Overload, func(f Fault, on bool) {
+		if on {
+			trace = append(trace, "on@"+k.Now().String())
+		} else {
+			trace = append(trace, "off@"+k.Now().String())
+		}
+	})
+	inj.Schedule(Fault{ID: "f1", Kind: Overload, Target: "video", At: 100, Duration: 50, Param: 3})
+	k.Run(99)
+	if inj.Active("f1") {
+		t.Fatal("fault active too early")
+	}
+	k.Run(100)
+	if !inj.Active("f1") {
+		t.Fatal("fault should be active at 100")
+	}
+	if !inj.AnyActive(Overload, "video") || !inj.AnyActive(Overload, "") {
+		t.Fatal("AnyActive should see it")
+	}
+	if inj.AnyActive(Overload, "audio") {
+		t.Fatal("wrong target matched")
+	}
+	k.Run(150)
+	if inj.Active("f1") {
+		t.Fatal("fault should have expired at 150")
+	}
+	if len(trace) != 2 || trace[0] != "on@100ns" || trace[1] != "off@150ns" {
+		t.Fatalf("trace = %v", trace)
+	}
+}
+
+func TestPermanentFaultAndRepair(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k)
+	offs := 0
+	inj.OnKind(TaskCrash, func(f Fault, on bool) {
+		if !on {
+			offs++
+		}
+	})
+	inj.Schedule(Fault{ID: "crash", Kind: TaskCrash, Target: "txt", At: 10})
+	k.Run(1000)
+	if !inj.Active("crash") {
+		t.Fatal("permanent fault should stay active")
+	}
+	inj.Repair("crash")
+	if inj.Active("crash") {
+		t.Fatal("repair should deactivate")
+	}
+	inj.Repair("crash") // idempotent
+	if offs != 1 {
+		t.Fatalf("off handler ran %d times, want 1", offs)
+	}
+}
+
+func TestActiveAtHistory(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k)
+	inj.Schedule(Fault{ID: "w", Kind: SyncLoss, At: 100, Duration: 100})
+	k.RunAll()
+	cases := []struct {
+		t    sim.Time
+		want bool
+	}{{50, false}, {100, true}, {150, true}, {199, true}, {200, false}, {500, false}}
+	for _, c := range cases {
+		if got := inj.ActiveAt("w", c.t); got != c.want {
+			t.Errorf("ActiveAt(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	h := inj.History()
+	if len(h) != 1 || h[0].From != 100 || h[0].To != 200 {
+		t.Fatalf("history = %+v", h)
+	}
+}
+
+func TestMultipleHandlersAndFaultsSorted(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k)
+	n := 0
+	inj.OnKind(BadInput, func(Fault, bool) { n++ })
+	inj.OnKind(BadInput, func(Fault, bool) { n += 10 })
+	inj.Schedule(Fault{ID: "b", Kind: BadInput, At: 5, Duration: 5})
+	inj.Schedule(Fault{ID: "a", Kind: BadInput, At: 7, Duration: 5})
+	k.RunAll()
+	if n != 44 {
+		t.Fatalf("n = %d, want 44 (2 faults × on+off × 11)", n)
+	}
+	fs := inj.Faults()
+	if len(fs) != 2 || fs[0].ID != "a" || fs[1].ID != "b" {
+		t.Fatalf("Faults = %v", fs)
+	}
+	if fs[0].String() == "" {
+		t.Fatal("String should render")
+	}
+}
+
+func TestSchedulePanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("empty id", func() { inj.Schedule(Fault{Kind: Overload}) })
+	inj.Schedule(Fault{ID: "x", Kind: Overload})
+	mustPanic("dup id", func() { inj.Schedule(Fault{ID: "x", Kind: Overload}) })
+}
+
+func TestOverlappingWindowsSameFaultKind(t *testing.T) {
+	k := sim.NewKernel(1)
+	inj := NewInjector(k)
+	inj.Schedule(Fault{ID: "o1", Kind: Overload, Target: "v", At: 0, Duration: 100})
+	inj.Schedule(Fault{ID: "o2", Kind: Overload, Target: "v", At: 50, Duration: 100})
+	k.Run(120)
+	// o1 expired, o2 still active.
+	if inj.Active("o1") || !inj.Active("o2") {
+		t.Fatal("window bookkeeping wrong")
+	}
+	if !inj.AnyActive(Overload, "v") {
+		t.Fatal("AnyActive should still hold via o2")
+	}
+}

@@ -1,0 +1,108 @@
+package fmea
+
+import (
+	"testing"
+)
+
+func TestEffectiveSeverityPropagates(t *testing.T) {
+	a := NewArchitecture()
+	a.AddComponent(Component{Name: "backend", Modes: []FailureMode{
+		{Name: "die", Occurrence: 0.5, LocalSeverity: 1.0, Detectability: 0},
+	}})
+	a.AddComponent(Component{Name: "ui", UserFacing: true})
+	entries := a.Analyze()
+	// Backend is not user-facing and has no propagation: severity 0.
+	if entries[0].Severity != 0 {
+		t.Fatalf("unpropagated severity = %v, want 0", entries[0].Severity)
+	}
+	a.AddPropagation(Propagation{From: "backend", To: "ui", Attenuation: 0.5})
+	entries = a.Analyze()
+	if entries[0].Severity != 0.5 {
+		t.Fatalf("propagated severity = %v, want 0.5", entries[0].Severity)
+	}
+}
+
+func TestRPNOrdering(t *testing.T) {
+	a := NewArchitecture()
+	a.AddComponent(Component{Name: "x", UserFacing: true, Modes: []FailureMode{
+		{Name: "rare-but-bad", Occurrence: 0.01, LocalSeverity: 1.0, Detectability: 0},
+		{Name: "common-mild", Occurrence: 0.9, LocalSeverity: 0.5, Detectability: 0},
+	}})
+	entries := a.Analyze()
+	if entries[0].Mode != "common-mild" {
+		t.Fatalf("top entry = %+v; RPN should favour occurrence×severity", entries[0])
+	}
+}
+
+func TestDetectabilityLowersRisk(t *testing.T) {
+	a := NewArchitecture()
+	a.AddComponent(Component{Name: "x", UserFacing: true, Modes: []FailureMode{
+		{Name: "detected", Occurrence: 0.5, LocalSeverity: 0.8, Detectability: 0.9},
+		{Name: "undetected", Occurrence: 0.5, LocalSeverity: 0.8, Detectability: 0.1},
+	}})
+	entries := a.Analyze()
+	if entries[0].Mode != "undetected" {
+		t.Fatalf("undetectable failures must rank higher: %+v", entries)
+	}
+}
+
+func TestCycleSafePropagation(t *testing.T) {
+	a := NewArchitecture()
+	a.AddComponent(Component{Name: "a", Modes: []FailureMode{
+		{Name: "f", Occurrence: 1, LocalSeverity: 1, Detectability: 0},
+	}})
+	a.AddComponent(Component{Name: "b", UserFacing: true})
+	a.AddPropagation(Propagation{From: "a", To: "b", Attenuation: 0.5})
+	a.AddPropagation(Propagation{From: "b", To: "a", Attenuation: 0.5})
+	entries := a.Analyze() // must terminate
+	if entries[0].Severity != 0.5 {
+		t.Fatalf("severity = %v", entries[0].Severity)
+	}
+}
+
+func TestValidationPanics(t *testing.T) {
+	a := NewArchitecture()
+	a.AddComponent(Component{Name: "x"})
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("dup", func() { a.AddComponent(Component{Name: "x"}) })
+	mustPanic("unknown", func() { a.AddPropagation(Propagation{From: "x", To: "ghost", Attenuation: 1}) })
+	mustPanic("attenuation", func() {
+		a.AddComponent(Component{Name: "y"})
+		a.AddPropagation(Propagation{From: "x", To: "y", Attenuation: 0})
+	})
+}
+
+// E13: on the reference TV architecture, the analysis ranks the streaming
+// path (tuner/video) and the poorly-detected swivel and teletext failures
+// as the reliability hot spots — matching where the Trader case studies
+// put their effort.
+func TestTVArchitectureCriticality(t *testing.T) {
+	a := TVArchitecture()
+	if len(a.Components()) != 7 {
+		t.Fatalf("components = %v", a.Components())
+	}
+	byComp := a.CriticalityByComponent()
+	top := map[string]bool{byComp[0].Component: true, byComp[1].Component: true, byComp[2].Component: true}
+	if !top["tuner"] && !top["video"] {
+		t.Fatalf("streaming path missing from top 3: %+v", byComp)
+	}
+	// The swivel: low occurrence but terrible detectability — it must not
+	// be at the bottom.
+	last := byComp[len(byComp)-1].Component
+	if last == "swivel" {
+		t.Fatalf("swivel ranked last despite poor detectability: %+v", byComp)
+	}
+	// Every entry has a finite RPN in [0,1].
+	for _, e := range a.Analyze() {
+		if e.RPN < 0 || e.RPN > 1 {
+			t.Fatalf("RPN out of range: %+v", e)
+		}
+	}
+}

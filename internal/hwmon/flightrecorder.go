@@ -1,0 +1,54 @@
+package hwmon
+
+import (
+	"trader/internal/event"
+)
+
+// FlightRecorder is the software face of the on-chip trace buffer (Sect.
+// 4.1): it continuously records the last N events of a SUO into a ring
+// buffer so that, when a detector fires, the events *leading up to* the
+// error are available for diagnosis — the observation data program-spectra
+// and log-based analyses start from.
+type FlightRecorder struct {
+	log *event.Log
+	sub *event.Subscription
+	// Captures counts snapshots taken.
+	Captures uint64
+}
+
+// NewFlightRecorder creates a recorder retaining the last capacity events.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return &FlightRecorder{log: event.NewLog(capacity)}
+}
+
+// AttachBus starts recording every event on the bus.
+func (fr *FlightRecorder) AttachBus(bus *event.Bus) {
+	fr.sub = bus.Subscribe("", func(e event.Event) { fr.log.Append(e) })
+}
+
+// Detach stops recording (the retained window stays readable).
+func (fr *FlightRecorder) Detach() {
+	if fr.sub != nil {
+		fr.sub.Unsubscribe()
+		fr.sub = nil
+	}
+}
+
+// Capture returns the retained window oldest-first — call it from an error
+// handler to preserve the pre-error context.
+func (fr *FlightRecorder) Capture() []event.Event {
+	fr.Captures++
+	return fr.log.Snapshot()
+}
+
+// CaptureMatching returns only the retained events satisfying pred.
+func (fr *FlightRecorder) CaptureMatching(pred func(event.Event) bool) []event.Event {
+	fr.Captures++
+	return fr.log.Filter(pred)
+}
+
+// Dropped reports how many events fell off the back of the window.
+func (fr *FlightRecorder) Dropped() uint64 { return fr.log.Dropped }
+
+// Len reports the number of retained events.
+func (fr *FlightRecorder) Len() int { return fr.log.Len() }

@@ -1,0 +1,112 @@
+package hwmon_test
+
+import (
+	"testing"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/faults"
+	"trader/internal/hwmon"
+	"trader/internal/sim"
+	"trader/internal/tvsim"
+	"trader/internal/wire"
+)
+
+func TestFlightRecorderWindow(t *testing.T) {
+	fr := hwmon.NewFlightRecorder(3)
+	bus := event.NewBus()
+	fr.AttachBus(bus)
+	for i := 0; i < 5; i++ {
+		bus.Publish(event.Event{Name: "e", Seq: uint64(i)})
+	}
+	snap := fr.Capture()
+	if len(snap) != 3 || snap[0].Seq != 2 || snap[2].Seq != 4 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	if fr.Dropped() != 2 || fr.Len() != 3 || fr.Captures != 1 {
+		t.Fatalf("stats: dropped=%d len=%d captures=%d", fr.Dropped(), fr.Len(), fr.Captures)
+	}
+	fr.Detach()
+	bus.Publish(event.Event{Name: "e", Seq: 99})
+	if fr.Capture()[2].Seq != 4 {
+		t.Fatal("detached recorder still recording")
+	}
+}
+
+func TestFlightRecorderFilter(t *testing.T) {
+	fr := hwmon.NewFlightRecorder(10)
+	bus := event.NewBus()
+	fr.AttachBus(bus)
+	for i := 0; i < 6; i++ {
+		name := "frame"
+		if i%2 == 0 {
+			name = "audio"
+		}
+		bus.Publish(event.Event{Name: name, Seq: uint64(i)})
+	}
+	audio := fr.CaptureMatching(func(e event.Event) bool { return e.Name == "audio" })
+	if len(audio) != 3 {
+		t.Fatalf("filtered = %d, want 3", len(audio))
+	}
+}
+
+// TestPreErrorContextOnTV: the recorder preserves the events leading up to
+// a detected error on the TV — the input a diagnosis engine needs.
+func TestPreErrorContextOnTV(t *testing.T) {
+	k := sim.NewKernel(6)
+	cfg := tvsim.Config{}
+	tv := tvsim.New(k, cfg)
+	model := tvsim.BuildSpecModel(k, cfg)
+	mon, err := core.NewMonitor(k, model, core.Configuration{
+		Observables: []core.Observable{
+			{Name: "audio-volume", EventName: "audio", ValueName: "volume",
+				ModelVar: "volume", Threshold: 0.5, Tolerance: 1},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := hwmon.NewFlightRecorder(64)
+	fr.AttachBus(tv.Bus())
+	var context []event.Event
+	mon.OnError(func(wire.ErrorReport) {
+		if context == nil {
+			context = fr.Capture()
+		}
+	})
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	mon.AttachBus(tv.Bus())
+
+	tv.PressKey(tvsim.KeyPower)
+	k.Run(sim.Second)
+	tv.Injector().Schedule(faults.Fault{
+		ID: "skew", Kind: faults.ValueCorruption, Target: "audio",
+		At: k.Now(), Param: -15,
+	})
+	k.Run(k.Now() + 50*sim.Millisecond)
+	tv.PressKey(tvsim.KeyVolUp)
+	tv.PressKey(tvsim.KeyVolUp)
+	k.Run(k.Now() + 50*sim.Millisecond)
+
+	if context == nil {
+		t.Fatal("error not detected")
+	}
+	// The window must contain the key presses that preceded the detection.
+	keys := 0
+	for _, e := range context {
+		if e.Name == "key" {
+			keys++
+		}
+	}
+	if keys < 2 {
+		t.Fatalf("pre-error context lost the key presses: %d keys in %d events", keys, len(context))
+	}
+	// Chronological order.
+	for i := 1; i < len(context); i++ {
+		if context[i].At < context[i-1].At {
+			t.Fatal("context out of order")
+		}
+	}
+}

@@ -1,0 +1,267 @@
+// Package hwmon models the hardware-assisted observation and detection
+// mechanisms of Sect. 4.1/4.3: the on-chip debug and trace infrastructure
+// (trace buffer), value range checking, watchdogs, and hardware deadlock
+// detection via a wait-for graph. In the paper these exploit "mechanisms
+// already available in hardware"; here they watch the simulated SoC.
+package hwmon
+
+import (
+	"fmt"
+	"sort"
+
+	"trader/internal/event"
+	"trader/internal/sim"
+)
+
+// RangeRule bounds one observable value.
+type RangeRule struct {
+	Name      string // rule id in reports
+	EventName string // event carrying the value
+	ValueName string
+	Min, Max  float64
+}
+
+// RangeViolation reports an out-of-range value.
+type RangeViolation struct {
+	Rule  string
+	Value float64
+	At    sim.Time
+}
+
+func (v RangeViolation) String() string {
+	return fmt.Sprintf("[%s] range violation %q: value %g", v.At, v.Rule, v.Value)
+}
+
+// RangeChecker watches a bus for out-of-range values — the hardware range
+// checking the project drives through the debug infrastructure.
+type RangeChecker struct {
+	kernel *sim.Kernel
+	rules  map[string][]RangeRule // by event name
+	onViol []func(RangeViolation)
+	sub    *event.Subscription
+	// Checks and Violations count activity.
+	Checks     uint64
+	Violations uint64
+}
+
+// NewRangeChecker creates a checker with the given rules.
+func NewRangeChecker(kernel *sim.Kernel, rules ...RangeRule) *RangeChecker {
+	rc := &RangeChecker{kernel: kernel, rules: make(map[string][]RangeRule)}
+	for _, r := range rules {
+		rc.rules[r.EventName] = append(rc.rules[r.EventName], r)
+	}
+	return rc
+}
+
+// OnViolation registers a handler.
+func (rc *RangeChecker) OnViolation(fn func(RangeViolation)) {
+	rc.onViol = append(rc.onViol, fn)
+}
+
+// AttachBus subscribes the checker to a SUO bus.
+func (rc *RangeChecker) AttachBus(bus *event.Bus) {
+	rc.sub = bus.Subscribe("", func(e event.Event) { rc.Check(e) })
+}
+
+// Detach unsubscribes.
+func (rc *RangeChecker) Detach() {
+	if rc.sub != nil {
+		rc.sub.Unsubscribe()
+		rc.sub = nil
+	}
+}
+
+// Check applies the rules to one event.
+func (rc *RangeChecker) Check(e event.Event) {
+	for _, r := range rc.rules[e.Name] {
+		v, ok := e.Get(r.ValueName)
+		if !ok {
+			continue
+		}
+		rc.Checks++
+		if v < r.Min || v > r.Max {
+			rc.Violations++
+			viol := RangeViolation{Rule: r.Name, Value: v, At: e.At}
+			for _, fn := range rc.onViol {
+				fn(viol)
+			}
+		}
+	}
+}
+
+// Watchdog barks when a component fails to kick it within its period — the
+// classic liveness probe, here in virtual time.
+type Watchdog struct {
+	kernel *sim.Kernel
+	Name   string
+	Period sim.Time
+	OnBark func(sinceLastKick sim.Time)
+
+	lastKick sim.Time
+	rep      *sim.Repeater
+	// Barks counts timeouts.
+	Barks  uint64
+	barked bool
+}
+
+// NewWatchdog creates and arms a watchdog.
+func NewWatchdog(kernel *sim.Kernel, name string, period sim.Time, onBark func(sim.Time)) *Watchdog {
+	if period <= 0 {
+		panic("hwmon: watchdog period must be positive")
+	}
+	w := &Watchdog{kernel: kernel, Name: name, Period: period, OnBark: onBark, lastKick: kernel.Now()}
+	w.rep = kernel.Every(period/2, w.check)
+	return w
+}
+
+// Kick resets the watchdog.
+func (w *Watchdog) Kick() {
+	w.lastKick = w.kernel.Now()
+	w.barked = false
+}
+
+// Stop disarms the watchdog.
+func (w *Watchdog) Stop() { w.rep.Stop() }
+
+func (w *Watchdog) check() {
+	since := w.kernel.Now() - w.lastKick
+	if since > w.Period && !w.barked {
+		w.barked = true
+		w.Barks++
+		if w.OnBark != nil {
+			w.OnBark(since)
+		}
+	}
+}
+
+// WaitGraph is a resource wait-for graph with cycle detection — the
+// hardware deadlock detector. Nodes are component/task names; an edge a→b
+// means a waits for b.
+type WaitGraph struct {
+	edges map[string]map[string]bool
+}
+
+// NewWaitGraph creates an empty graph.
+func NewWaitGraph() *WaitGraph {
+	return &WaitGraph{edges: make(map[string]map[string]bool)}
+}
+
+// AddWait records that a waits for b.
+func (g *WaitGraph) AddWait(a, b string) {
+	if g.edges[a] == nil {
+		g.edges[a] = make(map[string]bool)
+	}
+	g.edges[a][b] = true
+}
+
+// RemoveWait clears a wait edge (the resource was granted).
+func (g *WaitGraph) RemoveWait(a, b string) {
+	if g.edges[a] != nil {
+		delete(g.edges[a], b)
+	}
+}
+
+// Clear removes all outgoing waits of a node (it finished or was killed).
+func (g *WaitGraph) Clear(a string) { delete(g.edges, a) }
+
+// FindCycle returns one deadlock cycle as an ordered node list (the first
+// node repeated at the end is omitted), or nil when the graph is acyclic.
+// Detection is deterministic: nodes are explored in sorted order.
+func (g *WaitGraph) FindCycle() []string {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	parent := map[string]string{}
+	nodes := make([]string, 0, len(g.edges))
+	for n := range g.edges {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+
+	var cycle []string
+	var visit func(n string) bool
+	visit = func(n string) bool {
+		color[n] = grey
+		succs := make([]string, 0, len(g.edges[n]))
+		for s := range g.edges[n] {
+			succs = append(succs, s)
+		}
+		sort.Strings(succs)
+		for _, s := range succs {
+			switch color[s] {
+			case white:
+				parent[s] = n
+				if visit(s) {
+					return true
+				}
+			case grey:
+				// Found a back edge n→s: reconstruct the cycle s…n.
+				cycle = []string{s}
+				for cur := n; cur != s; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				// Reverse to get forward order s → … → n.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		color[n] = black
+		return false
+	}
+	for _, n := range nodes {
+		if color[n] == white {
+			if visit(n) {
+				return cycle
+			}
+		}
+	}
+	return nil
+}
+
+// DeadlockMonitor periodically scans a wait graph and reports new cycles.
+type DeadlockMonitor struct {
+	Graph  *WaitGraph
+	kernel *sim.Kernel
+	rep    *sim.Repeater
+	onDl   []func(cycle []string, at sim.Time)
+	last   string
+	// Detections counts distinct reported cycles.
+	Detections uint64
+}
+
+// NewDeadlockMonitor scans the graph every period.
+func NewDeadlockMonitor(kernel *sim.Kernel, g *WaitGraph, period sim.Time) *DeadlockMonitor {
+	m := &DeadlockMonitor{Graph: g, kernel: kernel}
+	m.rep = kernel.Every(period, m.scan)
+	return m
+}
+
+// OnDeadlock registers a handler.
+func (m *DeadlockMonitor) OnDeadlock(fn func(cycle []string, at sim.Time)) {
+	m.onDl = append(m.onDl, fn)
+}
+
+// Stop disarms the monitor.
+func (m *DeadlockMonitor) Stop() { m.rep.Stop() }
+
+func (m *DeadlockMonitor) scan() {
+	cycle := m.Graph.FindCycle()
+	if cycle == nil {
+		m.last = ""
+		return
+	}
+	key := fmt.Sprint(cycle)
+	if key == m.last {
+		return // already reported this deadlock
+	}
+	m.last = key
+	m.Detections++
+	for _, fn := range m.onDl {
+		fn(cycle, m.kernel.Now())
+	}
+}

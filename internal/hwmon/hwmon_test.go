@@ -1,0 +1,209 @@
+package hwmon
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trader/internal/event"
+	"trader/internal/sim"
+)
+
+func TestRangeChecker(t *testing.T) {
+	k := sim.NewKernel(1)
+	rc := NewRangeChecker(k,
+		RangeRule{Name: "volume", EventName: "audio", ValueName: "volume", Min: 0, Max: 100},
+		RangeRule{Name: "angle", EventName: "swivel", ValueName: "angle", Min: -45, Max: 45},
+	)
+	var got []RangeViolation
+	rc.OnViolation(func(v RangeViolation) { got = append(got, v) })
+	bus := event.NewBus()
+	rc.AttachBus(bus)
+
+	bus.Publish(event.Event{Kind: event.Output, Name: "audio"}.With("volume", 50))
+	bus.Publish(event.Event{Kind: event.Output, Name: "swivel"}.With("angle", -45))
+	if len(got) != 0 {
+		t.Fatalf("in-range values flagged: %v", got)
+	}
+	bus.Publish(event.Event{Kind: event.Output, Name: "audio", At: 7}.With("volume", 130))
+	if len(got) != 1 || got[0].Rule != "volume" || got[0].Value != 130 {
+		t.Fatalf("got = %v", got)
+	}
+	if got[0].At != 7 {
+		t.Fatal("violation should carry event time")
+	}
+	if got[0].String() == "" {
+		t.Fatal("String should render")
+	}
+	// Events without the value, or with other names, are ignored.
+	bus.Publish(event.Event{Kind: event.Output, Name: "audio"}.With("muted", 1))
+	bus.Publish(event.Event{Kind: event.Output, Name: "frame"}.With("volume", 999))
+	if len(got) != 1 {
+		t.Fatal("irrelevant events flagged")
+	}
+	rc.Detach()
+	bus.Publish(event.Event{Kind: event.Output, Name: "audio"}.With("volume", 200))
+	if len(got) != 1 {
+		t.Fatal("detached checker still checking")
+	}
+	if rc.Checks != 3 || rc.Violations != 1 {
+		t.Fatalf("stats: checks=%d violations=%d", rc.Checks, rc.Violations)
+	}
+}
+
+func TestWatchdog(t *testing.T) {
+	k := sim.NewKernel(1)
+	var barks []sim.Time
+	w := NewWatchdog(k, "video", 100, func(since sim.Time) { barks = append(barks, k.Now()) })
+	// Healthy kicks.
+	for i := 0; i < 5; i++ {
+		k.Run(k.Now() + 50)
+		w.Kick()
+	}
+	if len(barks) != 0 {
+		t.Fatalf("healthy watchdog barked: %v", barks)
+	}
+	// Silence → bark once.
+	k.Run(k.Now() + 500)
+	if len(barks) != 1 {
+		t.Fatalf("barks = %d, want 1", len(barks))
+	}
+	if w.Barks != 1 {
+		t.Fatal("Barks counter wrong")
+	}
+	// Kick again: fresh episode can bark again.
+	w.Kick()
+	k.Run(k.Now() + 500)
+	if len(barks) != 2 {
+		t.Fatalf("barks = %d, want 2", len(barks))
+	}
+	w.Stop()
+	k.Run(k.Now() + 1000)
+	if len(barks) != 2 {
+		t.Fatal("stopped watchdog barked")
+	}
+}
+
+func TestWatchdogPanicsOnBadPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	NewWatchdog(sim.NewKernel(1), "w", 0, nil)
+}
+
+func TestWaitGraphNoCycle(t *testing.T) {
+	g := NewWaitGraph()
+	g.AddWait("a", "b")
+	g.AddWait("b", "c")
+	g.AddWait("a", "c")
+	if c := g.FindCycle(); c != nil {
+		t.Fatalf("acyclic graph reported cycle %v", c)
+	}
+}
+
+func TestWaitGraphSimpleCycle(t *testing.T) {
+	g := NewWaitGraph()
+	g.AddWait("a", "b")
+	g.AddWait("b", "a")
+	c := g.FindCycle()
+	if len(c) != 2 {
+		t.Fatalf("cycle = %v, want 2 nodes", c)
+	}
+	g.RemoveWait("b", "a")
+	if c := g.FindCycle(); c != nil {
+		t.Fatalf("cycle after removal: %v", c)
+	}
+}
+
+func TestWaitGraphLongCycleAndClear(t *testing.T) {
+	g := NewWaitGraph()
+	g.AddWait("a", "b")
+	g.AddWait("b", "c")
+	g.AddWait("c", "d")
+	g.AddWait("d", "b")
+	c := g.FindCycle()
+	if len(c) != 3 {
+		t.Fatalf("cycle = %v, want [b c d]", c)
+	}
+	// Cycle must be a real cycle: each node waits for the next.
+	for i, n := range c {
+		next := c[(i+1)%len(c)]
+		if !g.edges[n][next] {
+			t.Fatalf("reported cycle %v has no edge %s→%s", c, n, next)
+		}
+	}
+	g.Clear("c")
+	if c := g.FindCycle(); c != nil {
+		t.Fatalf("cycle after Clear: %v", c)
+	}
+}
+
+// Property: FindCycle returns a genuine cycle or nil; and a graph built as a
+// DAG (edges only low→high) never reports one.
+func TestPropertyWaitGraph(t *testing.T) {
+	f := func(edges []uint16, cyclic bool) bool {
+		g := NewWaitGraph()
+		names := []string{"a", "b", "c", "d", "e", "f"}
+		for _, e := range edges {
+			i, j := int(e)%len(names), int(e>>8)%len(names)
+			if !cyclic {
+				if i >= j {
+					continue // DAG: strictly ascending edges
+				}
+			}
+			if i == j {
+				continue
+			}
+			g.AddWait(names[i], names[j])
+		}
+		c := g.FindCycle()
+		if !cyclic {
+			return c == nil
+		}
+		if c == nil {
+			return true
+		}
+		for i, n := range c {
+			next := c[(i+1)%len(c)]
+			if !g.edges[n][next] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeadlockMonitor(t *testing.T) {
+	k := sim.NewKernel(1)
+	g := NewWaitGraph()
+	m := NewDeadlockMonitor(k, g, 10)
+	var got [][]string
+	m.OnDeadlock(func(c []string, at sim.Time) { got = append(got, c) })
+	k.Run(100)
+	if len(got) != 0 {
+		t.Fatal("no deadlock yet")
+	}
+	g.AddWait("decoder", "buffer")
+	g.AddWait("buffer", "decoder")
+	k.Run(200)
+	if len(got) != 1 {
+		t.Fatalf("detections = %d, want 1 (same cycle reported once)", len(got))
+	}
+	// Resolve, then a different deadlock.
+	g.RemoveWait("buffer", "decoder")
+	k.Run(300)
+	g.AddWait("mixer", "decoder")
+	g.AddWait("decoder", "mixer")
+	k.Run(400)
+	if len(got) != 2 {
+		t.Fatalf("detections = %d, want 2", len(got))
+	}
+	if m.Detections != 2 {
+		t.Fatal("Detections counter wrong")
+	}
+	m.Stop()
+}

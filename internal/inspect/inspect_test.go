@@ -1,0 +1,154 @@
+package inspect
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLikelihoodLinearChain(t *testing.T) {
+	g := NewGraph("main")
+	g.AddEdge("main", "a", 0.5)
+	g.AddEdge("a", "b", 0.5)
+	like := g.Likelihood()
+	if like["main"] != 1 {
+		t.Fatal("entry likelihood must be 1")
+	}
+	if like["a"] != 0.5 {
+		t.Fatalf("like[a] = %v, want 0.5", like["a"])
+	}
+	if like["b"] != 0.25 {
+		t.Fatalf("like[b] = %v, want 0.25", like["b"])
+	}
+}
+
+func TestLikelihoodNoisyOrJoin(t *testing.T) {
+	g := NewGraph("main")
+	g.AddEdge("main", "a", 0.5)
+	g.AddEdge("main", "b", 0.5)
+	g.AddEdge("a", "join", 1.0)
+	g.AddEdge("b", "join", 1.0)
+	like := g.Likelihood()
+	// P(join) = 1 - (1-0.5)(1-0.5) = 0.75
+	if got := like["join"]; got < 0.7499 || got > 0.7501 {
+		t.Fatalf("like[join] = %v, want 0.75", got)
+	}
+}
+
+func TestLikelihoodCycleConverges(t *testing.T) {
+	g := NewGraph("main")
+	g.AddEdge("main", "loop", 0.9)
+	g.AddEdge("loop", "loop", 0.9) // self-loop
+	like := g.Likelihood()
+	if like["loop"] < 0.9 || like["loop"] > 1.0 {
+		t.Fatalf("like[loop] = %v, want within [0.9, 1]", like["loop"])
+	}
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := NewGraph("main")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	g.AddEdge("main", "x", 1.5)
+}
+
+func TestRankBySeverity(t *testing.T) {
+	ws := []Warning{
+		{ID: 0, Severity: SevLow},
+		{ID: 1, Severity: SevHigh},
+		{ID: 2, Severity: SevMedium},
+		{ID: 3, Severity: SevHigh},
+	}
+	ranked := RankBySeverity(ws)
+	if ranked[0].ID != 1 || ranked[1].ID != 3 || ranked[2].ID != 2 || ranked[3].ID != 0 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+}
+
+func TestRankByLikelihood(t *testing.T) {
+	like := map[string]float64{"hot": 0.9, "cold": 0.01}
+	ws := []Warning{
+		{ID: 0, Node: "cold", Severity: SevHigh},  // 3×0.01 = 0.03
+		{ID: 1, Node: "hot", Severity: SevLow},    // 1×0.9  = 0.9
+		{ID: 2, Node: "hot", Severity: SevMedium}, // 2×0.9  = 1.8
+	}
+	ranked := RankByLikelihood(ws, like)
+	if ranked[0].ID != 2 || ranked[1].ID != 1 || ranked[2].ID != 0 {
+		t.Fatalf("ranked = %v", ranked)
+	}
+}
+
+func TestPrecisionAt(t *testing.T) {
+	ws := []Warning{
+		{ID: 0, TrueFault: true},
+		{ID: 1, TrueFault: false},
+		{ID: 2, TrueFault: true},
+	}
+	if p := PrecisionAt(ws, 1); p != 1 {
+		t.Fatalf("P@1 = %v", p)
+	}
+	if p := PrecisionAt(ws, 2); p != 0.5 {
+		t.Fatalf("P@2 = %v", p)
+	}
+	if p := PrecisionAt(ws, 10); p < 0.66 || p > 0.67 {
+		t.Fatalf("P@10 (clamped) = %v", p)
+	}
+	if PrecisionAt(nil, 3) != 0 || PrecisionAt(ws, 0) != 0 {
+		t.Fatal("degenerate cases")
+	}
+}
+
+// TestPrioritizationBeatsBaseline is E10's claim: ranking warnings by
+// severity × execution likelihood yields better precision at the top of the
+// list than the raw severity ordering.
+func TestPrioritizationBeatsBaseline(t *testing.T) {
+	var sumPrio, sumBase float64
+	const runs = 10
+	for seed := int64(0); seed < runs; seed++ {
+		sp := GenerateProgram(seed, 6, 30, 200)
+		like := sp.Graph.Likelihood()
+		prio := RankByLikelihood(sp.Warnings, like)
+		base := RankBySeverity(sp.Warnings)
+		sumPrio += PrecisionAt(prio, 20)
+		sumBase += PrecisionAt(base, 20)
+	}
+	if sumPrio <= sumBase {
+		t.Fatalf("prioritized P@20 %v not better than baseline %v", sumPrio/runs, sumBase/runs)
+	}
+}
+
+func TestGenerateProgramDeterministic(t *testing.T) {
+	a := GenerateProgram(5, 4, 10, 50)
+	b := GenerateProgram(5, 4, 10, 50)
+	if len(a.Warnings) != len(b.Warnings) {
+		t.Fatal("nondeterministic generation")
+	}
+	for i := range a.Warnings {
+		if a.Warnings[i] != b.Warnings[i] {
+			t.Fatal("nondeterministic warnings")
+		}
+	}
+	if len(a.Graph.Nodes()) != 4*10+1 {
+		t.Fatalf("nodes = %d", len(a.Graph.Nodes()))
+	}
+}
+
+// Property: likelihoods are probabilities, and deeper layers are (weakly)
+// less likely on average.
+func TestPropertyLikelihoodBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		sp := GenerateProgram(seed%1000, 5, 8, 10)
+		like := sp.Graph.Likelihood()
+		for _, v := range like {
+			if v < 0 || v > 1 {
+				return false
+			}
+		}
+		return like["main"] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

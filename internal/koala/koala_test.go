@@ -1,0 +1,316 @@
+package koala
+
+import (
+	"strings"
+	"testing"
+
+	"trader/internal/event"
+	"trader/internal/sim"
+)
+
+func buildAV(t *testing.T) (*System, *Component, *Component) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	sys := NewSystem(k, "av", event.NewBus())
+	amp := sys.AddComponent("amp")
+	vol := 0.0
+	amp.Provide("IAudio", Iface{
+		"setVolume": func(a Args) Args { vol = a["level"]; return Args{"ok": 1} },
+		"getVolume": func(a Args) Args { return Args{"level": vol} },
+	})
+	ui := sys.AddComponent("ui")
+	ui.Require("IAudio")
+	if err := sys.Bind("ui", "IAudio", "amp"); err != nil {
+		t.Fatal(err)
+	}
+	return sys, ui, amp
+}
+
+func TestCallThroughBinding(t *testing.T) {
+	sys, ui, _ := buildAV(t)
+	if err := sys.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	res := ui.Call("IAudio", "setVolume", Args{"level": 7})
+	if res["ok"] != 1 {
+		t.Fatalf("res = %v", res)
+	}
+	got := ui.Call("IAudio", "getVolume", nil)
+	if got["level"] != 7 {
+		t.Fatalf("volume = %v, want 7", got["level"])
+	}
+}
+
+func TestValidateUnbound(t *testing.T) {
+	k := sim.NewKernel(1)
+	sys := NewSystem(k, "s", nil)
+	c := sys.AddComponent("c")
+	c.Require("IMissing")
+	err := sys.Validate()
+	if err == nil || !strings.Contains(err.Error(), "c.IMissing") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBindErrors(t *testing.T) {
+	k := sim.NewKernel(1)
+	sys := NewSystem(k, "s", nil)
+	a := sys.AddComponent("a")
+	b := sys.AddComponent("b")
+	a.Require("I")
+	if err := sys.Bind("ghost", "I", "b"); err == nil {
+		t.Fatal("unknown requirer should fail")
+	}
+	if err := sys.Bind("a", "I", "b"); err == nil {
+		t.Fatal("provider without iface should fail")
+	}
+	if err := sys.Bind("b", "I", "a"); err == nil {
+		t.Fatal("requirer without require should fail")
+	}
+	b.Provide("I", Iface{"m": func(Args) Args { return nil }})
+	if err := sys.Bind("a", "I", "b"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallUnboundPanics(t *testing.T) {
+	_, ui, _ := buildAV(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ui.Call("IVideo", "play", nil)
+}
+
+func TestCallUnknownMethodPanics(t *testing.T) {
+	_, ui, _ := buildAV(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ui.Call("IAudio", "explode", nil)
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	k := sim.NewKernel(1)
+	sys := NewSystem(k, "s", nil)
+	sys.AddComponent("c")
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: want panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("dup component", func() { sys.AddComponent("c") })
+	c := sys.Component("c")
+	c.Provide("I", Iface{})
+	mustPanic("dup provide", func() { c.Provide("I", Iface{}) })
+	c.Require("R")
+	mustPanic("dup require", func() { c.Require("R") })
+}
+
+func TestModeEventsPublished(t *testing.T) {
+	sys, _, amp := buildAV(t)
+	var got []event.Event
+	sys.Bus().Subscribe("", func(e event.Event) { got = append(got, e) })
+	amp.SetMode("mute")
+	amp.SetMode("mute") // no-op: unchanged
+	amp.SetMode("unmute")
+	if len(got) != 2 {
+		t.Fatalf("events = %d, want 2", len(got))
+	}
+	if got[0].Kind != event.State || got[0].Source != "amp" {
+		t.Fatalf("event = %+v", got[0])
+	}
+	id, ok := got[0].Get("mode")
+	if !ok || ModeName(int(id)) != "mute" {
+		t.Fatalf("mode id round trip failed: %v %v", id, ok)
+	}
+	if amp.Mode() != "unmute" {
+		t.Fatalf("Mode = %q", amp.Mode())
+	}
+}
+
+func TestModeInterning(t *testing.T) {
+	a := ModeID("standby")
+	b := ModeID("standby")
+	if a != b {
+		t.Fatal("same mode interned twice")
+	}
+	if ModeName(a) != "standby" {
+		t.Fatal("ModeName mismatch")
+	}
+	if ModeName(-1) != "" || ModeName(1<<30) != "" {
+		t.Fatal("out-of-range ModeName should be empty")
+	}
+}
+
+func TestBeforeAfterAdvice(t *testing.T) {
+	sys, ui, _ := buildAV(t)
+	var trace []string
+	sys.Weaver().Weave(Pointcut{Interface: "IAudio"}, Advice{
+		Name:   "obs",
+		Before: func(c Call) { trace = append(trace, "before:"+c.Method) },
+		After:  func(c Call, r Args) { trace = append(trace, "after:"+c.Method) },
+	})
+	ui.Call("IAudio", "setVolume", Args{"level": 3})
+	want := "before:setVolume,after:setVolume"
+	if got := strings.Join(trace, ","); got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
+	if sys.Weaver().Invocations != 1 {
+		t.Fatalf("Invocations = %d", sys.Weaver().Invocations)
+	}
+}
+
+func TestAroundAdviceCanStubAndMutate(t *testing.T) {
+	sys, ui, _ := buildAV(t)
+	// Fault injection: corrupt the level argument.
+	sys.Weaver().Weave(Pointcut{Method: "setVolume"}, Advice{
+		Name: "fault",
+		Around: func(c Call, proceed func(Args) Args) Args {
+			args := c.Args.Clone()
+			args["level"] = 99
+			return proceed(args)
+		},
+	})
+	ui.Call("IAudio", "setVolume", Args{"level": 3})
+	got := ui.Call("IAudio", "getVolume", nil)
+	if got["level"] != 99 {
+		t.Fatalf("level = %v, want corrupted 99", got["level"])
+	}
+	// Stub: skip proceed entirely.
+	sys.Weaver().Weave(Pointcut{Method: "getVolume"}, Advice{
+		Name: "stub",
+		Around: func(c Call, proceed func(Args) Args) Args {
+			return Args{"level": -1}
+		},
+	})
+	if got := ui.Call("IAudio", "getVolume", nil); got["level"] != -1 {
+		t.Fatalf("stub did not apply: %v", got)
+	}
+}
+
+func TestAdviceNesting(t *testing.T) {
+	sys, ui, _ := buildAV(t)
+	var trace []string
+	for _, name := range []string{"outer", "inner"} {
+		name := name
+		sys.Weaver().Weave(Pointcut{}, Advice{
+			Name: name,
+			Around: func(c Call, proceed func(Args) Args) Args {
+				trace = append(trace, name+">")
+				r := proceed(c.Args)
+				trace = append(trace, "<"+name)
+				return r
+			},
+		})
+	}
+	ui.Call("IAudio", "getVolume", nil)
+	want := "outer>,inner>,<inner,<outer"
+	if got := strings.Join(trace, ","); got != want {
+		t.Fatalf("trace = %q, want %q", got, want)
+	}
+}
+
+func TestUnweave(t *testing.T) {
+	sys, ui, _ := buildAV(t)
+	n := 0
+	sys.Weaver().Weave(Pointcut{}, Advice{Name: "a", Before: func(Call) { n++ }})
+	sys.Weaver().Weave(Pointcut{}, Advice{Name: "b", Before: func(Call) { n += 100 }})
+	ui.Call("IAudio", "getVolume", nil)
+	sys.Weaver().Unweave("b")
+	ui.Call("IAudio", "getVolume", nil)
+	if n != 102 {
+		t.Fatalf("n = %d, want 202 (a twice, b once)", n)
+	}
+	names := sys.Weaver().AspectNames()
+	if len(names) != 1 || names[0] != "a" {
+		t.Fatalf("AspectNames = %v", names)
+	}
+}
+
+func TestPointcutSelectivity(t *testing.T) {
+	sys, ui, _ := buildAV(t)
+	hits := map[string]int{}
+	weave := func(name string, pc Pointcut) {
+		sys.Weaver().Weave(pc, Advice{Name: name, Before: func(Call) { hits[name]++ }})
+	}
+	weave("any", Pointcut{})
+	weave("byCaller", Pointcut{Caller: "ui"})
+	weave("byCallee", Pointcut{Callee: "amp"})
+	weave("byMethod", Pointcut{Method: "setVolume"})
+	weave("miss", Pointcut{Caller: "ghost"})
+	ui.Call("IAudio", "setVolume", Args{"level": 1})
+	ui.Call("IAudio", "getVolume", nil)
+	if hits["any"] != 2 || hits["byCaller"] != 2 || hits["byCallee"] != 2 {
+		t.Fatalf("hits = %v", hits)
+	}
+	if hits["byMethod"] != 1 {
+		t.Fatalf("byMethod = %d, want 1", hits["byMethod"])
+	}
+	if hits["miss"] != 0 {
+		t.Fatalf("miss = %d, want 0", hits["miss"])
+	}
+}
+
+func TestIntrospection(t *testing.T) {
+	_, ui, amp := buildAV(t)
+	if got := amp.Provides(); len(got) != 1 || got[0] != "IAudio" {
+		t.Fatalf("Provides = %v", got)
+	}
+	if got := ui.Requires(); len(got) != 1 || got[0] != "IAudio" {
+		t.Fatalf("Requires = %v", got)
+	}
+	if got := ui.BoundTo("IAudio"); got != "amp" {
+		t.Fatalf("BoundTo = %q", got)
+	}
+	if ui.BoundTo("IGhost") != "" || amp.BoundTo("IAudio") != "" {
+		t.Fatal("unbound lookups should be empty")
+	}
+	if len(amp.Provides()) != 1 || len(amp.Requires()) != 0 {
+		t.Fatal("amp introspection wrong")
+	}
+}
+
+func TestCallString(t *testing.T) {
+	c := Call{Caller: "ui", Callee: "amp", Interface: "IAudio", Method: "set"}
+	if c.String() != "ui->amp.IAudio.set" {
+		t.Fatalf("String = %q", c.String())
+	}
+}
+
+func BenchmarkCallNoAdvice(b *testing.B) {
+	k := sim.NewKernel(1)
+	sys := NewSystem(k, "s", nil)
+	p := sys.AddComponent("p")
+	p.Provide("I", Iface{"m": func(a Args) Args { return a }})
+	c := sys.AddComponent("c")
+	c.Require("I")
+	_ = sys.Bind("c", "I", "p")
+	args := Args{"x": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Call("I", "m", args)
+	}
+}
+
+func BenchmarkCallWithObservationAdvice(b *testing.B) {
+	k := sim.NewKernel(1)
+	sys := NewSystem(k, "s", nil)
+	p := sys.AddComponent("p")
+	p.Provide("I", Iface{"m": func(a Args) Args { return a }})
+	c := sys.AddComponent("c")
+	c.Require("I")
+	_ = sys.Bind("c", "I", "p")
+	sys.Weaver().Weave(Pointcut{}, Advice{Name: "obs", Before: func(Call) {}, After: func(Call, Args) {}})
+	args := Args{"x": 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Call("I", "m", args)
+	}
+}

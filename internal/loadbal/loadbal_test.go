@@ -1,0 +1,138 @@
+package loadbal
+
+import (
+	"testing"
+
+	"trader/internal/faults"
+	"trader/internal/sim"
+	"trader/internal/soc"
+	"trader/internal/tvsim"
+)
+
+func TestMigratesOverloadedTask(t *testing.T) {
+	k := sim.NewKernel(1)
+	c0 := soc.NewCPU(k, "cpu0")
+	c1 := soc.NewCPU(k, "cpu1")
+	img := &soc.Task{Name: "img", Period: 10 * sim.Millisecond, WCET: 8 * sim.Millisecond, Migratable: true}
+	hog := &soc.Task{Name: "hog", Period: 10 * sim.Millisecond, WCET: 5 * sim.Millisecond, Priority: -1}
+	c0.Attach(img)
+	c0.Attach(hog)
+	b := New(k, []*soc.CPU{c0, c1}, Policy{CheckEvery: 50 * sim.Millisecond})
+	b.Start()
+	k.Run(sim.Second)
+	if len(b.Migrations) != 1 {
+		t.Fatalf("migrations = %v, want exactly 1", b.Migrations)
+	}
+	mg := b.Migrations[0]
+	if mg.Task != "img" || mg.From != "cpu0" || mg.To != "cpu1" {
+		t.Fatalf("migration = %+v", mg)
+	}
+	// After migration both CPUs are schedulable: misses stop accumulating.
+	m0 := c0.Stats().DeadlineMisses + c1.Stats().DeadlineMisses
+	k.Run(2 * sim.Second)
+	m1 := c0.Stats().DeadlineMisses + c1.Stats().DeadlineMisses
+	if m1 != m0 {
+		t.Fatalf("misses still accumulating after migration: %d → %d", m0, m1)
+	}
+}
+
+func TestNoMigrationWhenHealthy(t *testing.T) {
+	k := sim.NewKernel(1)
+	c0 := soc.NewCPU(k, "cpu0")
+	c1 := soc.NewCPU(k, "cpu1")
+	c0.Attach(&soc.Task{Name: "light", Period: 100, WCET: 10, Migratable: true})
+	b := New(k, []*soc.CPU{c0, c1}, Policy{CheckEvery: 50})
+	b.Start()
+	k.Run(10000)
+	if len(b.Migrations) != 0 {
+		t.Fatalf("healthy system migrated: %v", b.Migrations)
+	}
+	if b.Checks == 0 {
+		t.Fatal("balancer never polled")
+	}
+}
+
+func TestNoMigrationWithoutMigratableTask(t *testing.T) {
+	k := sim.NewKernel(1)
+	c0 := soc.NewCPU(k, "cpu0")
+	c1 := soc.NewCPU(k, "cpu1")
+	c0.Attach(&soc.Task{Name: "pinned", Period: 10, WCET: 15}) // overloaded, not migratable
+	b := New(k, []*soc.CPU{c0, c1}, Policy{CheckEvery: 100})
+	b.Start()
+	k.Run(5000)
+	if len(b.Migrations) != 0 {
+		t.Fatalf("pinned task migrated: %v", b.Migrations)
+	}
+}
+
+func TestNoMigrationWhenTargetWouldOverload(t *testing.T) {
+	k := sim.NewKernel(1)
+	c0 := soc.NewCPU(k, "cpu0")
+	c1 := soc.NewCPU(k, "cpu1")
+	// Both CPUs nearly full; moving the 0.8-load task would overload c1.
+	c0.Attach(&soc.Task{Name: "big", Period: 10, WCET: 8, Migratable: true})
+	c0.Attach(&soc.Task{Name: "extra", Period: 10, WCET: 4, Priority: -1})
+	c1.Attach(&soc.Task{Name: "busy", Period: 10, WCET: 7})
+	b := New(k, []*soc.CPU{c0, c1}, Policy{CheckEvery: 100})
+	b.Start()
+	k.Run(5000)
+	if len(b.Migrations) != 0 {
+		t.Fatalf("migrated into overload: %v", b.Migrations)
+	}
+}
+
+func TestStopHaltsBalancing(t *testing.T) {
+	k := sim.NewKernel(1)
+	c0 := soc.NewCPU(k, "cpu0")
+	c1 := soc.NewCPU(k, "cpu1")
+	b := New(k, []*soc.CPU{c0, c1}, Policy{CheckEvery: 10})
+	b.Start()
+	b.Start() // idempotent
+	k.Run(100)
+	checks := b.Checks
+	b.Stop()
+	k.Run(1000)
+	if b.Checks != checks {
+		t.Fatal("stopped balancer still polling")
+	}
+}
+
+// E7 end-to-end shape: a bad input signal overloads the TV's video pipeline;
+// with the balancer the pipeline migrates and quality recovers; without it,
+// quality stays degraded.
+func TestTVOverloadMigrationImprovesQuality(t *testing.T) {
+	run := func(balance bool) (missRate float64) {
+		k := sim.NewKernel(3)
+		tv := tvsim.New(k, tvsim.Config{})
+		tv.PressKey(tvsim.KeyPower)
+		tv.Injector().Schedule(faults.Fault{
+			ID: "ov", Kind: faults.Overload, Target: "video",
+			// ×2.1 makes the video pipeline miss on the shared CPU (video +
+			// audio + teletext > 1.0) while still fitting alone on an idle
+			// CPU (0.945) — the regime where migration pays off.
+			At: sim.Second, Duration: 8 * sim.Second, Param: 2.1,
+		})
+		if balance {
+			b := New(k, tv.CPUs(), Policy{CheckEvery: 100 * sim.Millisecond})
+			b.Start()
+		}
+		k.Run(10 * sim.Second)
+		var completed, missed uint64
+		for _, c := range tv.CPUs() {
+			completed += c.Stats().JobsCompleted
+			missed += c.Stats().DeadlineMisses
+		}
+		if completed == 0 {
+			t.Fatal("no jobs completed")
+		}
+		return float64(missed) / float64(completed)
+	}
+	without := run(false)
+	with := run(true)
+	if with >= without {
+		t.Fatalf("balancing did not help: with=%v without=%v", with, without)
+	}
+	if without == 0 {
+		t.Fatal("overload should cause misses without balancing")
+	}
+}

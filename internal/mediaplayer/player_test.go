@@ -1,0 +1,199 @@
+package mediaplayer
+
+import (
+	"testing"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/faults"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+func TestPlayPauseStop(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := New(k, Config{})
+	if p.Playing() {
+		t.Fatal("should start stopped")
+	}
+	p.Do(CmdPlay)
+	if !p.Playing() {
+		t.Fatal("play failed")
+	}
+	k.Run(sim.Second)
+	p.Do(CmdPause)
+	if p.Playing() {
+		t.Fatal("pause failed")
+	}
+	p.Do(CmdPlay)
+	if !p.Playing() {
+		t.Fatal("resume failed")
+	}
+	p.Do(CmdStop)
+	if p.Playing() {
+		t.Fatal("stop failed")
+	}
+	if CmdPlay.String() != "play" || Cmd(9).String() != "cmd(9)" {
+		t.Fatal("names")
+	}
+}
+
+func TestHealthyPlaybackReports(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := New(k, Config{})
+	var avs []event.Event
+	p.Bus().Subscribe("av", func(e event.Event) { avs = append(avs, e) })
+	p.Do(CmdPlay)
+	k.Run(2 * sim.Second)
+	if len(avs) < 8 {
+		t.Fatalf("av reports = %d, want ~10", len(avs))
+	}
+	for _, e := range avs {
+		fps, _ := e.Get("fps")
+		drift, _ := e.Get("drift")
+		if fps != 25 {
+			t.Fatalf("healthy fps = %v, want 25", fps)
+		}
+		if drift != 0 {
+			t.Fatalf("healthy drift = %v, want 0", drift)
+		}
+	}
+}
+
+func TestPauseStopsClocksAndReports(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := New(k, Config{})
+	n := 0
+	p.Bus().Subscribe("av", func(event.Event) { n++ })
+	p.Do(CmdPlay)
+	k.Run(sim.Second)
+	atPause := n
+	p.Do(CmdPause)
+	k.Run(2 * sim.Second)
+	if n != atPause {
+		t.Fatal("paused player should not report")
+	}
+}
+
+func TestStallFreezesPlayback(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := New(k, Config{})
+	var lastFPS float64 = -1
+	p.Bus().Subscribe("av", func(e event.Event) { lastFPS, _ = e.Get("fps") })
+	p.Do(CmdPlay)
+	p.Injector().Schedule(faults.Fault{
+		ID: "stall", Kind: faults.Deadlock, Target: "demuxer",
+		At: sim.Second, Duration: sim.Second,
+	})
+	k.Run(1900 * sim.Millisecond)
+	if lastFPS != 0 {
+		t.Fatalf("fps during stall = %v, want 0", lastFPS)
+	}
+	k.Run(4 * sim.Second)
+	if lastFPS != 25 {
+		t.Fatalf("fps after stall = %v, want recovery to 25", lastFPS)
+	}
+}
+
+func TestAudioDriftGrows(t *testing.T) {
+	k := sim.NewKernel(1)
+	p := New(k, Config{})
+	var drift float64
+	p.Bus().Subscribe("av", func(e event.Event) { drift, _ = e.Get("drift") })
+	p.Do(CmdPlay)
+	p.Injector().Schedule(faults.Fault{
+		ID: "drift", Kind: faults.ValueCorruption, Target: "audio-clock",
+		At: 0, Param: 1.1, // audio runs 10% fast
+	})
+	k.Run(2 * sim.Second)
+	// 2s × 10% = ~200ms drift.
+	if drift < 150 || drift > 250 {
+		t.Fatalf("drift = %vms, want ~200ms", drift)
+	}
+}
+
+// E12: the awareness monitor on the media player detects both failure
+// classes — the stall via silence/fps (performance) and the drift via the
+// comparator (correctness).
+func TestMonitorDetectsStallAndDrift(t *testing.T) {
+	run := func(fault faults.Fault) []wire.ErrorReport {
+		k := sim.NewKernel(2)
+		p := New(k, Config{})
+		model := BuildSpecModel(k, Config{})
+		mon, err := core.NewMonitor(k, model, core.Configuration{
+			Observables: []core.Observable{
+				{Name: "fps", EventName: "av", ValueName: "fps", ModelVar: "fps",
+					Threshold: 5, Tolerance: 1, EnableVar: "playing",
+					MaxSilence: 500 * sim.Millisecond},
+				{Name: "av-drift", EventName: "av", ValueName: "drift", ModelVar: "drift",
+					Threshold: 80, Tolerance: 1, EnableVar: "playing"},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var reports []wire.ErrorReport
+		mon.OnError(func(r wire.ErrorReport) { reports = append(reports, r) })
+		if err := mon.Start(); err != nil {
+			t.Fatal(err)
+		}
+		mon.AttachBus(p.Bus())
+		p.Do(CmdPlay)
+		p.Injector().Schedule(fault)
+		k.Run(5 * sim.Second)
+		return reports
+	}
+
+	// Healthy baseline: no reports.
+	healthy := run(faults.Fault{ID: "noop", Kind: faults.Overload, Target: "elsewhere", At: sim.Second})
+	if len(healthy) != 0 {
+		t.Fatalf("healthy playback flagged: %v", healthy)
+	}
+
+	stall := run(faults.Fault{ID: "stall", Kind: faults.Deadlock, Target: "demuxer", At: sim.Second, Duration: 2 * sim.Second})
+	foundFPS := false
+	for _, r := range stall {
+		if r.Observable == "fps" {
+			foundFPS = true
+		}
+	}
+	if !foundFPS {
+		t.Fatalf("stall not detected: %v", stall)
+	}
+
+	drift := run(faults.Fault{ID: "drift", Kind: faults.ValueCorruption, Target: "audio-clock", At: sim.Second, Param: 1.1})
+	foundDrift := false
+	for _, r := range drift {
+		if r.Observable == "av-drift" {
+			foundDrift = true
+		}
+	}
+	if !foundDrift {
+		t.Fatalf("drift not detected: %v", drift)
+	}
+}
+
+func TestSpecModelConformance(t *testing.T) {
+	k := sim.NewKernel(3)
+	p := New(k, Config{})
+	model := BuildSpecModel(k, Config{})
+	if err := model.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cmds := []Cmd{CmdPlay, CmdPause, CmdPlay, CmdStop, CmdPause, CmdPlay, CmdPlay, CmdStop}
+	for _, c := range cmds {
+		p.Do(c)
+		ev := event.Event{Kind: event.Input, Name: "cmd"}.With("cmd", float64(c))
+		if err := model.Dispatch(ev); err != nil {
+			t.Fatal(err)
+		}
+		k.Run(k.Now() + 100*sim.Millisecond)
+		want := 0.0
+		if p.Playing() {
+			want = 1
+		}
+		if model.Var("playing") != want {
+			t.Fatalf("after %v: model playing=%v, player=%v", c, model.Var("playing"), want)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package modecheck
+
+import (
+	"testing"
+
+	"trader/internal/faults"
+	"trader/internal/sim"
+	"trader/internal/tvsim"
+)
+
+// validModes builds a single-component rule: the component's mode must stay
+// within its legal mode set (catches ModeCorruption faults — "a wrong
+// memory value" holding a mode variable).
+func validModes(component string, legal ...string) Rule {
+	set := map[string]bool{}
+	for _, m := range legal {
+		set[m] = true
+	}
+	return Rule{
+		Name:       component + "-mode-valid",
+		Components: []string{component},
+		Consistent: func(modes map[string]string) bool {
+			return set[modes[component]]
+		},
+	}
+}
+
+func TestDetectsModeCorruptionOnTV(t *testing.T) {
+	k := sim.NewKernel(4)
+	tv := tvsim.New(k, tvsim.Config{})
+	checker := NewChecker(k,
+		validModes("video", "standby", "playing", "dead"),
+		validModes("audio", "standby", "active", "muted"),
+	)
+	checker.AttachBus(tv.Bus())
+	var got []Violation
+	checker.OnViolation(func(v Violation) { got = append(got, v) })
+
+	tv.PressKey(tvsim.KeyPower)
+	tv.PressKey(tvsim.KeyMute)
+	tv.PressKey(tvsim.KeyMute)
+	k.Run(sim.Second)
+	if len(got) != 0 {
+		t.Fatalf("legal mode traffic flagged: %v", got)
+	}
+	tv.Injector().Schedule(faults.Fault{
+		ID: "mc", Kind: faults.ModeCorruption, Target: "video", At: k.Now(),
+	})
+	k.Run(k.Now() + 100*sim.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("violations = %d, want 1", len(got))
+	}
+	if got[0].Rule != "video-mode-valid" || got[0].Modes["video"] != "corrupt" {
+		t.Fatalf("violation = %+v", got[0])
+	}
+}

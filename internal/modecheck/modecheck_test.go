@@ -1,0 +1,173 @@
+package modecheck
+
+import (
+	"strings"
+	"testing"
+
+	"trader/internal/event"
+	"trader/internal/faults"
+	"trader/internal/koala"
+	"trader/internal/sim"
+	"trader/internal/tvsim"
+)
+
+func TestForbidPairDetects(t *testing.T) {
+	c := NewChecker(nil, ForbidPair("txt-sync", "txt-disp", "visible", "txt-acq", "searching"))
+	var got []Violation
+	c.OnViolation(func(v Violation) { got = append(got, v) })
+
+	c.Update("txt-disp", "visible")
+	if len(got) != 0 {
+		t.Fatal("rule must wait for all components to report")
+	}
+	c.Update("txt-acq", "acquiring")
+	if len(got) != 0 {
+		t.Fatal("consistent modes flagged")
+	}
+	c.Update("txt-acq", "searching")
+	if len(got) != 1 {
+		t.Fatalf("violations = %d, want 1", len(got))
+	}
+	if got[0].Rule != "txt-sync" || got[0].Modes["txt-acq"] != "searching" {
+		t.Fatalf("violation = %+v", got[0])
+	}
+	if !strings.Contains(got[0].String(), "txt-sync") {
+		t.Fatal("String should mention rule")
+	}
+}
+
+func TestViolationReportedOncePerEpisode(t *testing.T) {
+	c := NewChecker(nil, ForbidPair("r", "a", "bad", "b", "bad"))
+	var got []Violation
+	c.OnViolation(func(v Violation) { got = append(got, v) })
+	c.Update("a", "bad")
+	c.Update("b", "bad")
+	c.Update("b", "bad")
+	c.Update("a", "bad")
+	if len(got) != 1 {
+		t.Fatalf("violations = %d, want 1 per episode", len(got))
+	}
+	c.Update("b", "good") // episode ends
+	c.Update("b", "bad")  // new episode
+	if len(got) != 2 {
+		t.Fatalf("violations = %d, want 2", len(got))
+	}
+}
+
+func TestGraceToleratesTransients(t *testing.T) {
+	r := ForbidPair("r", "a", "x", "b", "y")
+	r.Grace = 2
+	c := NewChecker(nil, r)
+	n := 0
+	c.OnViolation(func(Violation) { n++ })
+	c.Update("a", "x")
+	c.Update("b", "y") // violation 1 (tolerated)
+	c.Update("b", "y") // violation 2 (tolerated)
+	if n != 0 {
+		t.Fatal("grace not applied")
+	}
+	c.Update("b", "y") // violation 3 → report
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+}
+
+func TestMultiComponentRule(t *testing.T) {
+	rule := Rule{
+		Name:       "one-active-overlay",
+		Components: []string{"menu", "txt", "epg"},
+		Consistent: func(m map[string]string) bool {
+			active := 0
+			for _, mode := range m {
+				if mode == "shown" {
+					active++
+				}
+			}
+			return active <= 1
+		},
+	}
+	c := NewChecker(nil, rule)
+	n := 0
+	c.OnViolation(func(Violation) { n++ })
+	c.Update("menu", "shown")
+	c.Update("txt", "hidden")
+	c.Update("epg", "hidden")
+	c.Update("txt", "shown") // two overlays
+	if n != 1 {
+		t.Fatalf("n = %d, want 1", n)
+	}
+	if c.Checks == 0 {
+		t.Fatal("Checks not counted")
+	}
+}
+
+func TestRecheck(t *testing.T) {
+	c := NewChecker(nil, ForbidPair("r", "a", "x", "b", "y"))
+	n := 0
+	c.OnViolation(func(Violation) { n++ })
+	c.Update("a", "x")
+	c.Update("b", "y")
+	if n != 1 {
+		t.Fatal("setup")
+	}
+	// Recheck while still violated: flagged episode, no duplicate.
+	c.Recheck()
+	if n != 1 {
+		t.Fatalf("Recheck duplicated a report")
+	}
+}
+
+func TestAttachBusDecodesKoalaModes(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := event.NewBus()
+	sys := koala.NewSystem(k, "s", bus)
+	a := sys.AddComponent("a")
+	b := sys.AddComponent("b")
+	c := NewChecker(k, ForbidPair("r", "a", "x", "b", "y"))
+	c.AttachBus(bus)
+	var got []Violation
+	c.OnViolation(func(v Violation) { got = append(got, v) })
+	a.SetMode("x")
+	b.SetMode("y")
+	if len(got) != 1 {
+		t.Fatalf("bus-driven violations = %d, want 1", len(got))
+	}
+	if c.Mode("a") != "x" {
+		t.Fatalf("Mode(a) = %q", c.Mode("a"))
+	}
+	c.Detach()
+	b.SetMode("z")
+	if c.Mode("b") != "y" {
+		t.Fatal("detached checker still updating")
+	}
+}
+
+// The paper's scenario end-to-end: the TV's teletext sync loss produces a
+// mode inconsistency the checker catches (E5).
+func TestDetectsTVSyncLoss(t *testing.T) {
+	k := sim.NewKernel(1)
+	tv := tvsim.New(k, tvsim.Config{})
+	checker := NewChecker(k, ForbidPair("teletext-sync",
+		"txt-disp", "visible", "txt-acq", "searching"))
+	checker.AttachBus(tv.Bus())
+	var got []Violation
+	checker.OnViolation(func(v Violation) { got = append(got, v) })
+
+	tv.PressKey(tvsim.KeyPower)
+	tv.PressKey(tvsim.KeyText)
+	k.Run(sim.Second)
+	if len(got) != 0 {
+		t.Fatalf("healthy teletext flagged: %v", got)
+	}
+	tv.Injector().Schedule(faults.Fault{
+		ID: "sync", Kind: faults.SyncLoss, Target: "teletext",
+		At: k.Now(), Duration: sim.Second,
+	})
+	k.Run(k.Now() + 2*sim.Second)
+	if len(got) != 1 {
+		t.Fatalf("sync loss violations = %d, want 1", len(got))
+	}
+	if got[0].Rule != "teletext-sync" {
+		t.Fatalf("violation = %+v", got[0])
+	}
+}

@@ -1,0 +1,103 @@
+package recovery
+
+import (
+	"errors"
+	"fmt"
+
+	"trader/internal/sim"
+)
+
+// This file is the "reusable fault tolerance library" of Sect. 4.5: small
+// building blocks (retry, checkpoint/rollback, guarded execution) that
+// recoverable units compose.
+
+// ErrRetriesExhausted is returned when Retry gives up.
+var ErrRetriesExhausted = errors.New("recovery: retries exhausted")
+
+// Retry runs fn up to attempts times, stopping at the first nil error. The
+// per-attempt backoff is scheduled on the kernel (attempt i waits
+// i*backoff). It calls done(err) when finished; err is nil on success and
+// wraps ErrRetriesExhausted on failure.
+func Retry(kernel *sim.Kernel, attempts int, backoff sim.Time, fn func() error, done func(error)) {
+	if attempts <= 0 {
+		done(fmt.Errorf("%w: zero attempts", ErrRetriesExhausted))
+		return
+	}
+	var attempt func(n int)
+	attempt = func(n int) {
+		err := fn()
+		if err == nil {
+			done(nil)
+			return
+		}
+		if n+1 >= attempts {
+			done(fmt.Errorf("%w: last error: %v", ErrRetriesExhausted, err))
+			return
+		}
+		kernel.Schedule(sim.Time(n+1)*backoff, func() { attempt(n + 1) })
+	}
+	attempt(0)
+}
+
+// Checkpoint snapshots named scalar state so a unit can roll back to its
+// last consistent state on restart instead of cold-starting.
+type Checkpoint struct {
+	snaps []map[string]float64
+	// Keep bounds retained snapshots (0 = 8).
+	Keep int
+}
+
+// Save stores a snapshot (the map is copied).
+func (c *Checkpoint) Save(state map[string]float64) {
+	cp := make(map[string]float64, len(state))
+	for k, v := range state {
+		cp[k] = v
+	}
+	c.snaps = append(c.snaps, cp)
+	keep := c.Keep
+	if keep <= 0 {
+		keep = 8
+	}
+	if len(c.snaps) > keep {
+		c.snaps = c.snaps[len(c.snaps)-keep:]
+	}
+}
+
+// Latest returns a copy of the most recent snapshot, or nil.
+func (c *Checkpoint) Latest() map[string]float64 {
+	if len(c.snaps) == 0 {
+		return nil
+	}
+	last := c.snaps[len(c.snaps)-1]
+	cp := make(map[string]float64, len(last))
+	for k, v := range last {
+		cp[k] = v
+	}
+	return cp
+}
+
+// Rollback discards the newest snapshot and returns a copy of the one
+// before it (nil when no older snapshot exists).
+func (c *Checkpoint) Rollback() map[string]float64 {
+	if len(c.snaps) == 0 {
+		return nil
+	}
+	c.snaps = c.snaps[:len(c.snaps)-1]
+	return c.Latest()
+}
+
+// Depth returns the number of retained snapshots.
+func (c *Checkpoint) Depth() int { return len(c.snaps) }
+
+// Guard runs fn and converts a panic into an error — exception containment
+// at a unit boundary, so one component's crash cannot take down the whole
+// process.
+func Guard(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("recovery: contained panic: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}

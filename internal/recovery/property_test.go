@@ -1,0 +1,91 @@
+package recovery
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trader/internal/sim"
+)
+
+// Property: after any sequence of recovery actions, once the kernel drains
+// every unit is Running, every started recovery completed, and downtime is
+// consistent (positive for every unit that was ever killed).
+func TestPropertyRecoveryConverges(t *testing.T) {
+	f := func(actions []uint8) bool {
+		k := sim.NewKernel(2)
+		m := NewManager(k)
+		names := []string{"a", "b", "c", "d"}
+		for i, n := range names {
+			deps := []string{}
+			if i > 0 {
+				deps = append(deps, names[i-1]) // chain: d→c→b→a
+			}
+			m.AddUnit(&Unit{Name: n, RestartLatency: sim.Time(10 * (i + 1)), DependsOn: deps})
+		}
+		count := 0
+		for _, a := range actions {
+			if count >= 30 {
+				break
+			}
+			count++
+			name := names[int(a)%len(names)]
+			scope := Scope(int(a>>4) % 3)
+			at := sim.Time(a) * 3
+			k.ScheduleAt(at, func() { _ = m.Recover(name, scope) })
+		}
+		k.RunAll()
+		for _, n := range names {
+			u := m.Unit(n)
+			if u.State() != Running {
+				return false
+			}
+			if u.Recoveries > 0 && u.Downtime <= 0 {
+				return false
+			}
+		}
+		return m.RecoveriesStarted == m.RecoveriesCompleted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the communication manager never loses an in-order message when
+// the queue capacity is not exceeded — everything sent is either delivered
+// immediately or flushed after restart, in send order per destination.
+func TestPropertyCommDeliveryOrder(t *testing.T) {
+	f := func(sendsRaw []uint8, killAtRaw uint8) bool {
+		k := sim.NewKernel(3)
+		m := NewManager(k)
+		m.AddUnit(&Unit{Name: "u", RestartLatency: 50})
+		var got []float64
+		m.Comm().Handle("u", func(msg Message) { got = append(got, msg.Payload) })
+		sends := len(sendsRaw)
+		if sends > 100 {
+			sends = 100
+		}
+		killAt := int(killAtRaw) % (sends + 1)
+		for i := 0; i < sends; i++ {
+			i := i
+			k.ScheduleAt(sim.Time(i*2), func() {
+				if i == killAt {
+					_ = m.Recover("u", UnitOnly)
+				}
+				m.Comm().Send(Message{To: "u", Payload: float64(i)})
+			})
+		}
+		k.RunAll()
+		if len(got) != sends {
+			return false
+		}
+		for i, v := range got {
+			if v != float64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,96 @@
+package soc
+
+import (
+	"sort"
+
+	"trader/internal/sim"
+)
+
+// Bus models a shared interconnect with a fixed bandwidth serving transfer
+// requests one at a time (single outstanding transaction, as on a simple SoC
+// peripheral bus). Requests queue by priority then FIFO. The TASS stress
+// tests (Sect. 4.7) "artificially take away shared resources such as bus
+// bandwidth"; a bandwidth eater is simply a high-priority requestor.
+type Bus struct {
+	Name      string
+	kernel    *sim.Kernel
+	Bandwidth float64 // bytes per virtual second
+
+	queue   []*transfer
+	current *transfer
+	busy    sim.Busy
+	seq     uint64
+
+	// Stats
+	Transfers uint64
+	Bytes     uint64
+	// Latency collects per-transfer total latency in seconds.
+	Latency sim.Series
+}
+
+type transfer struct {
+	size     int
+	priority int
+	enqueued sim.Time
+	seq      uint64
+	done     func()
+}
+
+// NewBus creates a bus with the given bandwidth in bytes per virtual second.
+func NewBus(kernel *sim.Kernel, name string, bandwidth float64) *Bus {
+	if bandwidth <= 0 {
+		panic("soc: bus bandwidth must be positive")
+	}
+	b := &Bus{Name: name, kernel: kernel, Bandwidth: bandwidth}
+	b.busy.Start(kernel.Now())
+	return b
+}
+
+// Transfer queues a transfer of size bytes at the given priority (lower is
+// higher priority); done runs when the transfer completes (may be nil).
+func (b *Bus) Transfer(size, priority int, done func()) {
+	if size <= 0 {
+		size = 1
+	}
+	b.seq++
+	t := &transfer{size: size, priority: priority, enqueued: b.kernel.Now(), seq: b.seq, done: done}
+	b.queue = append(b.queue, t)
+	sort.SliceStable(b.queue, func(i, j int) bool {
+		if b.queue[i].priority != b.queue[j].priority {
+			return b.queue[i].priority < b.queue[j].priority
+		}
+		return b.queue[i].seq < b.queue[j].seq
+	})
+	b.pump()
+}
+
+// QueueLen returns the number of waiting transfers.
+func (b *Bus) QueueLen() int { return len(b.queue) }
+
+// Utilisation returns the busy fraction of the bus.
+func (b *Bus) Utilisation() float64 { return b.busy.Utilisation(b.kernel.Now()) }
+
+func (b *Bus) pump() {
+	if b.current != nil || len(b.queue) == 0 {
+		return
+	}
+	t := b.queue[0]
+	b.queue = b.queue[1:]
+	b.current = t
+	b.busy.SetBusy(b.kernel.Now(), true)
+	dur := sim.Time(float64(t.size) / b.Bandwidth * float64(sim.Second))
+	if dur < 1 {
+		dur = 1
+	}
+	b.kernel.Schedule(dur, func() {
+		b.Transfers++
+		b.Bytes += uint64(t.size)
+		b.Latency.Observe((b.kernel.Now() - t.enqueued).Seconds())
+		b.current = nil
+		b.busy.SetBusy(b.kernel.Now(), false)
+		if t.done != nil {
+			t.done()
+		}
+		b.pump()
+	})
+}

@@ -1,0 +1,323 @@
+package spectrum
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitSet(t *testing.T) {
+	b := NewBitSet(130)
+	if b.Len() != 130 || b.Count() != 0 {
+		t.Fatal("fresh bitset wrong")
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		b.Set(i)
+	}
+	if b.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", b.Count())
+	}
+	for _, i := range []int{0, 63, 64, 129} {
+		if !b.Get(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if b.Get(1) || b.Get(128) {
+		t.Fatal("unexpected bits set")
+	}
+	c := b.Clone()
+	c.Set(1)
+	if b.Get(1) {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestBitSetPanics(t *testing.T) {
+	b := NewBitSet(10)
+	for _, fn := range []func(){func() { b.Set(10) }, func() { b.Set(-1) }, func() { b.Get(10) }} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Count equals the number of distinct indices set.
+func TestPropertyBitSetCount(t *testing.T) {
+	f := func(idxs []uint16) bool {
+		b := NewBitSet(1 << 16)
+		distinct := map[int]bool{}
+		for _, i := range idxs {
+			b.Set(int(i))
+			distinct[int(i)] = true
+		}
+		return b.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// handMatrix builds the classic didactic example:
+//
+//	blocks:      0   1   2
+//	t1 (fail):   x   x   -
+//	t2 (pass):   x   -   x
+//	t3 (fail):   x   x   -
+//	t4 (pass):   x   -   -
+//
+// Block 1 correlates perfectly with failure.
+func handMatrix() *Matrix {
+	m := NewMatrix(3)
+	add := func(hits []int, failed bool) {
+		b := NewBitSet(3)
+		for _, h := range hits {
+			b.Set(h)
+		}
+		m.AddTransaction(b, failed)
+	}
+	add([]int{0, 1}, true)
+	add([]int{0, 2}, false)
+	add([]int{0, 1}, true)
+	add([]int{0}, false)
+	return m
+}
+
+func TestCountsFor(t *testing.T) {
+	m := handMatrix()
+	if c := m.CountsFor(1); c != (Counts{Aef: 2, Aep: 0, Anf: 0, Anp: 2}) {
+		t.Fatalf("block 1 counts = %+v", c)
+	}
+	if c := m.CountsFor(0); c != (Counts{Aef: 2, Aep: 2, Anf: 0, Anp: 0}) {
+		t.Fatalf("block 0 counts = %+v", c)
+	}
+	if c := m.CountsFor(2); c != (Counts{Aef: 0, Aep: 1, Anf: 2, Anp: 1}) {
+		t.Fatalf("block 2 counts = %+v", c)
+	}
+}
+
+func TestCoefficientValues(t *testing.T) {
+	m := handMatrix()
+	c1 := m.CountsFor(1)
+	if got := Ochiai.F(c1); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("Ochiai(block1) = %v, want 1", got)
+	}
+	c0 := m.CountsFor(0)
+	if got := Ochiai.F(c0); math.Abs(got-2/math.Sqrt(8)) > 1e-12 {
+		t.Fatalf("Ochiai(block0) = %v, want 0.7071", got)
+	}
+	if got := Tarantula.F(c1); got != 1 {
+		t.Fatalf("Tarantula(block1) = %v, want 1", got)
+	}
+	if got := Tarantula.F(c0); got != 0.5 {
+		t.Fatalf("Tarantula(block0) = %v, want 0.5", got)
+	}
+	if got := Jaccard.F(c1); got != 1 {
+		t.Fatalf("Jaccard(block1) = %v", got)
+	}
+	if got := Jaccard.F(c0); got != 0.5 {
+		t.Fatalf("Jaccard(block0) = %v", got)
+	}
+	if got := AMPLE.F(c1); got != 1 {
+		t.Fatalf("AMPLE(block1) = %v", got)
+	}
+	if got := Dice.F(c1); got != 1 {
+		t.Fatalf("Dice(block1) = %v", got)
+	}
+	if got := SimpleMatching.F(c1); got != 1 {
+		t.Fatalf("SimpleMatching(block1) = %v", got)
+	}
+	// DStar: block1 has aef=2, aep=0, anf=0 → perfect suspect (huge score);
+	// block0 has aef=2, aep=2 → 4/2 = 2.
+	if got := DStar.F(c1); got < 1e9 {
+		t.Fatalf("DStar(block1) = %v, want maximal", got)
+	}
+	if got := DStar.F(c0); got != 2 {
+		t.Fatalf("DStar(block0) = %v, want 2", got)
+	}
+	// Op2: block1 = 2 - 0/(0+2+1) = 2; block0 = 2 - 2/(2+0+1) ≈ 1.333.
+	if got := Op2.F(c1); got != 2 {
+		t.Fatalf("Op2(block1) = %v, want 2", got)
+	}
+	if got := Op2.F(c0); got < 1.3 || got > 1.34 {
+		t.Fatalf("Op2(block0) = %v, want ~1.333", got)
+	}
+	// Zero-division safety: never-executed block in all-pass matrix.
+	empty := NewMatrix(2)
+	b := NewBitSet(2)
+	empty.AddTransaction(b, false)
+	for _, c := range AllCoefficients() {
+		got := c.F(empty.CountsFor(0))
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("%s produced %v on degenerate counts", c.Name, got)
+		}
+	}
+}
+
+func TestRankAndRankOf(t *testing.T) {
+	m := handMatrix()
+	ranked := m.Rank(Ochiai)
+	if ranked[0].Block != 1 {
+		t.Fatalf("top block = %d, want 1", ranked[0].Block)
+	}
+	rank, ties := m.RankOf(1, Ochiai)
+	if rank != 1 || ties != 1 {
+		t.Fatalf("RankOf(1) = %d ties %d, want 1,1", rank, ties)
+	}
+	if we := m.WastedEffort(1, Ochiai); we != 0 {
+		t.Fatalf("WastedEffort = %v, want 0", we)
+	}
+	rank2, _ := m.RankOf(2, Ochiai)
+	if rank2 != 3 {
+		t.Fatalf("RankOf(2) = %d, want 3 (least suspicious)", rank2)
+	}
+}
+
+func TestMatrixAccounting(t *testing.T) {
+	m := handMatrix()
+	if m.Blocks() != 3 || m.Transactions() != 4 || m.Failures() != 2 {
+		t.Fatalf("accounting: %d %d %d", m.Blocks(), m.Transactions(), m.Failures())
+	}
+	if m.CoveredBlocks() != 3 {
+		t.Fatalf("CoveredBlocks = %d", m.CoveredBlocks())
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("size mismatch should panic")
+		}
+	}()
+	m := NewMatrix(3)
+	m.AddTransaction(NewBitSet(4), false)
+}
+
+func TestGenerateTVProgramStructure(t *testing.T) {
+	p := GenerateTVProgram(1, 60000)
+	if p.NumBlocks != 60000 {
+		t.Fatal("block count")
+	}
+	if len(p.Common) != 7200 {
+		t.Fatalf("common = %d, want 7200 (12%%)", len(p.Common))
+	}
+	if len(p.Features) != len(DefaultTVFeatures) {
+		t.Fatalf("features = %d", len(p.Features))
+	}
+	// Features partition the non-common blocks.
+	seen := map[int]bool{}
+	total := 0
+	for _, f := range p.Features {
+		for _, b := range f.Blocks {
+			if b < len(p.Common) {
+				t.Fatalf("feature block %d overlaps common core", b)
+			}
+			if seen[b] {
+				t.Fatalf("block %d in two features", b)
+			}
+			seen[b] = true
+			total++
+		}
+	}
+	if total != 60000-7200 {
+		t.Fatalf("feature blocks = %d", total)
+	}
+	for _, f := range p.Features {
+		if f.CoreCount == 0 || f.WarmCount == 0 {
+			t.Fatalf("feature %s has empty core/warm regions", f.Name)
+		}
+	}
+	if p.Feature("teletext") == nil || p.Feature("ghost") != nil {
+		t.Fatal("feature lookup broken")
+	}
+}
+
+// TestPaperExperiment reproduces Sect. 4.4: 60 000 blocks, the 27-press
+// scenario, teletext fault — the faulty block must rank #1 under Ochiai,
+// and the covered-block count must be in the vicinity of the paper's
+// 13 796 (the scenario exercises a fraction of the code).
+func TestPaperExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60k-block scenario")
+	}
+	p := GenerateTVProgram(42, 60000)
+	scenario := PaperScenario()
+	if len(scenario) != 27 {
+		t.Fatalf("scenario length = %d, want 27 key presses", len(scenario))
+	}
+	fault := p.FaultInFeature("teletext")
+	m := p.RunScenario(scenario, fault)
+	if m.Failures() == 0 {
+		t.Fatal("fault never triggered")
+	}
+	covered := m.CoveredBlocks()
+	if covered < 10000 || covered > 25000 {
+		t.Fatalf("covered = %d, want the paper's ballpark (13 796)", covered)
+	}
+	rank, ties := m.RankOf(fault, Ochiai)
+	if rank != 1 {
+		t.Fatalf("fault rank = %d (ties %d), paper reports 1", rank, ties)
+	}
+}
+
+// TestCoefficientComparison checks Ochiai is at least as good as the other
+// coefficients on the paper scenario (the finding of the SFL literature the
+// project builds on).
+func TestCoefficientComparison(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60k-block scenario")
+	}
+	p := GenerateTVProgram(7, 60000)
+	fault := p.FaultInFeature("teletext")
+	m := p.RunScenario(PaperScenario(), fault)
+	ochiaiRank, _ := m.RankOf(fault, Ochiai)
+	for _, c := range []Coefficient{Tarantula, Jaccard, Dice} {
+		r, _ := m.RankOf(fault, c)
+		if ochiaiRank > r {
+			t.Fatalf("Ochiai rank %d worse than %s rank %d", ochiaiRank, c.Name, r)
+		}
+	}
+}
+
+// Property: on small random matrices, the top-ranked block always has the
+// maximal score, and ranks are within [1, blocks].
+func TestPropertyRankConsistency(t *testing.T) {
+	f := func(seedRaw uint32, rowsRaw uint8) bool {
+		p := GenerateTVProgram(int64(seedRaw), 500)
+		scenario := []string{"teletext", "volume", "zapping", "teletext", "menu"}
+		for i := 0; i < int(rowsRaw%4); i++ {
+			scenario = append(scenario, "teletext")
+		}
+		fault := p.FaultInFeature("teletext")
+		m := p.RunScenario(scenario, fault)
+		ranked := m.Rank(Ochiai)
+		if len(ranked) != 500 {
+			return false
+		}
+		top := ranked[0].Score
+		for _, r := range ranked {
+			if r.Score > top {
+				return false
+			}
+		}
+		rank, ties := m.RankOf(fault, Ochiai)
+		return rank >= 1 && rank <= 500 && ties >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRank60k(b *testing.B) {
+	p := GenerateTVProgram(42, 60000)
+	fault := p.FaultInFeature("teletext")
+	m := p.RunScenario(PaperScenario(), fault)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Rank(Ochiai)
+	}
+}

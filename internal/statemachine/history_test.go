@@ -1,0 +1,93 @@
+package statemachine
+
+import (
+	"testing"
+
+	"trader/internal/event"
+)
+
+// menuModel: a settings menu with shallow history — leaving and re-entering
+// the menu resumes the last visited page (the standard TV OSD behaviour).
+func menuModel(t *testing.T, history bool) *Model {
+	t.Helper()
+	r := NewRegion("ui")
+	r.Add(&State{Name: "watch", Transitions: []Transition{
+		{Event: "menu", Target: "menuS"},
+	}})
+	r.Add(&State{Name: "menuS", Initial: "picture", History: history, Transitions: []Transition{
+		{Event: "menu", Target: "watch"},
+	}})
+	r.Add(&State{Name: "picture", Parent: "menuS", Transitions: []Transition{
+		{Event: "next", Target: "sound"},
+	}})
+	r.Add(&State{Name: "sound", Parent: "menuS", Transitions: []Transition{
+		{Event: "next", Target: "network"},
+	}})
+	r.Add(&State{Name: "network", Parent: "menuS"})
+	m := MustModel("menu", nil, r)
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestShallowHistoryResumesLastPage(t *testing.T) {
+	m := menuModel(t, true)
+	send := func(name string) {
+		if err := m.Dispatch(event.Event{Name: name}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send("menu") // open → picture
+	send("next") // → sound
+	send("menu") // close
+	if cur := m.Region("ui").Current(); cur != "watch" {
+		t.Fatalf("current = %q", cur)
+	}
+	send("menu") // reopen: history resumes "sound"
+	if cur := m.Region("ui").Current(); cur != "sound" {
+		t.Fatalf("history re-entry = %q, want sound", cur)
+	}
+}
+
+func TestNoHistoryRestartsAtInitial(t *testing.T) {
+	m := menuModel(t, false)
+	send := func(name string) { _ = m.Dispatch(event.Event{Name: name}) }
+	send("menu")
+	send("next")
+	send("menu")
+	send("menu")
+	if cur := m.Region("ui").Current(); cur != "picture" {
+		t.Fatalf("non-history re-entry = %q, want picture", cur)
+	}
+}
+
+func TestHistoryIsPartOfExploredState(t *testing.T) {
+	// With history, "watch" is reachable with three distinct resume
+	// targets, so exploration must see more states than without.
+	with := menuModel(t, true).Explore(ExploreOptions{Alphabet: []string{"menu", "next"}})
+	without := menuModel(t, false).Explore(ExploreOptions{Alphabet: []string{"menu", "next"}})
+	if with.StatesVisited <= without.StatesVisited {
+		t.Fatalf("history states not distinguished: with=%d without=%d",
+			with.StatesVisited, without.StatesVisited)
+	}
+	if len(with.Unreachable) != 0 || len(without.Unreachable) != 0 {
+		t.Fatalf("unreachable: %v / %v", with.Unreachable, without.Unreachable)
+	}
+}
+
+func TestHistorySurvivesSnapshotRestore(t *testing.T) {
+	m := menuModel(t, true)
+	send := func(name string) { _ = m.Dispatch(event.Event{Name: name}) }
+	send("menu")
+	send("next") // in sound
+	snap := m.snap()
+	send("next") // in network
+	send("menu") // close (history = network)
+	m.restore(snap)
+	send("menu") // close from restored "sound"
+	send("menu") // reopen: must resume sound, not network
+	if cur := m.Region("ui").Current(); cur != "sound" {
+		t.Fatalf("restored history re-entry = %q, want sound", cur)
+	}
+}

@@ -1,0 +1,144 @@
+package stress
+
+import (
+	"testing"
+
+	"trader/internal/sim"
+	"trader/internal/soc"
+	"trader/internal/tvsim"
+)
+
+func TestCPUEaterCausesMisses(t *testing.T) {
+	k := sim.NewKernel(1)
+	cpu := soc.NewCPU(k, "cpu0")
+	app := &soc.Task{Name: "app", Period: 10 * sim.Millisecond, WCET: 6 * sim.Millisecond, Priority: 5}
+	cpu.Attach(app)
+	k.Run(sim.Second)
+	if cpu.Stats().DeadlineMisses != 0 {
+		t.Fatal("app should be healthy without stress")
+	}
+	eater := NewCPUEater(cpu, 0.5, 0) // preempts the app
+	eater.Activate()
+	eater.Activate() // idempotent
+	if !eater.Active() || eater.Fraction() != 0.5 {
+		t.Fatal("eater state wrong")
+	}
+	k.Run(2 * sim.Second)
+	if cpu.Stats().DeadlineMisses == 0 {
+		t.Fatal("eater should push the app over its deadlines")
+	}
+	eater.Deactivate()
+	eater.Deactivate() // idempotent
+	// The backlog built up during stress drains first; then the app is
+	// healthy again.
+	k.Run(k.Now() + sim.Second)
+	base := cpu.Stats().DeadlineMisses
+	k.Run(k.Now() + 2*sim.Second)
+	if cpu.Stats().DeadlineMisses != base {
+		t.Fatal("misses should stop once the eater is off and the backlog drained")
+	}
+}
+
+func TestCPUEaterFractionValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	cpu := soc.NewCPU(k, "cpu0")
+	for _, f := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("fraction %v should panic", f)
+				}
+			}()
+			NewCPUEater(cpu, f, 0)
+		}()
+	}
+}
+
+func TestBusEater(t *testing.T) {
+	k := sim.NewKernel(1)
+	bus := soc.NewBus(k, "axi", 1000)
+	e := NewBusEater(k, bus, 100, 200*sim.Millisecond, 0)
+	e.Activate()
+	e.Activate()
+	k.Run(sim.Second)
+	if bus.Transfers == 0 {
+		t.Fatal("bus eater idle")
+	}
+	e.Deactivate()
+	k.Run(k.Now() + sim.Second) // in-flight transfers drain
+	n := bus.Transfers
+	k.Run(k.Now() + 2*sim.Second)
+	if bus.Transfers != n {
+		t.Fatal("deactivated eater still transferring")
+	}
+}
+
+func TestMemEater(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := soc.NewMemController(k, "ddr", 10, soc.FixedPriority{})
+	m.Register(&soc.Requestor{Name: "eater"})
+	e := NewMemEater(k, m, "eater", 3, 100)
+	e.Activate()
+	k.Run(1000)
+	e.Deactivate()
+	k.Run(1500) // drain the last burst
+	if m.Requestor("eater").Served != 30 {
+		t.Fatalf("served = %d, want 30 (10 bursts of 3)", m.Requestor("eater").Served)
+	}
+	served := m.Requestor("eater").Served
+	k.Run(3000)
+	if m.Requestor("eater").Served != served {
+		t.Fatal("deactivated mem eater still requesting")
+	}
+}
+
+func TestSweepCPUMonotone(t *testing.T) {
+	// The stress study's key output: miss rate grows with eaten CPU.
+	fractions := []float64{0, 0.2, 0.4, 0.6}
+	levels := SweepCPU(fractions, 0,
+		func() (*sim.Kernel, *soc.CPU) {
+			k := sim.NewKernel(7)
+			cpu := soc.NewCPU(k, "cpu0")
+			cpu.Attach(&soc.Task{Name: "app", Period: 10 * sim.Millisecond, WCET: 5 * sim.Millisecond, Priority: 5})
+			return k, cpu
+		},
+		func(k *sim.Kernel) { k.Run(2 * sim.Second) },
+	)
+	if len(levels) != 4 {
+		t.Fatalf("levels = %d", len(levels))
+	}
+	if levels[0].MissRate != 0 {
+		t.Fatalf("baseline miss rate = %v, want 0", levels[0].MissRate)
+	}
+	if levels[3].MissRate <= levels[0].MissRate {
+		t.Fatal("miss rate should grow with stress")
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i].MissRate < levels[i-1].MissRate {
+			t.Fatalf("miss rate not monotone: %+v", levels)
+		}
+	}
+}
+
+// E9 shape: the CPU eater on the TV reveals how the fault-tolerant streaming
+// behaves under overload (frame quality degrades gracefully rather than the
+// whole TV dying).
+func TestTVUnderCPUEater(t *testing.T) {
+	k := sim.NewKernel(9)
+	tv := tvsim.New(k, tvsim.Config{})
+	tv.PressKey(tvsim.KeyPower)
+	k.Run(sim.Second)
+	missesBefore := tv.FrameMisses()
+	eater := NewCPUEater(tv.CPUs()[0], 0.6, 0)
+	eater.Activate()
+	k.Run(3 * sim.Second)
+	if tv.FrameMisses() == missesBefore {
+		t.Fatal("eater should cause frame misses")
+	}
+	// The TV keeps running: keys still work under stress.
+	tv.PressKey(tvsim.KeyVolUp)
+	if tv.Snapshot()["volume"] != 25 {
+		t.Fatal("control path should survive stress")
+	}
+	eater.Deactivate()
+}

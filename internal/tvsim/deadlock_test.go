@@ -1,0 +1,81 @@
+package tvsim
+
+import (
+	"testing"
+
+	"trader/internal/event"
+	"trader/internal/faults"
+	"trader/internal/hwmon"
+	"trader/internal/sim"
+)
+
+// TestDeadlockFaultWedgesPipeline checks the silent-deadlock fault: frames
+// stop, but component modes still claim everything is fine — the class of
+// failure "the user can immediately observe ... whereas the system itself is
+// completely unaware of".
+func TestDeadlockFaultWedgesPipeline(t *testing.T) {
+	k := sim.NewKernel(1)
+	tv := New(k, Config{})
+	frames := 0
+	tv.Bus().Subscribe("frame", func(event.Event) { frames++ })
+	tv.PressKey(KeyPower)
+	tv.Injector().Schedule(faults.Fault{
+		ID: "dl", Kind: faults.Deadlock, Target: "video",
+		At: sim.Second, Duration: 2 * sim.Second,
+	})
+	k.Run(sim.Second + 500*sim.Millisecond)
+	atWedge := frames
+	k.Run(2 * sim.Second)
+	if frames != atWedge {
+		t.Fatal("frames kept flowing during deadlock")
+	}
+	// Modes stay healthy: the deadlock is silent at the component level.
+	if tv.cVideo.Mode() != "playing" {
+		t.Fatalf("video mode = %q; the deadlock must be silent", tv.cVideo.Mode())
+	}
+	if tv.Waits().FindCycle() == nil {
+		t.Fatal("wait-for graph should show the cycle")
+	}
+	k.Run(4 * sim.Second)
+	if frames <= atWedge {
+		t.Fatal("frames should resume after the deadlock clears")
+	}
+	if tv.Waits().FindCycle() != nil {
+		t.Fatal("cycle should clear with the fault")
+	}
+}
+
+// TestHardwareDeadlockDetectorOnTV closes the loop of Sect. 4.3's
+// "hardware-based deadlock detection": the hwmon monitor scans the SoC
+// wait-for graph and reports the wedged pipeline, faster than the silence
+// detector possibly could at its sweep period.
+func TestHardwareDeadlockDetectorOnTV(t *testing.T) {
+	k := sim.NewKernel(2)
+	tv := New(k, Config{})
+	mon := hwmon.NewDeadlockMonitor(k, tv.Waits(), 10*sim.Millisecond)
+	var cycles [][]string
+	var detectedAt sim.Time
+	mon.OnDeadlock(func(c []string, at sim.Time) {
+		cycles = append(cycles, c)
+		if detectedAt == 0 {
+			detectedAt = at
+		}
+	})
+	tv.PressKey(KeyPower)
+	faultAt := sim.Second
+	tv.Injector().Schedule(faults.Fault{
+		ID: "dl", Kind: faults.Deadlock, Target: "video", At: faultAt, Duration: sim.Second,
+	})
+	k.Run(3 * sim.Second)
+	if len(cycles) != 1 {
+		t.Fatalf("detections = %d, want exactly 1", len(cycles))
+	}
+	if len(cycles[0]) != 2 {
+		t.Fatalf("cycle = %v", cycles[0])
+	}
+	latency := detectedAt - faultAt
+	if latency > 20*sim.Millisecond {
+		t.Fatalf("hardware detector latency %v, want within two sweep periods", latency)
+	}
+	mon.Stop()
+}

@@ -1,0 +1,119 @@
+package tvsim
+
+import (
+	"testing"
+
+	"trader/internal/event"
+	"trader/internal/sim"
+)
+
+func TestSourceSwitchClosesBroadcastFeatures(t *testing.T) {
+	_, tv := newTV(t)
+	tv.PressKey(KeyPower)
+	tv.PressKey(KeyText)
+	if tv.Snapshot()["teletext"] != 1 {
+		t.Fatal("setup: teletext on")
+	}
+	tv.PressKey(KeySource) // → USB
+	s := tv.Snapshot()
+	if s["source"] != 1 {
+		t.Fatalf("source = %v, want USB", s["source"])
+	}
+	if s["teletext"] != 0 || s["dual"] != 0 {
+		t.Fatalf("broadcast features must close on source switch: %v", s)
+	}
+	if tv.cTuner.Mode() != "bypassed" {
+		t.Fatalf("tuner mode = %q", tv.cTuner.Mode())
+	}
+	// Teletext and dual are refused while on USB.
+	tv.PressKey(KeyText)
+	tv.PressKey(KeyDual)
+	s = tv.Snapshot()
+	if s["teletext"] != 0 || s["dual"] != 0 {
+		t.Fatalf("teletext/dual must be unavailable on USB: %v", s)
+	}
+	// Back to tuner: teletext can come back.
+	tv.PressKey(KeySource)
+	tv.PressKey(KeyText)
+	if tv.Snapshot()["teletext"] != 1 {
+		t.Fatal("teletext should work again on the tuner")
+	}
+	if tv.cTuner.Mode() != "tuned" {
+		t.Fatalf("tuner mode = %q", tv.cTuner.Mode())
+	}
+}
+
+func TestPhotoBrowsingWrapsAndChannelsUntouched(t *testing.T) {
+	k := sim.NewKernel(1)
+	tv := New(k, Config{PhotoCount: 3})
+	tv.PressKey(KeyPower)
+	tv.PressKey(KeyChUp) // channel 2 (tuner mode)
+	tv.PressKey(KeySource)
+	// Photo navigation with wrap at PhotoCount=3.
+	tv.PressKey(KeyChUp) // photo 2
+	tv.PressKey(KeyChUp) // photo 3
+	tv.PressKey(KeyChUp) // wrap → 1
+	s := tv.Snapshot()
+	if s["photo"] != 1 {
+		t.Fatalf("photo = %v, want wrap to 1", s["photo"])
+	}
+	if s["channel"] != 2 {
+		t.Fatalf("channel changed while browsing photos: %v", s["channel"])
+	}
+	tv.PressKey(KeyChDown) // wrap back → 3
+	if tv.Snapshot()["photo"] != 3 {
+		t.Fatalf("photo = %v, want 3", tv.Snapshot()["photo"])
+	}
+	// Re-entering USB restarts at photo 1.
+	tv.PressKey(KeySource)
+	tv.PressKey(KeySource)
+	if tv.Snapshot()["photo"] != 1 {
+		t.Fatal("photo browser should restart at 1")
+	}
+}
+
+func TestSourcePersistsAcrossStandby(t *testing.T) {
+	_, tv := newTV(t)
+	tv.PressKey(KeyPower)
+	tv.PressKey(KeySource)
+	tv.PressKey(KeyPower) // standby
+	tv.PressKey(KeyPower) // back on
+	if tv.Snapshot()["source"] != 1 {
+		t.Fatal("source is a persistent setting")
+	}
+	if tv.cTuner.Mode() != "bypassed" {
+		t.Fatalf("tuner mode after power cycle = %q", tv.cTuner.Mode())
+	}
+}
+
+func TestScreenEventCarriesSourceAndPhoto(t *testing.T) {
+	_, tv := newTV(t)
+	var last event.Event
+	tv.Bus().Subscribe("screen", func(e event.Event) { last = e })
+	tv.PressKey(KeyPower)
+	tv.PressKey(KeySource)
+	if v, _ := last.Get("source"); v != 1 {
+		t.Fatalf("screen event source = %v", v)
+	}
+	if v, _ := last.Get("photo"); v != 1 {
+		t.Fatalf("screen event photo = %v", v)
+	}
+}
+
+// The new invariant holds under exploration-style scripts.
+func TestSpecModelTeletextNeedsTuner(t *testing.T) {
+	m := BuildSpecModel(nil, Config{})
+	if err := m.Start(); err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{KeyPower, KeyText, KeySource, KeyText, KeyChUp, KeySource, KeyText}
+	for i, key := range keys {
+		ev := event.Event{Kind: event.Input, Name: "key"}.With("key", float64(key))
+		if err := m.Dispatch(ev); err != nil {
+			t.Fatalf("step %d (%v): %v", i, key, err)
+		}
+	}
+	if m.Var("teletext") != 1 || m.Var("source") != 0 {
+		t.Fatalf("final state wrong: teletext=%v source=%v", m.Var("teletext"), m.Var("source"))
+	}
+}

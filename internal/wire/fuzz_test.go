@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Decode never panics and never returns a frame on arbitrary
+// byte streams — it either errors or reports EOF. (The monitor must survive
+// a corrupted or malicious SUO connection.)
+func TestPropertyDecodeRobustOnGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		dec := NewDecoder(bytes.NewReader(raw))
+		for i := 0; i < 10; i++ {
+			_, err := dec.Decode()
+			if err != nil {
+				return true // clean rejection
+			}
+		}
+		return true // decoding garbage into valid frames is fine too (JSON luck)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a valid frame followed by garbage yields exactly the frame then
+// an error/EOF — corruption never corrupts already-delivered frames.
+func TestPropertyValidThenGarbage(t *testing.T) {
+	f := func(garbage []byte, suo string) bool {
+		var buf bytes.Buffer
+		if err := NewEncoder(&buf).Encode(Message{Type: TypeHello, SUO: suo}); err != nil {
+			return false
+		}
+		buf.Write(garbage)
+		dec := NewDecoder(&buf)
+		m, err := dec.Decode()
+		if err != nil || m.Type != TypeHello || m.SUO != suo {
+			return false
+		}
+		// Whatever follows: no panic.
+		for i := 0; i < 5; i++ {
+			if _, err := dec.Decode(); err != nil {
+				return true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A header announcing a huge frame must be rejected before allocation.
+func TestHugeFrameHeaderRejectedEarly(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 0xffffffff)
+	dec := NewDecoder(bytes.NewReader(hdr[:]))
+	if _, err := dec.Decode(); err == nil || err == io.EOF {
+		t.Fatalf("err = %v, want explicit rejection", err)
+	}
+}

@@ -1,0 +1,184 @@
+// Package wire implements the message protocol spoken across the process
+// boundary of the awareness framework (paper Fig. 2): the System Under
+// Observation and the awareness monitor are separate processes connected by
+// Unix domain sockets. Messages are length-prefixed JSON frames; the framing
+// is transport-agnostic so tests can run over net.Pipe and the daemons over
+// *net.UnixConn.
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"trader/internal/event"
+	"trader/internal/sim"
+)
+
+// MsgType discriminates frames.
+type MsgType string
+
+// Message types, one per interface arrow in Fig. 2.
+const (
+	TypeHello     MsgType = "hello"     // SUO → monitor: identification
+	TypeInput     MsgType = "input"     // SUO → monitor: IInputEvent
+	TypeOutput    MsgType = "output"    // SUO → monitor: IOutputEvent
+	TypeState     MsgType = "state"     // SUO → monitor: internal state/mode info
+	TypeControl   MsgType = "control"   // monitor → SUO: IControl
+	TypeError     MsgType = "error"     // monitor → SUO/operator: IErrorNotify
+	TypeHeartbeat MsgType = "heartbeat" // liveness probe, both directions
+	TypeSpecInfo  MsgType = "spec_info" // monitor internal: ISpecInfo snapshot
+)
+
+// ControlCommand is carried by TypeControl frames.
+type ControlCommand string
+
+// Control commands the monitor can send to an adapted SUO.
+const (
+	CtrlStart   ControlCommand = "start"
+	CtrlStop    ControlCommand = "stop"
+	CtrlReset   ControlCommand = "reset"
+	CtrlRecover ControlCommand = "recover" // ask the SUO to run a recovery action
+)
+
+// ErrorReport describes a detected error (monitor → operator/SUO).
+type ErrorReport struct {
+	Detector    string   `json:"detector"`   // which detector fired
+	Observable  string   `json:"observable"` // offending observable, if any
+	Expected    float64  `json:"expected"`
+	Actual      float64  `json:"actual"`
+	Consecutive int      `json:"consecutive"` // deviations in a row
+	At          sim.Time `json:"at"`
+	Detail      string   `json:"detail,omitempty"`
+}
+
+func (r ErrorReport) String() string {
+	return fmt.Sprintf("[%s] %s: %s expected=%g actual=%g (consecutive=%d) %s",
+		r.At, r.Detector, r.Observable, r.Expected, r.Actual, r.Consecutive, r.Detail)
+}
+
+// Message is one frame.
+type Message struct {
+	Type MsgType `json:"type"`
+	// SUO identifies the system under observation (Hello, and echoed after).
+	SUO string `json:"suo,omitempty"`
+	// Event carries input/output/state observations.
+	Event *event.Event `json:"event,omitempty"`
+	// Control carries a command.
+	Control ControlCommand `json:"control,omitempty"`
+	// Target optionally narrows a control command to one component.
+	Target string `json:"target,omitempty"`
+	// Error carries an error report.
+	Error *ErrorReport `json:"error,omitempty"`
+	// At is the sender's virtual time.
+	At sim.Time `json:"at,omitempty"`
+}
+
+// MaxFrame bounds a frame's payload size; oversized frames indicate protocol
+// corruption and are rejected.
+const MaxFrame = 1 << 20
+
+// Encoder writes frames to w. Safe for concurrent use.
+type Encoder struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+
+// Encode writes one frame.
+func (e *Encoder) Encode(m Message) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wire: marshal: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: frame too large: %d bytes", len(payload))
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := e.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write header: %w", err)
+	}
+	if _, err := e.w.Write(payload); err != nil {
+		return fmt.Errorf("wire: write payload: %w", err)
+	}
+	return nil
+}
+
+// Decoder reads frames from r.
+type Decoder struct {
+	r io.Reader
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+
+// Decode reads one frame. It returns io.EOF on clean stream end.
+func (d *Decoder) Decode() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(d.r, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return Message{}, io.EOF
+		}
+		return Message{}, fmt.Errorf("wire: read header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Message{}, fmt.Errorf("wire: frame too large: %d bytes", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(d.r, payload); err != nil {
+		return Message{}, fmt.Errorf("wire: read payload: %w", err)
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
+	}
+	return m, nil
+}
+
+// Conn couples an Encoder and Decoder over one duplex stream.
+type Conn struct {
+	*Encoder
+	*Decoder
+	c io.Closer
+}
+
+// NewConn wraps a duplex stream. closer may be nil.
+func NewConn(rw io.ReadWriter) *Conn {
+	c := &Conn{Encoder: NewEncoder(rw), Decoder: NewDecoder(rw)}
+	if cl, ok := rw.(io.Closer); ok {
+		c.c = cl
+	}
+	return c
+}
+
+// Close closes the underlying stream if it is closable.
+func (c *Conn) Close() error {
+	if c.c != nil {
+		return c.c.Close()
+	}
+	return nil
+}
+
+// SendEvent is a convenience for the SUO side: it frames an observation.
+func (c *Conn) SendEvent(suo string, e event.Event) error {
+	var t MsgType
+	switch e.Kind {
+	case event.Input:
+		t = TypeInput
+	case event.Output:
+		t = TypeOutput
+	case event.State:
+		t = TypeState
+	default:
+		return fmt.Errorf("wire: cannot frame event kind %v", e.Kind)
+	}
+	return c.Encode(Message{Type: t, SUO: suo, Event: &e, At: e.At})
+}
