@@ -1,0 +1,30 @@
+# Standard gate: build + vet + race-enabled tests. `make check` is what CI
+# and pre-merge runs; the race detector is required because event.Bus and
+# internal/fleet are concurrent by design.
+
+GO ?= go
+
+.PHONY: check build vet test test-race bench experiments clean
+
+check: build vet test-race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+experiments:
+	$(GO) run ./cmd/experiments
+
+clean:
+	$(GO) clean ./...

@@ -7,11 +7,14 @@ package trader_test
 // TV operation per iteration for the system-level ones).
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"trader/internal/core"
 	"trader/internal/event"
 	"trader/internal/exper"
+	"trader/internal/fleet"
 	"trader/internal/sim"
 	"trader/internal/spectrum"
 	"trader/internal/statemachine"
@@ -116,4 +119,47 @@ func BenchmarkE12MediaPlayer(b *testing.B) {
 
 func BenchmarkE13FMEA(b *testing.B) {
 	benchTable(b, func() (*exper.Table, error) { return exper.E13FMEA(1) })
+}
+
+// BenchmarkE14Fleet drives 1 000 monitored devices through the sharded
+// fleet pool at increasing shard counts. Each op is one broadcast round
+// (1 000 events, one per device, each through its monitor's input observer,
+// model executor and comparator); every 25th round also advances virtual
+// time. The events/s metric should scale near-linearly with shards up to
+// GOMAXPROCS — on a multi-core host 4 shards sustain ≥2x the 1-shard rate.
+func BenchmarkE14Fleet(b *testing.B) {
+	const devices = 1000
+	shardSet := []int{1, 2, 4}
+	if mp := runtime.GOMAXPROCS(0); mp > 4 {
+		shardSet = append(shardSet, mp)
+	}
+	for _, shards := range shardSet {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			pool := fleet.NewPool(fleet.Options{Shards: shards})
+			defer pool.Stop()
+			factory := fleet.LightFactory(97)
+			for i := 0; i < devices; i++ {
+				if err := pool.AddDevice(fleet.DeviceID(i), int64(i)+1, factory); err != nil {
+					b.Fatal(err)
+				}
+			}
+			e := event.Event{Kind: event.Input, Name: "set", Source: "headend"}.With("x", 1)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := pool.Broadcast(e); err != nil {
+					b.Fatal(err)
+				}
+				if i%25 == 24 {
+					if err := pool.Advance(10 * sim.Millisecond); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			if err := pool.Sync(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(devices*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
 }

@@ -1,5 +1,6 @@
-// Command experiments runs every experiment of DESIGN.md §4 (E1–E13) and
-// prints the paper-vs-measured tables that EXPERIMENTS.md records.
+// Command experiments runs every experiment of DESIGN.md §4 (E1–E13, plus
+// the fleet-scaling experiment E14) and prints the paper-vs-measured tables
+// that EXPERIMENTS.md records.
 //
 // Usage:
 //
@@ -38,6 +39,7 @@ func main() {
 		{"E11", func() (*exper.Table, error) { return exper.E11ModelQuality(s) }},
 		{"E12", func() (*exper.Table, error) { return exper.E12MediaPlayer(s) }},
 		{"E13", func() (*exper.Table, error) { return exper.E13FMEA(s) }},
+		{"E14", func() (*exper.Table, error) { return exper.E14Fleet(s) }},
 	}
 	ran := 0
 	for _, e := range all {

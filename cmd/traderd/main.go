@@ -4,9 +4,16 @@
 // executes the specification model, compares, and sends error reports back
 // on the same connection.
 //
+// With -fleet N it instead runs an in-process simulated fleet of N
+// monitored TVs on a sharded monitor pool (-shards K workers), exercising
+// the fleet-scale path the ROADMAP targets: random remote-control traffic
+// across the whole fleet, aggregated error reports, and a throughput
+// summary.
+//
 // Usage:
 //
 //	traderd [-socket /tmp/trader.sock] [-suo tv|mediaplayer] [-v]
+//	traderd -fleet 1000 [-shards 8] [-fleet-seconds 5] [-v]
 package main
 
 import (
@@ -15,8 +22,12 @@ import (
 	"log"
 	"net"
 	"os"
+	"runtime"
+	"time"
 
 	"trader/internal/core"
+	"trader/internal/exper"
+	"trader/internal/fleet"
 	"trader/internal/mediaplayer"
 	"trader/internal/sim"
 	"trader/internal/statemachine"
@@ -28,7 +39,17 @@ func main() {
 	socket := flag.String("socket", "/tmp/trader.sock", "unix socket path")
 	suo := flag.String("suo", "tv", "SUO profile: tv or mediaplayer")
 	verbose := flag.Bool("v", false, "log every error report")
+	fleetN := flag.Int("fleet", 0, "run an in-process fleet of N monitored TVs instead of serving a socket")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker shards for -fleet mode")
+	fleetSecs := flag.Int("fleet-seconds", 5, "virtual seconds of fleet operation in -fleet mode")
 	flag.Parse()
+
+	if *fleetN > 0 {
+		if err := runFleet(*fleetN, *shards, *fleetSecs, *verbose); err != nil {
+			log.Fatalf("traderd: fleet: %v", err)
+		}
+		return
+	}
 
 	_ = os.Remove(*socket)
 	ln, err := net.Listen("unix", *socket)
@@ -48,6 +69,57 @@ func main() {
 	}
 }
 
+// runFleet drives an in-process fleet of monitored TVs: power every set on,
+// then stream random remote-control presses to random devices while virtual
+// time advances, and report the fleet rollup.
+func runFleet(n, shards, seconds int, verbose bool) error {
+	pool := fleet.NewPool(fleet.Options{Shards: shards})
+	defer pool.Stop()
+	log.Printf("traderd: fleet mode: %d TVs on %d shards, %d virtual seconds", n, shards, seconds)
+
+	// The observable set is the reference TV configuration the experiments
+	// use, so socket-mode, fleet-mode and E1–E13 monitors judge alike.
+	factory := fleet.TVFactory(tvsim.Config{}, exper.TVObservables())
+	for i := 0; i < n; i++ {
+		if err := pool.AddDevice(fleet.DeviceID(i), int64(i)+1, factory); err != nil {
+			return err
+		}
+	}
+	if verbose {
+		pool.OnReport(func(device string, r wire.ErrorReport) {
+			log.Printf("traderd: fleet: %s: %s", device, r)
+		})
+	}
+	if err := pool.Broadcast(fleet.KeyEvent(tvsim.KeyPower)); err != nil {
+		return err
+	}
+	keys := tvsim.AllKeys()
+	rng := sim.NewKernel(42).Rand() // deterministic workload
+	start := time.Now()
+	// Each round: a burst of targeted presses to random devices, then 100ms
+	// of virtual time fleet-wide.
+	for round := 0; round < seconds*10; round++ {
+		batch := make([]fleet.Targeted, 0, n/10+1)
+		for j := 0; j < n/10+1; j++ {
+			dev := fleet.DeviceID(rng.Intn(n))
+			key := keys[rng.Intn(len(keys))]
+			batch = append(batch, fleet.Targeted{Device: dev, Event: fleet.KeyEvent(key)})
+		}
+		if err := pool.DispatchBatch(batch); err != nil {
+			return err
+		}
+		if err := pool.Advance(100 * sim.Millisecond); err != nil {
+			return err
+		}
+	}
+	wall := time.Since(start)
+	ro := pool.Rollup()
+	log.Printf("traderd: fleet done in %v: %d devices, %d events dispatched (%.0f/s), %d comparisons, %d deviations, %d error reports",
+		wall, ro.Devices, ro.Dispatched, float64(ro.Dispatched)/wall.Seconds(),
+		ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports)
+	return nil
+}
+
 // newMonitor builds the monitor for the chosen SUO profile. Each connection
 // gets its own monitor and virtual clock, driven by the SUO's event
 // timestamps.
@@ -58,20 +130,8 @@ func newMonitor(suo string) (*core.Monitor, error) {
 	switch suo {
 	case "tv":
 		model = tvsim.BuildSpecModel(k, tvsim.Config{})
-		model.OnConfig(func(region, leaf string) {
-			if region == "power" {
-				model.SetVar("quality", map[string]float64{"on": 1}[leaf])
-			}
-		})
-		cfg = core.Configuration{Observables: []core.Observable{
-			{Name: "audio-volume", EventName: "audio", ValueName: "volume", ModelVar: "volume", Threshold: 0.5, Tolerance: 1},
-			{Name: "channel", EventName: "screen", ValueName: "channel", ModelVar: "channel"},
-			{Name: "teletext-visible", EventName: "screen", ValueName: "teletext", ModelVar: "teletext"},
-			{Name: "teletext-fresh", EventName: "teletext", ValueName: "fresh", ModelVar: "teletextFresh", Tolerance: 2, EnableVar: "teletext"},
-			{Name: "frame-quality", EventName: "frame", ValueName: "quality", ModelVar: "quality", Threshold: 0.3, Tolerance: 3, EnableVar: "power",
-				MaxSilence: 200 * sim.Millisecond},
-			{Name: "swivel-angle", EventName: "swivel", ValueName: "angle", ModelVar: "swivelTarget", Threshold: 0.5, Tolerance: 60},
-		}}
+		tvsim.MirrorQuality(model)
+		cfg = exper.TVObservables()
 	case "mediaplayer":
 		model = mediaplayer.BuildSpecModel(k, mediaplayer.Config{})
 		cfg = core.Configuration{Observables: []core.Observable{

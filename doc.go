@@ -7,7 +7,11 @@
 // recovery, load-balancing, user-perception modelling, stress testing,
 // warning prioritization and architecture-level FMEA.
 //
+// Beyond the paper's single-device setting, internal/fleet runs thousands
+// of monitored devices concurrently on a sharded pool — the fleet scale the
+// paper's high-volume premise implies.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
-// benchmarks in bench_test.go regenerate every experiment (E1–E13).
+// benchmarks in bench_test.go regenerate every experiment (E1–E14).
 package trader

@@ -1,0 +1,3 @@
+module trader
+
+go 1.24

@@ -3,9 +3,22 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"trader/internal/wire"
 )
+
+// Member is anything the group can manage: it has a start/stop lifecycle,
+// reports aggregate monitor counters, and fans error reports into a
+// handler. *Monitor satisfies it, and so does a fleet pool (internal/fleet)
+// — which is how a Group delegates a whole sharded device fleet as one
+// member alongside individual monitors.
+type Member interface {
+	Start() error
+	Stop()
+	Stats() MonitorStats
+	OnError(func(wire.ErrorReport))
+}
 
 // Group coordinates several awareness monitors over one system — the
 // hierarchical and incremental application the paper describes: "we can
@@ -17,30 +30,41 @@ import (
 // lifecycle, fan-in of error reports tagged with the reporting monitor, and
 // aggregate statistics.
 type Group struct {
-	names    []string
-	monitors map[string]*Monitor
-	handlers []func(monitor string, r wire.ErrorReport)
-	started  bool
+	names   []string
+	members map[string]Member
+	started bool
+
+	// handlerMu guards handlers: concurrent members (a fleet pool) report
+	// from their own goroutines while OnError may still register.
+	handlerMu sync.Mutex
+	handlers  []func(monitor string, r wire.ErrorReport)
 }
 
 // NewGroup returns an empty monitor group.
 func NewGroup() *Group {
-	return &Group{monitors: make(map[string]*Monitor)}
+	return &Group{members: make(map[string]Member)}
 }
 
 // Add registers a monitor under a name and routes its error reports into
 // the group's handlers. Monitors must be added before Start.
-func (g *Group) Add(name string, m *Monitor) error {
+func (g *Group) Add(name string, m *Monitor) error { return g.AddMember(name, m) }
+
+// AddMember registers any Member (a single monitor, a fleet pool, ...)
+// under a name and routes its error reports into the group's handlers.
+func (g *Group) AddMember(name string, m Member) error {
 	if g.started {
 		return fmt.Errorf("core: group already started")
 	}
-	if _, dup := g.monitors[name]; dup {
+	if _, dup := g.members[name]; dup {
 		return fmt.Errorf("core: duplicate monitor %q in group", name)
 	}
-	g.monitors[name] = m
+	g.members[name] = m
 	g.names = append(g.names, name)
 	m.OnError(func(r wire.ErrorReport) {
-		for _, h := range g.handlers {
+		g.handlerMu.Lock()
+		hs := g.handlers
+		g.handlerMu.Unlock()
+		for _, h := range hs {
 			h(name, r)
 		}
 	})
@@ -48,12 +72,23 @@ func (g *Group) Add(name string, m *Monitor) error {
 }
 
 // OnError registers a fan-in handler receiving every member's reports.
+// Concurrent members (e.g. a fleet pool) invoke handlers from their own
+// goroutines, possibly concurrently; such handlers must be safe for that
+// and must not call back into the reporting member's blocking methods.
 func (g *Group) OnError(fn func(monitor string, r wire.ErrorReport)) {
-	g.handlers = append(g.handlers, fn)
+	g.handlerMu.Lock()
+	g.handlers = append(g.handlers[:len(g.handlers):len(g.handlers)], fn)
+	g.handlerMu.Unlock()
 }
 
-// Monitor returns the named member, or nil.
-func (g *Group) Monitor(name string) *Monitor { return g.monitors[name] }
+// Monitor returns the named member if it is a plain *Monitor, or nil.
+func (g *Group) Monitor(name string) *Monitor {
+	m, _ := g.members[name].(*Monitor)
+	return m
+}
+
+// Member returns the named member, or nil.
+func (g *Group) Member(name string) Member { return g.members[name] }
 
 // Names returns the member names in registration order.
 func (g *Group) Names() []string {
@@ -70,9 +105,9 @@ func (g *Group) Start() error {
 	}
 	var startedMembers []string
 	for _, name := range g.names {
-		if err := g.monitors[name].Start(); err != nil {
+		if err := g.members[name].Start(); err != nil {
 			for _, s := range startedMembers {
-				g.monitors[s].Stop()
+				g.members[s].Stop()
 			}
 			return fmt.Errorf("core: starting monitor %q: %w", name, err)
 		}
@@ -85,7 +120,7 @@ func (g *Group) Start() error {
 // Stop stops every member.
 func (g *Group) Stop() {
 	for _, name := range g.names {
-		g.monitors[name].Stop()
+		g.members[name].Stop()
 	}
 	g.started = false
 }
@@ -94,14 +129,7 @@ func (g *Group) Stop() {
 func (g *Group) Stats() MonitorStats {
 	var agg MonitorStats
 	for _, name := range g.names {
-		st := g.monitors[name].Stats()
-		agg.InputsSeen += st.InputsSeen
-		agg.OutputsSeen += st.OutputsSeen
-		agg.Comparisons += st.Comparisons
-		agg.Deviations += st.Deviations
-		agg.Errors += st.Errors
-		agg.ModelErrors += st.ModelErrors
-		agg.SilenceScans += st.SilenceScans
+		agg.Add(g.members[name].Stats())
 	}
 	return agg
 }
@@ -109,11 +137,11 @@ func (g *Group) Stats() MonitorStats {
 // StatsByMonitor returns per-member counters keyed by name, with names
 // sorted for deterministic iteration by callers that print them.
 func (g *Group) StatsByMonitor() map[string]MonitorStats {
-	out := make(map[string]MonitorStats, len(g.monitors))
+	out := make(map[string]MonitorStats, len(g.members))
 	names := append([]string(nil), g.names...)
 	sort.Strings(names)
 	for _, n := range names {
-		out[n] = g.monitors[n].Stats()
+		out[n] = g.members[n].Stats()
 	}
 	return out
 }

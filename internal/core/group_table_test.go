@@ -1,0 +1,232 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/sim"
+	"trader/internal/statemachine"
+	"trader/internal/wire"
+)
+
+// echoMonitor builds a minimal started monitor whose model holds variable
+// "x"; feeding Output events named "out" with value key "x" drives the
+// comparator directly.
+func echoMonitor(t *testing.T, threshold float64, tolerance int) (*sim.Kernel, *core.Monitor) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	r := statemachine.NewRegion("r")
+	r.Add(&statemachine.State{Name: "s", Entry: func(c *statemachine.Context) { c.Set("x", 0) }})
+	model := statemachine.MustModel("m", k, r)
+	mon, err := core.NewMonitor(k, model, core.Configuration{Observables: []core.Observable{
+		{EventName: "out", ValueName: "x", ModelVar: "x", Threshold: threshold, Tolerance: tolerance},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return k, mon
+}
+
+func out(v float64) event.Event {
+	return event.Event{Kind: event.Output, Name: "out"}.With("x", v)
+}
+
+func TestGroupStatsAggregation(t *testing.T) {
+	// Each case feeds a per-monitor schedule of observations (model expects
+	// 0 everywhere) and checks Stats is the exact sum of member counters
+	// and StatsByMonitor carries the per-member split.
+	cases := []struct {
+		name  string
+		feeds map[string][]float64 // monitor name -> observed values
+		// per-monitor expectations (threshold 0.5, tolerance 0)
+		wantOutputs map[string]uint64
+		wantErrors  map[string]uint64
+	}{
+		{
+			name:        "empty group",
+			feeds:       map[string][]float64{},
+			wantOutputs: map[string]uint64{},
+			wantErrors:  map[string]uint64{},
+		},
+		{
+			name:        "single clean member",
+			feeds:       map[string][]float64{"a": {0, 0.2, 0.4}},
+			wantOutputs: map[string]uint64{"a": 3},
+			wantErrors:  map[string]uint64{"a": 0},
+		},
+		{
+			name:        "deviating member counted once per episode",
+			feeds:       map[string][]float64{"a": {0, 2, 2}, "b": {0.1}},
+			wantOutputs: map[string]uint64{"a": 3, "b": 1},
+			wantErrors:  map[string]uint64{"a": 1, "b": 0},
+		},
+		{
+			name:        "three members mixed",
+			feeds:       map[string][]float64{"a": {9}, "b": {9}, "c": {0, 0}},
+			wantOutputs: map[string]uint64{"a": 1, "b": 1, "c": 2},
+			wantErrors:  map[string]uint64{"a": 1, "b": 1, "c": 0},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := core.NewGroup()
+			mons := map[string]*core.Monitor{}
+			for name := range tc.feeds {
+				_, mon := echoMonitor(t, 0.5, 0)
+				mons[name] = mon
+				if err := g.Add(name, mon); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var reports int
+			g.OnError(func(string, wire.ErrorReport) { reports++ })
+			for name, values := range tc.feeds {
+				for _, v := range values {
+					mons[name].HandleOutput(out(v))
+				}
+			}
+			agg := g.Stats()
+			per := g.StatsByMonitor()
+			if len(per) != len(tc.feeds) {
+				t.Fatalf("StatsByMonitor has %d entries, want %d", len(per), len(tc.feeds))
+			}
+			var sum core.MonitorStats
+			for name, st := range per {
+				sum.Add(st)
+				if st.OutputsSeen != tc.wantOutputs[name] {
+					t.Errorf("%s: OutputsSeen = %d, want %d", name, st.OutputsSeen, tc.wantOutputs[name])
+				}
+				if st.Errors != tc.wantErrors[name] {
+					t.Errorf("%s: Errors = %d, want %d", name, st.Errors, tc.wantErrors[name])
+				}
+			}
+			if sum != agg {
+				t.Fatalf("Stats() = %+v, want sum of members %+v", agg, sum)
+			}
+			var wantReports uint64
+			for _, e := range tc.wantErrors {
+				wantReports += e
+			}
+			if uint64(reports) != wantReports {
+				t.Fatalf("fan-in saw %d reports, want %d", reports, wantReports)
+			}
+		})
+	}
+}
+
+func TestGroupMemberDelegation(t *testing.T) {
+	// Any core.Member can join a group; the group tags its reports.
+	g := core.NewGroup()
+	m := &fakeMember{}
+	if err := g.AddMember("fleet", m); err != nil {
+		t.Fatal(err)
+	}
+	var tagged string
+	g.OnError(func(name string, r wire.ErrorReport) { tagged = name + "/" + r.Detector })
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if !m.started {
+		t.Fatal("member not started by group")
+	}
+	m.emit(wire.ErrorReport{Detector: "comparator"})
+	if tagged != "fleet/comparator" {
+		t.Fatalf("tagged report = %q", tagged)
+	}
+	if got := g.Stats().Comparisons; got != 7 {
+		t.Fatalf("delegated stats = %d, want 7", got)
+	}
+	if g.Member("fleet") != m {
+		t.Fatal("Member lookup failed")
+	}
+	if g.Monitor("fleet") != nil {
+		t.Fatal("Monitor should be nil for a non-monitor member")
+	}
+	g.Stop()
+	if m.started {
+		t.Fatal("member not stopped by group")
+	}
+}
+
+type fakeMember struct {
+	started  bool
+	handlers []func(wire.ErrorReport)
+}
+
+func (m *fakeMember) Start() error { m.started = true; return nil }
+func (m *fakeMember) Stop()        { m.started = false }
+func (m *fakeMember) Stats() core.MonitorStats {
+	return core.MonitorStats{Comparisons: 7}
+}
+func (m *fakeMember) OnError(fn func(wire.ErrorReport)) { m.handlers = append(m.handlers, fn) }
+func (m *fakeMember) emit(r wire.ErrorReport) {
+	for _, h := range m.handlers {
+		h(r)
+	}
+}
+
+func TestConfigurationValidateTable(t *testing.T) {
+	valid := core.Observable{EventName: "out", ValueName: "x", ModelVar: "x"}
+	cases := []struct {
+		name    string
+		cfg     core.Configuration
+		wantErr string // substring; empty means valid
+	}{
+		{name: "empty observables is vacuous but valid",
+			cfg: core.Configuration{}},
+		{name: "zero threshold means exact match and is valid",
+			cfg: core.Configuration{Observables: []core.Observable{valid}}},
+		{name: "missing EventName",
+			cfg:     core.Configuration{Observables: []core.Observable{{ValueName: "x", ModelVar: "x"}}},
+			wantErr: "needs EventName"},
+		{name: "missing ValueName",
+			cfg:     core.Configuration{Observables: []core.Observable{{EventName: "out", ModelVar: "x"}}},
+			wantErr: "needs EventName"},
+		{name: "missing ModelVar",
+			cfg:     core.Configuration{Observables: []core.Observable{{EventName: "out", ValueName: "x"}}},
+			wantErr: "needs EventName"},
+		{name: "negative threshold",
+			cfg: core.Configuration{Observables: []core.Observable{
+				{EventName: "out", ValueName: "x", ModelVar: "x", Threshold: -1}}},
+			wantErr: "negative threshold"},
+		{name: "negative tolerance",
+			cfg: core.Configuration{Observables: []core.Observable{
+				{EventName: "out", ValueName: "x", ModelVar: "x", Tolerance: -2}}},
+			wantErr: "negative threshold"},
+		{name: "negative MaxSilence",
+			cfg: core.Configuration{Observables: []core.Observable{
+				{EventName: "out", ValueName: "x", ModelVar: "x", MaxSilence: -sim.Second}}},
+			wantErr: "negative MaxSilence"},
+		{name: "duplicate derived ids",
+			cfg:     core.Configuration{Observables: []core.Observable{valid, valid}},
+			wantErr: "duplicate observable"},
+		{name: "explicit Name disambiguates duplicates",
+			cfg: core.Configuration{Observables: []core.Observable{
+				valid,
+				{Name: "x2", EventName: "out", ValueName: "x", ModelVar: "x"}}}},
+		{name: "duplicate explicit Names rejected",
+			cfg: core.Configuration{Observables: []core.Observable{
+				{Name: "n", EventName: "out", ValueName: "x", ModelVar: "x"},
+				{Name: "n", EventName: "out2", ValueName: "y", ModelVar: "y"}}},
+			wantErr: "duplicate observable"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Validate() = %v, want nil", err)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}

@@ -85,6 +85,9 @@ func (c Configuration) Validate() error {
 		if o.Threshold < 0 || o.Tolerance < 0 {
 			return fmt.Errorf("core: observable %q: negative threshold/tolerance", o.id())
 		}
+		if o.MaxSilence < 0 {
+			return fmt.Errorf("core: observable %q: negative MaxSilence", o.id())
+		}
 		if seen[o.id()] {
 			return fmt.Errorf("core: duplicate observable %q", o.id())
 		}
@@ -102,6 +105,17 @@ type MonitorStats struct {
 	Errors       uint64
 	ModelErrors  uint64 // invariant violations inside the spec model
 	SilenceScans uint64
+}
+
+// Add accumulates o's counters into s (group and fleet rollups).
+func (s *MonitorStats) Add(o MonitorStats) {
+	s.InputsSeen += o.InputsSeen
+	s.OutputsSeen += o.OutputsSeen
+	s.Comparisons += o.Comparisons
+	s.Deviations += o.Deviations
+	s.Errors += o.Errors
+	s.ModelErrors += o.ModelErrors
+	s.SilenceScans += o.SilenceScans
 }
 
 // obsState is the comparator's per-observable state.

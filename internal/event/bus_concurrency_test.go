@@ -1,0 +1,144 @@
+package event
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// These tests exercise the bus from many goroutines at once and are meant to
+// run under `go test -race`. Against the pre-locking bus every one of them
+// fails the race detector; they pin down the concurrency contract the fleet
+// shards rely on when sharing buses.
+
+func TestBusConcurrentPublishSubscribe(t *testing.T) {
+	b := NewBus()
+	var received atomic.Uint64
+	var wg sync.WaitGroup
+
+	const (
+		publishers  = 8
+		subscribers = 8
+		perG        = 200
+	)
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			e := Event{Kind: Output, Name: "tick", Source: "pub"}
+			for i := 0; i < perG; i++ {
+				b.Publish(e)
+			}
+		}(p)
+	}
+	for s := 0; s < subscribers; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				sub := b.Subscribe("tick", func(Event) { received.Add(1) })
+				sub.Unsubscribe()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := b.PublishedCount(); got != publishers*perG {
+		t.Fatalf("PublishedCount = %d, want %d", got, publishers*perG)
+	}
+	// A persistent subscriber added after the storm sees every new event.
+	var after atomic.Uint64
+	b.Subscribe("tick", func(Event) { after.Add(1) })
+	b.Publish(Event{Name: "tick"})
+	if after.Load() != 1 {
+		t.Fatalf("post-storm subscriber got %d events, want 1", after.Load())
+	}
+	_ = received.Load() // transient subscribers may or may not have seen events
+}
+
+func TestBusConcurrentCatchAll(t *testing.T) {
+	b := NewBus()
+	var n atomic.Uint64
+	sub := b.Subscribe("", func(Event) { n.Add(1) })
+
+	var wg sync.WaitGroup
+	const goroutines, perG = 8, 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				b.Publish(Event{Name: "anything"})
+			}
+		}()
+	}
+	wg.Wait()
+	if n.Load() != goroutines*perG {
+		t.Fatalf("catch-all saw %d events, want %d", n.Load(), goroutines*perG)
+	}
+	sub.Unsubscribe()
+	b.Publish(Event{Name: "anything"})
+	if n.Load() != goroutines*perG {
+		t.Fatal("unsubscribed catch-all still receiving")
+	}
+}
+
+func TestBusConcurrentUnsubscribeSameSubscription(t *testing.T) {
+	b := NewBus()
+	for i := 0; i < 100; i++ {
+		sub := b.Subscribe("x", func(Event) {})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sub.Unsubscribe()
+			}()
+		}
+		wg.Wait()
+	}
+	b.mu.Lock()
+	left := len(b.subs["x"])
+	b.mu.Unlock()
+	if left != 0 {
+		t.Fatalf("%d subscriptions left after racing Unsubscribe calls", left)
+	}
+}
+
+// TestBusReentrantPublishUnderConcurrency checks the depth-first re-entrant
+// delivery guarantee still holds while other goroutines hammer the bus: a
+// handler publishing from within delivery must not deadlock.
+func TestBusReentrantPublishUnderConcurrency(t *testing.T) {
+	b := NewBus()
+	var chained atomic.Uint64
+	b.Subscribe("first", func(e Event) {
+		b.Publish(Event{Name: "second"})
+	})
+	b.Subscribe("second", func(e Event) { chained.Add(1) })
+
+	var wg sync.WaitGroup
+	const goroutines, perG = 4, 250
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				b.Publish(Event{Name: "first"})
+			}
+		}()
+	}
+	// Subscribing from within a handler must not deadlock either.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < perG; i++ {
+			var sub *Subscription
+			sub = b.Subscribe("first", func(Event) {})
+			sub.Unsubscribe()
+		}
+	}()
+	wg.Wait()
+	if chained.Load() != goroutines*perG {
+		t.Fatalf("chained deliveries = %d, want %d", chained.Load(), goroutines*perG)
+	}
+}

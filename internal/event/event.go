@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"trader/internal/sim"
 )
@@ -114,14 +116,26 @@ type Handler func(Event)
 
 // Bus is a synchronous publish/subscribe event bus. Subscribers receive
 // events in subscription order; publishing from within a handler is allowed
-// and is delivered depth-first. Bus is not safe for concurrent use — it is
-// designed for single-goroutine discrete-event simulations.
+// and is delivered depth-first.
+//
+// Bus is safe for concurrent use: Publish, Subscribe and Unsubscribe may be
+// called from multiple goroutines (fleet shards share buses). The handler
+// lists are copy-on-write — Publish snapshots them under a short critical
+// section and delivers outside the lock, so handlers may freely subscribe,
+// unsubscribe and publish re-entrantly without deadlocking. A handler
+// removed concurrently with a Publish may still receive that in-flight
+// event. Handlers themselves must tolerate concurrent invocation when
+// publishers are concurrent.
 type Bus struct {
+	// Published counts total events published, for overhead accounting.
+	// Updated atomically; concurrent readers should use PublishedCount.
+	// First field so 64-bit atomic ops stay aligned on 32-bit platforms.
+	Published uint64
+
+	mu     sync.Mutex
 	subs   map[string][]subscription
 	all    []subscription
 	nextID int
-	// Published counts total events published, for overhead accounting.
-	Published uint64
 }
 
 type subscription struct {
@@ -134,9 +148,10 @@ func NewBus() *Bus {
 	return &Bus{subs: make(map[string][]subscription)}
 }
 
-// Subscription identifies a subscription for cancellation.
+// Subscription identifies a subscription for cancellation. Unsubscribe is
+// safe to call concurrently and at most one call takes effect.
 type Subscription struct {
-	bus  *Bus
+	bus  atomic.Pointer[Bus]
 	id   int
 	name string
 }
@@ -144,6 +159,7 @@ type Subscription struct {
 // Subscribe registers h for events with the given name. An empty name
 // subscribes to all events.
 func (b *Bus) Subscribe(name string, h Handler) *Subscription {
+	b.mu.Lock()
 	id := b.nextID
 	b.nextID++
 	s := subscription{id: id, h: h}
@@ -152,14 +168,23 @@ func (b *Bus) Subscribe(name string, h Handler) *Subscription {
 	} else {
 		b.subs[name] = append(b.subs[name], s)
 	}
-	return &Subscription{bus: b, id: id, name: name}
+	b.mu.Unlock()
+	sub := &Subscription{id: id, name: name}
+	sub.bus.Store(b)
+	return sub
 }
 
 // Unsubscribe removes the subscription. It is a no-op if already removed.
 func (s *Subscription) Unsubscribe() {
-	if s == nil || s.bus == nil {
+	if s == nil {
 		return
 	}
+	b := s.bus.Swap(nil)
+	if b == nil {
+		return
+	}
+	// Build a fresh backing array (full-slice trick) so Publish snapshots
+	// taken before the removal keep iterating their own storage safely.
 	remove := func(list []subscription) []subscription {
 		for i, sub := range list {
 			if sub.id == s.id {
@@ -168,27 +193,35 @@ func (s *Subscription) Unsubscribe() {
 		}
 		return list
 	}
+	b.mu.Lock()
 	if s.name == "" {
-		s.bus.all = remove(s.bus.all)
+		b.all = remove(b.all)
 	} else {
-		s.bus.subs[s.name] = remove(s.bus.subs[s.name])
+		b.subs[s.name] = remove(b.subs[s.name])
 	}
-	s.bus = nil
+	b.mu.Unlock()
 }
 
 // Publish delivers e to name subscribers then to catch-all subscribers.
+// Handler lists are snapshotted up front and delivery runs unlocked, so
+// handlers may subscribe/unsubscribe/publish during delivery.
 func (b *Bus) Publish(e Event) {
-	b.Published++
-	// Copy slice headers: handlers may subscribe/unsubscribe during delivery.
+	atomic.AddUint64(&b.Published, 1)
+	b.mu.Lock()
 	named := b.subs[e.Name]
+	all := b.all
+	b.mu.Unlock()
 	for _, s := range named {
 		s.h(e)
 	}
-	all := b.all
 	for _, s := range all {
 		s.h(e)
 	}
 }
+
+// PublishedCount returns the total events published so far. Safe to call
+// while other goroutines publish.
+func (b *Bus) PublishedCount() uint64 { return atomic.LoadUint64(&b.Published) }
 
 // Log is a bounded in-memory event trace. When capacity is exceeded the
 // oldest events are dropped (ring-buffer semantics), mirroring on-chip trace

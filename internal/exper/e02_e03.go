@@ -158,11 +158,7 @@ func E3ComparatorTradeoff(seed int64) (*Table, error) {
 		cfg := tvsim.Config{}
 		tv := tvsim.New(k, cfg)
 		model := tvsim.BuildSpecModel(k, cfg)
-		model.OnConfig(func(region, leaf string) {
-			if region == "power" {
-				model.SetVar("quality", map[string]float64{"on": 1}[leaf])
-			}
-		})
+		tvsim.MirrorQuality(model)
 		mcfg := core.Configuration{Observables: []core.Observable{
 			{Name: "frame-quality", EventName: "frame", ValueName: "quality",
 				ModelVar: "quality", Threshold: 0.3, Tolerance: tol, EnableVar: "power"},

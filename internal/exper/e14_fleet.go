@@ -1,0 +1,109 @@
+package exper
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/fleet"
+	"trader/internal/sim"
+)
+
+// E14Fleet measures fleet-scale concurrent monitoring: the paper monitors
+// one high-volume device, but its premise is millions of deployed TVs. The
+// experiment runs a synthetic fleet of monitored devices on a sharded pool
+// and sweeps the shard count, reporting wall-clock dispatch throughput and
+// the speedup over one shard. Device simulation is single-threaded inside a
+// shard (kernels and spec models are lock-free by design), so throughput
+// should scale near-linearly until the shard count passes the core count.
+// About 1% of devices are built faulty; the fleet rollup must flag them.
+func E14Fleet(seed int64) (*Table, error) { return E14FleetSized(seed, 1000, 150) }
+
+// E14FleetSized runs the sweep with an explicit fleet size and round count
+// (tests use small fleets; the benchmark and cmd/experiments use 1k).
+func E14FleetSized(seed int64, devices, rounds int) (*Table, error) {
+	t := &Table{
+		ID:      "E14",
+		Title:   fmt.Sprintf("fleet-scale monitoring: %d devices, shard sweep (industry-as-laboratory at fleet size)", devices),
+		Columns: []string{"shards", "wall ms", "events/s", "speedup", "faulty flagged"},
+	}
+	var shardSet []int
+	for s := 1; s <= runtime.GOMAXPROCS(0); s *= 2 {
+		shardSet = append(shardSet, s)
+	}
+	var base float64
+	for _, shards := range shardSet {
+		wall, ro, err := RunFleetRounds(seed, shards, devices, rounds)
+		if err != nil {
+			return nil, err
+		}
+		throughput := float64(ro.Dispatched) / wall.Seconds()
+		if base == 0 {
+			base = throughput
+		}
+		t.AddRow(f("%d", shards), f("%.1f", float64(wall.Microseconds())/1000),
+			f("%.0f", throughput), f("%.2fx", throughput/base), f("%d", ro.Reports))
+	}
+	t.Notes = append(t.Notes,
+		"each device is a full monitor: sim.Kernel + spec model + comparator; shards only add concurrency between devices",
+		"per-shard stats summed over devices equal the fleet rollup (conservation checked every run)",
+		"expected shape: near-linear speedup until shards reach the core count")
+	return t, nil
+}
+
+// RunFleetRounds drives one fleet configuration: build the pool, broadcast
+// `rounds` commanded-level changes to every device (advancing virtual time
+// every 25 rounds so periodic comparator work happens), and return the wall
+// time and rollup. It verifies stats conservation — the sum of per-device
+// counters must equal the fleet aggregate — and that every faulty device
+// was flagged exactly once.
+func RunFleetRounds(seed int64, shards, devices, rounds int) (time.Duration, fleet.Stats, error) {
+	pool := fleet.NewPool(fleet.Options{Shards: shards})
+	defer pool.Stop()
+	const faultEvery = 97 // ~1% of the fleet is broken in the field
+	factory := fleet.LightFactory(faultEvery)
+	var faulty uint64
+	for i := 0; i < devices; i++ {
+		devSeed := seed + int64(i) + 1
+		if devSeed%faultEvery == 0 {
+			faulty++
+		}
+		if err := pool.AddDevice(fleet.DeviceID(i), devSeed, factory); err != nil {
+			return 0, fleet.Stats{}, err
+		}
+	}
+	start := time.Now()
+	for r := 0; r < rounds; r++ {
+		e := event.Event{Kind: event.Input, Name: "set", Source: "headend"}.With("x", float64(r%5))
+		if err := pool.Broadcast(e); err != nil {
+			return 0, fleet.Stats{}, err
+		}
+		if r%25 == 24 {
+			if err := pool.Advance(10 * sim.Millisecond); err != nil {
+				return 0, fleet.Stats{}, err
+			}
+		}
+	}
+	if err := pool.Sync(); err != nil {
+		return 0, fleet.Stats{}, err
+	}
+	wall := time.Since(start)
+
+	ro := pool.Rollup()
+	var sum core.MonitorStats
+	for _, st := range pool.DeviceStats() {
+		sum.Add(st)
+	}
+	if sum != ro.Monitor {
+		return 0, fleet.Stats{}, fmt.Errorf("E14: stats conservation violated: devices sum %+v, fleet %+v", sum, ro.Monitor)
+	}
+	if ro.Reports != faulty {
+		return 0, fleet.Stats{}, fmt.Errorf("E14: flagged %d devices, fleet has %d faulty", ro.Reports, faulty)
+	}
+	if want := uint64(devices * rounds); ro.Dispatched != want {
+		return 0, fleet.Stats{}, fmt.Errorf("E14: dispatched %d events, want %d", ro.Dispatched, want)
+	}
+	return wall, ro, nil
+}

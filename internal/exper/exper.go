@@ -98,11 +98,7 @@ func NewMonitoredTV(seed int64, cfg tvsim.Config) (*sim.Kernel, *tvsim.TV, *core
 	k := sim.NewKernel(seed)
 	tv := tvsim.New(k, cfg)
 	model := tvsim.BuildSpecModel(k, cfg)
-	model.OnConfig(func(region, leaf string) {
-		if region == "power" {
-			model.SetVar("quality", map[string]float64{"on": 1}[leaf])
-		}
-	})
+	tvsim.MirrorQuality(model)
 	mon, err := core.NewMonitor(k, model, TVObservables())
 	if err != nil {
 		return nil, nil, nil, err

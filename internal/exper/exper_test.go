@@ -301,3 +301,27 @@ func TestE13FMEAShape(t *testing.T) {
 		t.Fatal("video injection should produce measured exposure")
 	}
 }
+
+func TestE14FleetShape(t *testing.T) {
+	tab, err := E14FleetSized(42, 120, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("E14 produced no rows")
+	}
+	for i, row := range tab.Rows {
+		if cell(t, tab, i, 2) <= 0 {
+			t.Fatalf("row %d: non-positive throughput: %v", i, row)
+		}
+		if cell(t, tab, i, 4) <= 0 {
+			t.Fatalf("row %d: fleet flagged no faulty devices: %v", i, row)
+		}
+	}
+	// The one-shard row defines the speedup baseline.
+	if tab.Rows[0][3] != "1.00x" {
+		t.Fatalf("baseline speedup = %s, want 1.00x", tab.Rows[0][3])
+	}
+	// Conservation and flagging are hard invariants checked inside
+	// RunFleetRounds; reaching here means they held for every shard count.
+}

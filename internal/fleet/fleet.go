@@ -1,0 +1,451 @@
+// Package fleet scales the paper's single-device awareness monitor to the
+// deployed-fleet setting its industry-as-laboratory premise implies:
+// millions of high-volume devices (TVs) in the field, each carrying its own
+// monitor, with fleet-level aggregation of error reports and counters.
+//
+// A Pool runs N device monitors — each a sim.Kernel + specification model +
+// core.Monitor — across a fixed set of worker shards. Events are routed to
+// a device's shard by an FNV-1a hash of the device ID, so routing is
+// deterministic and a device's state is only ever touched by one goroutine
+// (the simulation kernel and state machine are single-threaded by design;
+// sharding restores concurrency *between* devices without locking *inside*
+// them). Broadcast and batched dispatch enqueue one command per shard, not
+// per device, keeping the channel traffic proportional to the shard count.
+//
+// The Pool satisfies core.Member, so a core.Group can delegate an entire
+// fleet as one member next to individual monitors.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+// ErrStopped is returned by operations on a pool after Stop.
+var ErrStopped = errors.New("fleet: pool stopped")
+
+// Options configures a Pool.
+type Options struct {
+	// Shards is the number of worker goroutines (default GOMAXPROCS).
+	Shards int
+	// Queue is the per-shard command buffer length (default 1024).
+	Queue int
+}
+
+func (o *Options) fill() {
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Queue <= 0 {
+		o.Queue = 1024
+	}
+}
+
+// Targeted addresses one event to one device.
+type Targeted struct {
+	Device string
+	Event  event.Event
+}
+
+// Stats is the fleet-level rollup.
+type Stats struct {
+	Devices int
+	Shards  int
+	// Monitor sums every device monitor's counters.
+	Monitor core.MonitorStats
+	// Dispatched counts events delivered to a device's Feed.
+	Dispatched uint64
+	// Dropped counts targeted events whose device was unknown.
+	Dropped uint64
+	// Reports counts error reports fanned in from device monitors.
+	Reports uint64
+}
+
+// Pool is a sharded monitor pool. All methods are safe for concurrent use.
+type Pool struct {
+	opts   Options
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// opMu serialises command submission against Stop closing the shard
+	// channels: submitters hold the read side, Stop the write side.
+	opMu    sync.RWMutex
+	stopped bool
+
+	mu       sync.Mutex // guards started and handlers
+	started  bool
+	handlers []func(device string, r wire.ErrorReport)
+
+	reports atomic.Uint64
+	devices atomic.Int64
+
+	// term is closed once every shard worker has exited; receiving from it
+	// orders reads of the shards' final counters after their last writes.
+	term chan struct{}
+}
+
+// shard owns a disjoint subset of the fleet's devices. Its devices map and
+// every device in it are touched only by the shard's worker goroutine, so
+// device simulation needs no locks. Traffic counters are per-shard so the
+// dispatch hot path never touches a cache line shared between shards; the
+// rollup sums them with atomic loads.
+type shard struct {
+	idx        int
+	cmds       chan func(*shard)
+	devices    map[string]*Device
+	dispatched atomic.Uint64
+	dropped    atomic.Uint64
+	// final is the shard's monitor-counter sum at shutdown, written by the
+	// worker just before it exits and published to readers by Pool.term.
+	final core.MonitorStats
+}
+
+// NewPool creates the pool and starts its shard workers; devices can be
+// added immediately. Start/Stop manage the core.Member lifecycle.
+func NewPool(opts Options) *Pool {
+	opts.fill()
+	p := &Pool{opts: opts, term: make(chan struct{})}
+	for i := 0; i < opts.Shards; i++ {
+		s := &shard{idx: i, cmds: make(chan func(*shard), opts.Queue), devices: make(map[string]*Device)}
+		p.shards = append(p.shards, s)
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range s.cmds {
+				fn(s)
+			}
+			for _, d := range s.devices {
+				if d.Monitor != nil {
+					s.final.Add(d.Monitor.Stats())
+				}
+				if d.Close != nil {
+					d.Close()
+				}
+			}
+		}()
+	}
+	return p
+}
+
+// Shards returns the shard count.
+func (p *Pool) Shards() int { return p.opts.Shards }
+
+// Size returns the current device count.
+func (p *Pool) Size() int { return int(p.devices.Load()) }
+
+// ShardOf returns the shard index the device ID routes to. The mapping is a
+// pure function of the ID and the shard count. FNV-1a is inlined over the
+// string: this sits on the per-event dispatch path and must not allocate.
+func (p *Pool) ShardOf(id string) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h % uint32(len(p.shards)))
+}
+
+// send submits fn to shard i unless the pool is stopped.
+func (p *Pool) send(i int, fn func(*shard)) error {
+	p.opMu.RLock()
+	defer p.opMu.RUnlock()
+	if p.stopped {
+		return ErrStopped
+	}
+	p.shards[i].cmds <- fn
+	return nil
+}
+
+// sendAll submits fn to every shard unless the pool is stopped.
+func (p *Pool) sendAll(fn func(*shard)) error {
+	p.opMu.RLock()
+	defer p.opMu.RUnlock()
+	if p.stopped {
+		return ErrStopped
+	}
+	for _, s := range p.shards {
+		s.cmds <- fn
+	}
+	return nil
+}
+
+// barrier submits fn to every shard and waits for all of them to run it.
+// Commands queued earlier are processed first, so a nil fn acts as a flush.
+func (p *Pool) barrier(fn func(*shard)) error {
+	var wg sync.WaitGroup
+	wg.Add(len(p.shards))
+	err := p.sendAll(func(s *shard) {
+		if fn != nil {
+			fn(s)
+		}
+		wg.Done()
+	})
+	if err != nil {
+		return err
+	}
+	wg.Wait()
+	return nil
+}
+
+// Sync blocks until every command submitted before it has been processed.
+func (p *Pool) Sync() error { return p.barrier(nil) }
+
+// AddDevice builds a device on its owning shard (the factory runs on the
+// shard goroutine) and wires its monitor's error reports into the fleet
+// fan-in. Devices can be added while dispatch traffic is in flight.
+func (p *Pool) AddDevice(id string, seed int64, f Factory) error {
+	if id == "" {
+		return errors.New("fleet: device needs an ID")
+	}
+	errc := make(chan error, 1)
+	if err := p.send(p.ShardOf(id), func(s *shard) {
+		if _, dup := s.devices[id]; dup {
+			errc <- fmt.Errorf("fleet: duplicate device %q", id)
+			return
+		}
+		d, err := f(id, seed)
+		if err != nil {
+			errc <- fmt.Errorf("fleet: building device %q: %w", id, err)
+			return
+		}
+		if d.Monitor != nil {
+			d.Monitor.OnError(func(r wire.ErrorReport) { p.report(id, r) })
+		}
+		s.devices[id] = d
+		p.devices.Add(1)
+		errc <- nil
+	}); err != nil {
+		return err
+	}
+	return <-errc
+}
+
+// RemoveDevice stops and removes a device, reporting whether it was present.
+// Its monitor counters leave the fleet rollup with it.
+func (p *Pool) RemoveDevice(id string) (bool, error) {
+	found := make(chan bool, 1)
+	if err := p.send(p.ShardOf(id), func(s *shard) {
+		d, ok := s.devices[id]
+		if ok {
+			if d.Close != nil {
+				d.Close()
+			}
+			delete(s.devices, id)
+			p.devices.Add(-1)
+		}
+		found <- ok
+	}); err != nil {
+		return false, err
+	}
+	return <-found, nil
+}
+
+// Dispatch routes one event to one device, asynchronously. Unknown devices
+// are counted in Stats().Dropped.
+func (p *Pool) Dispatch(id string, e event.Event) error {
+	return p.send(p.ShardOf(id), func(s *shard) { s.deliver(p, id, e) })
+}
+
+// DispatchBatch groups the batch by owning shard and submits one command
+// per shard, so channel traffic scales with the shard count rather than the
+// batch size.
+func (p *Pool) DispatchBatch(batch []Targeted) error {
+	perShard := make([][]Targeted, len(p.shards))
+	for _, t := range batch {
+		i := p.ShardOf(t.Device)
+		perShard[i] = append(perShard[i], t)
+	}
+	p.opMu.RLock()
+	defer p.opMu.RUnlock()
+	if p.stopped {
+		return ErrStopped
+	}
+	for i, part := range perShard {
+		if len(part) == 0 {
+			continue
+		}
+		part := part
+		p.shards[i].cmds <- func(s *shard) {
+			for _, t := range part {
+				s.deliver(p, t.Device, t.Event)
+			}
+		}
+	}
+	return nil
+}
+
+// Broadcast delivers the event to every device: one command per shard.
+func (p *Pool) Broadcast(e event.Event) error {
+	return p.sendAll(func(s *shard) {
+		for _, d := range s.devices {
+			d.Feed(e)
+		}
+		s.dispatched.Add(uint64(len(s.devices)))
+	})
+}
+
+func (s *shard) deliver(p *Pool, id string, e event.Event) {
+	d, ok := s.devices[id]
+	if !ok {
+		s.dropped.Add(1)
+		return
+	}
+	d.Feed(e)
+	s.dispatched.Add(1)
+}
+
+// Advance runs every device's virtual clock forward by d, in parallel
+// across shards, and returns when all shards are done. This is where
+// periodic monitor work (silence sweeps, time-based comparison) happens.
+func (p *Pool) Advance(d sim.Time) error {
+	return p.barrier(func(s *shard) {
+		for _, dev := range s.devices {
+			dev.Kernel.Run(dev.Kernel.Now() + d)
+		}
+	})
+}
+
+// report fans one device's error report into the pool handlers.
+func (p *Pool) report(device string, r wire.ErrorReport) {
+	p.reports.Add(1)
+	p.mu.Lock()
+	hs := p.handlers
+	p.mu.Unlock()
+	for _, h := range hs {
+		h(device, r)
+	}
+}
+
+// OnReport registers a fleet-level handler receiving every device's error
+// reports tagged with the device ID. Handlers run on shard goroutines and
+// may be invoked concurrently; they must be safe for that, and they must
+// not call the pool's barrier methods (Sync, Advance, Rollup, Stats,
+// DeviceStats) — a barrier waits for the very shard the handler is
+// blocking, deadlocking the pool. Record what you need and act after the
+// dispatch round.
+func (p *Pool) OnReport(fn func(device string, r wire.ErrorReport)) {
+	p.mu.Lock()
+	p.handlers = append(p.handlers[:len(p.handlers):len(p.handlers)], fn)
+	p.mu.Unlock()
+}
+
+// OnError satisfies core.Member: the device tag is folded into the report's
+// Detail so a Group sees which fleet device fired.
+func (p *Pool) OnError(fn func(wire.ErrorReport)) {
+	p.OnReport(func(device string, r wire.ErrorReport) {
+		if r.Detail == "" {
+			r.Detail = "device=" + device
+		} else {
+			r.Detail += " device=" + device
+		}
+		fn(r)
+	})
+}
+
+// Start satisfies core.Member. Shard workers already run from NewPool;
+// Start only guards against double-start like core.Group.
+func (p *Pool) Start() error {
+	p.opMu.RLock()
+	stopped := p.stopped
+	p.opMu.RUnlock()
+	if stopped {
+		return ErrStopped
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.started {
+		return errors.New("fleet: pool already started")
+	}
+	p.started = true
+	return nil
+}
+
+// Stop drains the shards, stops every device monitor and closes every
+// device. The pool cannot be restarted. The final monitor counters stay
+// readable through Stats/Rollup, like a stopped core.Monitor's. Stop
+// returns once shutdown is complete, from every caller.
+func (p *Pool) Stop() {
+	p.opMu.Lock()
+	if p.stopped {
+		p.opMu.Unlock()
+		<-p.term // a concurrent Stop won the race; wait for it to finish
+		return
+	}
+	p.stopped = true
+	for _, s := range p.shards {
+		close(s.cmds)
+	}
+	p.opMu.Unlock()
+	p.wg.Wait()
+	p.mu.Lock()
+	p.started = false
+	p.mu.Unlock()
+	close(p.term)
+}
+
+// Stats satisfies core.Member with the summed monitor counters; Rollup
+// carries the full fleet view.
+func (p *Pool) Stats() core.MonitorStats { return p.Rollup().Monitor }
+
+// Rollup gathers the fleet-level statistics. It is a barrier: commands
+// submitted before it are reflected in the result. On a stopped pool it
+// returns the counters frozen at shutdown.
+func (p *Pool) Rollup() Stats {
+	st := Stats{Shards: p.opts.Shards}
+	var mu sync.Mutex
+	err := p.barrier(func(s *shard) {
+		var part core.MonitorStats
+		n := 0
+		for _, d := range s.devices {
+			if d.Monitor != nil {
+				part.Add(d.Monitor.Stats())
+			}
+			n++
+		}
+		mu.Lock()
+		st.Monitor.Add(part)
+		st.Devices += n
+		mu.Unlock()
+	})
+	if err != nil {
+		<-p.term // shutdown complete: the shards' final sums are published
+		for _, s := range p.shards {
+			st.Monitor.Add(s.final)
+		}
+		st.Devices = int(p.devices.Load())
+	}
+	for _, s := range p.shards {
+		st.Dispatched += s.dispatched.Load()
+		st.Dropped += s.dropped.Load()
+	}
+	st.Reports = p.reports.Load()
+	return st
+}
+
+// DeviceStats snapshots per-device monitor counters keyed by device ID.
+func (p *Pool) DeviceStats() map[string]core.MonitorStats {
+	out := make(map[string]core.MonitorStats)
+	var mu sync.Mutex
+	_ = p.barrier(func(s *shard) {
+		part := make(map[string]core.MonitorStats, len(s.devices))
+		for id, d := range s.devices {
+			if d.Monitor != nil {
+				part[id] = d.Monitor.Stats()
+			}
+		}
+		mu.Lock()
+		for id, st := range part {
+			out[id] = st
+		}
+		mu.Unlock()
+	})
+	return out
+}

@@ -277,3 +277,16 @@ func moveTarget(c *statemachine.Context, delta float64) {
 	}
 	c.Set("swivelTarget", t)
 }
+
+// MirrorQuality installs the standard partial expectation for frame
+// quality: full quality whenever the power mode is "on", zero otherwise
+// (the spec model itself abstracts the streaming side). Every monitored-TV
+// assembly — traderd, the experiment harness, fleet devices — uses this
+// same hook so their comparators judge against the same expectation.
+func MirrorQuality(model *statemachine.Model) {
+	model.OnConfig(func(region, leaf string) {
+		if region == "power" {
+			model.SetVar("quality", map[string]float64{"on": 1}[leaf])
+		}
+	})
+}
