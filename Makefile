@@ -1,10 +1,12 @@
 # Standard gate: build + vet + race-enabled tests. `make check` is what CI
 # and pre-merge runs; the race detector is required because event.Bus and
-# internal/fleet are concurrent by design.
+# internal/fleet are concurrent by design. `make docs` is the documentation
+# gate: vet plus a check that every package (and command) carries a godoc
+# package comment.
 
 GO ?= go
 
-.PHONY: check build vet test test-race bench experiments clean
+.PHONY: check build vet test test-race bench docs experiments clean
 
 check: build vet test-race
 
@@ -20,8 +22,23 @@ test:
 test-race:
 	$(GO) test -race ./...
 
+# bench runs the full benchmark suite, including the per-experiment
+# benchmarks (E1-E14), the wire codec pair (BenchmarkWireJSON /
+# BenchmarkWireBinary) and the networked fleet-ingestion benchmark.
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# docs fails when any package lacks a godoc package comment ("// Package x"
+# for libraries, "// Command x" for mains) in any of its non-test files.
+docs: vet
+	@fail=0; \
+	for dir in $$(find . -name '*.go' -not -name '*_test.go' -not -path './.git/*' | xargs -n1 dirname | sort -u); do \
+		if ! find $$dir -maxdepth 1 -name '*.go' -not -name '*_test.go' \
+			| xargs grep -lqE '^// (Package|Command) ' 2>/dev/null; then \
+			echo "missing package comment: $$dir"; fail=1; \
+		fi; \
+	done; \
+	[ $$fail -eq 0 ] && echo "docs: every package has a package comment" || exit 1
 
 experiments:
 	$(GO) run ./cmd/experiments

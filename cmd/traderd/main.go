@@ -4,6 +4,14 @@
 // executes the specification model, compares, and sends error reports back
 // on the same connection.
 //
+// With -listen it becomes the fleet ingestion daemon: it accepts many
+// concurrent SUO connections (Unix socket and/or TCP, comma-separated),
+// performs the Hello handshake (negotiating the JSON or binary codec per
+// connection), registers each connection as a device in a sharded
+// fleet.Pool, and pushes control/error frames back down each connection.
+// `tvsim -connect` is the matching client. See ARCHITECTURE.md for the
+// protocol.
+//
 // With -fleet N it instead runs an in-process simulated fleet of N
 // monitored TVs on a sharded monitor pool (-shards K workers), exercising
 // the fleet-scale path the ROADMAP targets: random remote-control traffic
@@ -13,6 +21,7 @@
 // Usage:
 //
 //	traderd [-socket /tmp/trader.sock] [-suo tv|mediaplayer] [-v]
+//	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-v]
 //	traderd -fleet 1000 [-shards 8] [-fleet-seconds 5] [-v]
 package main
 
@@ -22,7 +31,10 @@ import (
 	"log"
 	"net"
 	"os"
+	"os/signal"
 	"runtime"
+	"strings"
+	"syscall"
 	"time"
 
 	"trader/internal/core"
@@ -36,17 +48,25 @@ import (
 )
 
 func main() {
-	socket := flag.String("socket", "/tmp/trader.sock", "unix socket path")
-	suo := flag.String("suo", "tv", "SUO profile: tv or mediaplayer")
+	socket := flag.String("socket", "/tmp/trader.sock", "unix socket path (legacy single-SUO mode)")
+	listen := flag.String("listen", "", "fleet ingestion addresses, comma-separated (unix:/path, tcp:host:port)")
+	suo := flag.String("suo", "tv", "SUO profile: tv or mediaplayer (or light with -listen)")
 	verbose := flag.Bool("v", false, "log every error report")
 	fleetN := flag.Int("fleet", 0, "run an in-process fleet of N monitored TVs instead of serving a socket")
-	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker shards for -fleet mode")
+	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker shards for -fleet/-listen modes")
 	fleetSecs := flag.Int("fleet-seconds", 5, "virtual seconds of fleet operation in -fleet mode")
+	statsEvery := flag.Int("stats-seconds", 10, "fleet rollup log interval in -listen mode (0: off)")
 	flag.Parse()
 
 	if *fleetN > 0 {
 		if err := runFleet(*fleetN, *shards, *fleetSecs, *verbose); err != nil {
 			log.Fatalf("traderd: fleet: %v", err)
+		}
+		return
+	}
+	if *listen != "" {
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *verbose); err != nil {
+			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
 	}
@@ -66,6 +86,101 @@ func main() {
 			return
 		}
 		go serve(conn, *suo, *verbose)
+	}
+}
+
+// monitorFactory maps an -suo profile to the per-connection monitor builder
+// -listen mode hands the fleet server.
+func monitorFactory(suo string) (fleet.MonitorFactory, error) {
+	switch suo {
+	case "light":
+		return fleet.LightMonitorFactory(), nil
+	case "tv", "mediaplayer":
+		return func(id string, seed int64) (*sim.Kernel, *core.Monitor, error) {
+			_ = seed // profile monitors are deterministic per connection
+			mon, err := newMonitor(suo)
+			if err != nil {
+				return nil, nil, err
+			}
+			return mon.Kernel(), mon, nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown SUO profile %q", suo)
+	}
+}
+
+// runIngest is the networked fleet daemon: every accepted connection is one
+// remote SUO monitored as a device of a single sharded pool.
+func runIngest(addrs, suo string, shards, statsEvery int, verbose bool) error {
+	factory, err := monitorFactory(suo)
+	if err != nil {
+		return err
+	}
+	pool := fleet.NewPool(fleet.Options{Shards: shards})
+	defer pool.Stop()
+	srv := &fleet.Server{
+		Pool:         pool,
+		Factory:      factory,
+		HelloTimeout: 10 * time.Second,
+	}
+	if verbose {
+		srv.Logf = log.Printf
+		pool.OnReport(func(device string, r wire.ErrorReport) {
+			log.Printf("traderd: %s: %s", device, r)
+		})
+	}
+
+	errc := make(chan error, 8)
+	var listeners []net.Listener
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if network, path, err := wire.SplitAddr(addr); err == nil && network == "unix" {
+			_ = os.Remove(path)
+		}
+		ln, err := wire.Listen(addr)
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return err
+		}
+		listeners = append(listeners, ln)
+		log.Printf("traderd: ingesting fleet SUOs on %s (%d shards, %q monitors)", addr, pool.Shards(), suo)
+		go func() { errc <- srv.Serve(ln) }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(time.Duration(max(statsEvery, 1)) * time.Second)
+	if statsEvery <= 0 {
+		ticker.Stop()
+	}
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ticker.C:
+			ro := pool.Rollup()
+			cs := srv.Stats()
+			log.Printf("traderd: fleet: %d devices, %d frames ingested, %d dispatched, %d comparisons, %d deviations, %d reports (%d accepted, %d rejected, %d disconnected)",
+				ro.Devices, cs.Frames, ro.Dispatched, ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports,
+				cs.Accepted, cs.Rejected, cs.Disconnected)
+		case sig := <-sigc:
+			log.Printf("traderd: %v: draining fleet", sig)
+			srv.Close()
+			for _, ln := range listeners {
+				ln.Close()
+			}
+			ro := pool.Rollup()
+			cs := srv.Stats()
+			log.Printf("traderd: final: %d frames ingested, %d comparisons, %d error reports, %d connections served",
+				cs.Frames, ro.Monitor.Comparisons, ro.Reports, cs.Accepted)
+			return nil
+		case err := <-errc:
+			if err != nil && err != fleet.ErrServerClosed {
+				srv.Close()
+				return err
+			}
+		}
 	}
 }
 

@@ -3,10 +3,20 @@
 // its events to a traderd monitor over a Unix socket — the full Fig. 2
 // deployment across a real process boundary.
 //
+// With -connect it becomes a fleet of remote SUOs: it spins up N simulated
+// TVs, each dialing a `traderd -listen` ingestion daemon on its own
+// connection (Unix socket or TCP), performing the Hello handshake (-codec
+// picks the wire codec) and streaming its events; error reports and control
+// commands pushed down by the daemon are counted per device. Every
+// -fault-every'th device runs the fault schedule, so a known fraction of
+// the fleet misbehaves.
+//
 // Usage:
 //
 //	tvsim [-seed 1] [-duration 20] [-socket /tmp/trader.sock]
 //	      [-faults video-crash,txt-sync,audio-skew]
+//	tvsim -connect unix:/tmp/trader-fleet.sock -n 100 [-codec binary]
+//	      [-duration 20] [-faults txt-sync] [-fault-every 10]
 package main
 
 import (
@@ -15,6 +25,9 @@ import (
 	"log"
 	"net"
 	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"trader/internal/core"
 	"trader/internal/event"
@@ -33,31 +46,193 @@ var knownFaults = map[string]faults.Fault{
 	"bad-input":   {ID: "bad-input", Kind: faults.BadInput, Target: "tuner", At: 4 * sim.Second, Duration: 3 * sim.Second, Param: 0.4},
 }
 
+func parseFaults(list string) ([]faults.Fault, error) {
+	if list == "" {
+		return nil, nil
+	}
+	var out []faults.Fault
+	for _, name := range strings.Split(list, ",") {
+		fault, ok := knownFaults[strings.TrimSpace(name)]
+		if !ok {
+			return nil, fmt.Errorf("unknown fault %q", name)
+		}
+		out = append(out, fault)
+	}
+	return out, nil
+}
+
 func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	duration := flag.Int("duration", 20, "virtual seconds to run")
 	socket := flag.String("socket", "", "traderd unix socket to stream events to (empty: standalone)")
+	connect := flag.String("connect", "", "traderd -listen address to join as a remote fleet (unix:/path or tcp:host:port)")
+	n := flag.Int("n", 100, "number of simulated TVs in -connect mode")
+	codec := flag.String("codec", wire.CodecBinary, "wire codec to request in -connect mode: json or binary")
+	faultEvery := flag.Int("fault-every", 10, "in -connect mode, run the fault schedule on every k'th device (0: none)")
 	faultList := flag.String("faults", "txt-sync", "comma-separated fault schedule; available: video-crash,txt-sync,audio-skew,overload,bad-input")
 	flag.Parse()
 
-	k := sim.NewKernel(*seed)
-	tv := tvsim.New(k, tvsim.Config{})
-
-	if *faultList != "" {
-		for _, name := range strings.Split(*faultList, ",") {
-			fault, ok := knownFaults[strings.TrimSpace(name)]
-			if !ok {
-				log.Fatalf("tvsim: unknown fault %q", name)
-			}
-			tv.Injector().Schedule(fault)
-			log.Printf("tvsim: scheduled %s", fault)
-		}
+	schedule, err := parseFaults(*faultList)
+	if err != nil {
+		log.Fatalf("tvsim: %v", err)
 	}
 
-	if *socket != "" {
-		conn, err := net.Dial("unix", *socket)
+	if *connect != "" {
+		if err := runFleet(*connect, *n, *codec, *seed, *duration, *faultEvery, schedule); err != nil {
+			log.Fatalf("tvsim: connect: %v", err)
+		}
+		return
+	}
+	runStandalone(*seed, *duration, *socket, schedule)
+}
+
+// scenario schedules the watching user on the TV: power on, teletext,
+// periodic volume nudges, and returns the horizon to run to.
+func scenario(k *sim.Kernel, tv *tvsim.TV, duration int) sim.Time {
+	tv.PressKey(tvsim.KeyPower)
+	tv.PressKey(tvsim.KeyText)
+	horizon := sim.Time(duration) * sim.Second
+	for t := sim.Second; t < horizon; t += 2 * sim.Second {
+		up := (t/sim.Second)%4 == 1
+		k.ScheduleAt(t, func() {
+			if up {
+				tv.PressKey(tvsim.KeyVolUp)
+			} else {
+				tv.PressKey(tvsim.KeyVolDown)
+			}
+		})
+	}
+	return horizon
+}
+
+// deviceStats aggregates what one remote TV saw during a -connect session.
+type deviceStats struct {
+	keys, frames   int
+	reports, ctrls uint64
+}
+
+// runOne connects one simulated TV to the ingestion daemon and plays the
+// scenario to the horizon, streaming every bus event over the wire.
+func runOne(addr, id, codec string, seed int64, duration int, schedule []faults.Fault) (deviceStats, error) {
+	var st deviceStats
+	wc, err := wire.Dial(addr, id, codec)
+	if err != nil {
+		return st, err
+	}
+	defer wc.Close()
+
+	// Count the monitor's view coming back down the connection.
+	var reports, ctrls atomic.Uint64
+	drained := make(chan struct{})
+	go func() {
+		for {
+			msg, err := wc.Decode()
+			if err != nil {
+				return
+			}
+			switch msg.Type {
+			case wire.TypeError:
+				reports.Add(1)
+			case wire.TypeControl:
+				ctrls.Add(1)
+			case wire.TypeHeartbeat:
+				// The daemon's heartbeat echo is a flush barrier: every
+				// observation we sent before it has been monitored and its
+				// error frames already precede the echo on this stream.
+				close(drained)
+				return
+			}
+		}
+	}()
+
+	k := sim.NewKernel(seed)
+	tv := tvsim.New(k, tvsim.Config{})
+	for _, f := range schedule {
+		tv.Injector().Schedule(f)
+	}
+	var frames int
+	tv.Bus().Subscribe("frame", func(event.Event) { frames++ })
+	sub := core.ForwardBus(tv.Bus(), wc, id, nil)
+	defer sub.Unsubscribe()
+
+	horizon := scenario(k, tv, duration)
+	k.Run(horizon)
+
+	// Drain: heartbeat, wait for the echo, then tear the connection down.
+	if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: horizon}); err == nil {
+		select {
+		case <-drained:
+		case <-time.After(10 * time.Second):
+		}
+	}
+	wc.Close()
+	st = deviceStats{keys: int(tv.KeysHandled), frames: frames, reports: reports.Load(), ctrls: ctrls.Load()}
+	return st, nil
+}
+
+// runFleet drives n concurrent remote TVs against the ingestion daemon.
+func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery int, schedule []faults.Fault) error {
+	log.Printf("tvsim: connecting %d TVs to %s (codec %s, faults on every %d'th)", n, addr, codec, faultEvery)
+	start := time.Now()
+	var wg sync.WaitGroup
+	stats := make([]deviceStats, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var sched []faults.Fault
+			if faultEvery > 0 && i%faultEvery == 0 {
+				sched = schedule
+			}
+			id := fmt.Sprintf("tvsim-%06d", i)
+			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, sched)
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, keys, frames int
+	var reports, ctrls uint64
+	var firstErr error
+	for i := range stats {
+		if errs[i] != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("tvsim-%06d: %w", i, errs[i])
+			}
+			continue
+		}
+		ok++
+		keys += stats[i].keys
+		frames += stats[i].frames
+		reports += stats[i].reports
+		ctrls += stats[i].ctrls
+	}
+	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received",
+		time.Since(start), ok, n, keys, frames, reports, ctrls)
+	if ok == 0 && firstErr != nil {
+		return firstErr
+	}
+	if firstErr != nil {
+		log.Printf("tvsim: first failure: %v", firstErr)
+	}
+	return nil
+}
+
+// runStandalone is the original single-TV mode: run locally, optionally
+// streaming to the legacy per-connection traderd socket.
+func runStandalone(seed int64, duration int, socket string, schedule []faults.Fault) {
+	k := sim.NewKernel(seed)
+	tv := tvsim.New(k, tvsim.Config{})
+
+	for _, fault := range schedule {
+		tv.Injector().Schedule(fault)
+		log.Printf("tvsim: scheduled %s", fault)
+	}
+
+	if socket != "" {
+		conn, err := net.Dial("unix", socket)
 		if err != nil {
-			log.Fatalf("tvsim: dial %s: %v", *socket, err)
+			log.Fatalf("tvsim: dial %s: %v", socket, err)
 		}
 		defer conn.Close()
 		wc := wire.NewConn(conn)
@@ -76,7 +251,7 @@ func main() {
 				}
 			}
 		}()
-		log.Printf("tvsim: streaming events to %s", *socket)
+		log.Printf("tvsim: streaming events to %s", socket)
 	}
 
 	// Event accounting for the session summary.
@@ -91,20 +266,7 @@ func main() {
 		}
 	})
 
-	// A watching user: power on, teletext, periodic volume nudges.
-	tv.PressKey(tvsim.KeyPower)
-	tv.PressKey(tvsim.KeyText)
-	horizon := sim.Time(*duration) * sim.Second
-	for t := sim.Second; t < horizon; t += 2 * sim.Second {
-		up := (t/sim.Second)%4 == 1
-		k.ScheduleAt(t, func() {
-			if up {
-				tv.PressKey(tvsim.KeyVolUp)
-			} else {
-				tv.PressKey(tvsim.KeyVolDown)
-			}
-		})
-	}
+	horizon := scenario(k, tv, duration)
 	k.Run(horizon)
 
 	fmt.Printf("tvsim: ran %s of virtual time\n", horizon)

@@ -9,9 +9,14 @@
 //
 // Beyond the paper's single-device setting, internal/fleet runs thousands
 // of monitored devices concurrently on a sharded pool — the fleet scale the
-// paper's high-volume premise implies.
+// paper's high-volume premise implies — and ingests remote devices over the
+// network: cmd/traderd -listen accepts concurrent SUO connections (Unix
+// socket/TCP, JSON or negotiated binary codec) and monitors each as a pool
+// device, with cmd/tvsim -connect as the matching fleet client.
 //
-// See README.md for the layout, DESIGN.md for the system inventory and
-// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
-// benchmarks in bench_test.go regenerate every experiment (E1–E14).
+// See ARCHITECTURE.md for the concept-to-package map and the full wire
+// protocol specification, README.md for the layout, DESIGN.md for the
+// system inventory and experiment index, and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// every experiment (E1–E14).
 package trader

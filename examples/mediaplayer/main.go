@@ -1,4 +1,4 @@
-// mediaplayer: awareness on a second SUO (the paper's MPlayer experiments,
+// Command mediaplayer: awareness on a second SUO (the paper's MPlayer experiments,
 // Sect. 5), monitoring a correctness property (A/V sync drift) and a
 // performance property (rendered frame rate / stalls) at the same time.
 //

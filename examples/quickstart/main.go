@@ -1,4 +1,4 @@
-// Quickstart: the smallest complete awareness loop.
+// Command quickstart: the smallest complete awareness loop.
 //
 // A toy SUO (a thermostat whose sensor can be corrupted) is monitored
 // against a two-line specification model. A fault is injected, the monitor

@@ -1,4 +1,4 @@
-// stresstest: the TASS development-time stress study (Sect. 4.7) combined
+// Command stresstest: the TASS development-time stress study (Sect. 4.7) combined
 // with the IMEC load-balancing recovery (Sect. 4.5): a CPU eater starves the
 // TV's video pipeline; without balancing, frames degrade; with the balancer,
 // the pipeline migrates to the second processor and quality recovers.

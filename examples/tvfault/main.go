@@ -1,4 +1,4 @@
-// tvfault: the paper's headline scenario end to end on the TV simulator.
+// Command tvfault: the paper's headline scenario end to end on the TV simulator.
 //
 //  1. A teletext sync-loss fault is injected (Sect. 4.3's case study).
 //  2. The awareness monitor detects it twice over: the mode-consistency

@@ -176,6 +176,9 @@ func (m *Monitor) Stats() MonitorStats { return m.stats }
 // Model returns the specification model (ISpecInfo).
 func (m *Monitor) Model() *statemachine.Model { return m.model }
 
+// Kernel returns the virtual clock the monitor and its spec model run on.
+func (m *Monitor) Kernel() *sim.Kernel { return m.kernel }
+
 // Start starts the spec model (first call only) and arms periodic checks
 // (the Controller's "initiate" action in Fig. 2). A stopped monitor can be
 // resumed by calling Start again; the model keeps its state across the gap.

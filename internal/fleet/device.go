@@ -43,30 +43,8 @@ type Factory func(id string, seed int64) (*Device, error)
 func LightFactory(faultEvery int) Factory {
 	return func(id string, seed int64) (*Device, error) {
 		k := sim.NewKernel(seed)
-		r := statemachine.NewRegion("dev")
-		r.Add(&statemachine.State{
-			Name:  "run",
-			Entry: func(c *statemachine.Context) { c.Set("x", 0) },
-			Transitions: []statemachine.Transition{{
-				Event: "set",
-				Action: func(c *statemachine.Context) {
-					if v, ok := c.Event.Get("x"); ok {
-						c.Set("x", v)
-					}
-				},
-			}},
-		})
-		model := statemachine.MustModel("dev-"+id, k, r)
-		mon, err := core.NewMonitor(k, model, core.Configuration{
-			Observables: []core.Observable{
-				{Name: "x", EventName: "out", ValueName: "x", ModelVar: "x", Threshold: 0.25, Tolerance: 1},
-			},
-			CompareEvery: 10 * sim.Millisecond,
-		})
+		mon, err := lightMonitor(id, k)
 		if err != nil {
-			return nil, err
-		}
-		if err := mon.Start(); err != nil {
 			return nil, err
 		}
 		faulty := faultEvery > 0 && seed%int64(faultEvery) == 0
@@ -92,6 +70,39 @@ func LightFactory(faultEvery int) Factory {
 		}
 		return d, nil
 	}
+}
+
+// lightMonitor builds the minimal started monitor LightFactory and
+// LightMonitorFactory share: a one-state spec model tracking the commanded
+// level "x", re-compared every 10ms of virtual time.
+func lightMonitor(id string, k *sim.Kernel) (*core.Monitor, error) {
+	r := statemachine.NewRegion("dev")
+	r.Add(&statemachine.State{
+		Name:  "run",
+		Entry: func(c *statemachine.Context) { c.Set("x", 0) },
+		Transitions: []statemachine.Transition{{
+			Event: "set",
+			Action: func(c *statemachine.Context) {
+				if v, ok := c.Event.Get("x"); ok {
+					c.Set("x", v)
+				}
+			},
+		}},
+	})
+	model := statemachine.MustModel("dev-"+id, k, r)
+	mon, err := core.NewMonitor(k, model, core.Configuration{
+		Observables: []core.Observable{
+			{Name: "x", EventName: "out", ValueName: "x", ModelVar: "x", Threshold: 0.25, Tolerance: 1},
+		},
+		CompareEvery: 10 * sim.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := mon.Start(); err != nil {
+		return nil, err
+	}
+	return mon, nil
 }
 
 // TVFactory returns a factory producing full monitored TVs: the tvsim

@@ -198,6 +198,34 @@ func (p *Pool) barrier(fn func(*shard)) error {
 // Sync blocks until every command submitted before it has been processed.
 func (p *Pool) Sync() error { return p.barrier(nil) }
 
+// AdvanceDevice runs one device's virtual clock forward to at, firing its
+// monitor's timers (time-based comparison, silence sweeps) on the way; it
+// is a no-op if the clock is already past at or the device is unknown. The
+// ingestion server calls it for each heartbeat, so a remote SUO that goes
+// quiet — but keeps heartbeating — still gets its MaxSilence deadlines
+// checked, and a drain heartbeat closes out the final comparison window.
+func (p *Pool) AdvanceDevice(id string, at sim.Time) error {
+	return p.send(p.ShardOf(id), func(s *shard) {
+		if d, ok := s.devices[id]; ok && at > d.Kernel.Now() {
+			d.Kernel.Run(at)
+		}
+	})
+}
+
+// FlushDevice blocks until every command submitted before it for the
+// device's shard has been processed — a single-shard Sync. The ingestion
+// server uses it to give heartbeats flush-barrier semantics: once the
+// heartbeat echo is on the wire, every earlier observation on that
+// connection has been through its monitor.
+func (p *Pool) FlushDevice(id string) error {
+	done := make(chan struct{})
+	if err := p.send(p.ShardOf(id), func(*shard) { close(done) }); err != nil {
+		return err
+	}
+	<-done
+	return nil
+}
+
 // AddDevice builds a device on its owning shard (the factory runs on the
 // shard goroutine) and wires its monitor's error reports into the fleet
 // fan-in. Devices can be added while dispatch traffic is in flight.

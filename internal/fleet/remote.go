@@ -1,0 +1,377 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+// This file is the networked half of the fleet: where device.go builds
+// devices whose SUO is simulated in-process, here the SUO is a remote
+// process on the other end of a socket (paper Fig. 2, multiplied by the
+// fleet). A Server accepts many concurrent SUO connections, performs the
+// wire Hello handshake (negotiating the JSON or binary codec per
+// connection), registers each connection as a device in the sharded Pool,
+// routes decoded observation frames through the same FNV shard dispatch as
+// local traffic, and pushes control and error frames back down the
+// connection. A disconnect — clean or not — removes the device and frees
+// its shard slot while the rest of the fleet keeps streaming.
+
+// MonitorFactory builds the monitor-side state for one remote SUO: a fresh
+// virtual clock and a monitor executing the specification model the device
+// is judged against. It runs on the owning shard's goroutine. The returned
+// monitor must already be started.
+type MonitorFactory func(id string, seed int64) (*sim.Kernel, *core.Monitor, error)
+
+// LightMonitorFactory is the remote counterpart of LightFactory: the same
+// one-state spec model tracking the commanded level "x", with no simulated
+// SUO attached — the real SUO is on the other end of the connection. Cheap
+// enough that one daemon hosts very large fleets.
+func LightMonitorFactory() MonitorFactory {
+	return func(id string, seed int64) (*sim.Kernel, *core.Monitor, error) {
+		k := sim.NewKernel(seed)
+		mon, err := lightMonitor(id, k)
+		if err != nil {
+			return nil, nil, err
+		}
+		return k, mon, nil
+	}
+}
+
+// RemoteDevice builds a connection-backed Device: events fed to it advance
+// the device's virtual clock to the event timestamp (firing model timers,
+// silence sweeps and time-based comparison exactly as in-process monitoring
+// would) and are routed into the monitor's observers. Error reports the
+// monitor raises are pushed down the connection as TypeError frames,
+// best-effort: a broken error channel must not stop detection. send is
+// called from shard goroutines and must be safe for concurrent use
+// (wire.Encoder is).
+func RemoteDevice(id string, k *sim.Kernel, mon *core.Monitor, send func(wire.Message) error) *Device {
+	mon.OnError(func(r wire.ErrorReport) {
+		_ = send(wire.Message{Type: wire.TypeError, SUO: id, Error: &r, At: r.At})
+	})
+	d := &Device{ID: id, Kernel: k, Monitor: mon, Close: mon.Stop}
+	d.Feed = func(e event.Event) {
+		if e.At > k.Now() {
+			k.Run(e.At)
+		}
+		switch e.Kind {
+		case event.Input:
+			mon.HandleInput(e)
+		case event.Output, event.State:
+			mon.HandleOutput(e)
+		}
+	}
+	return d
+}
+
+// ServerStats counts connection lifecycle events. All fields are cumulative.
+type ServerStats struct {
+	Accepted     uint64 // connections that completed the Hello handshake
+	Rejected     uint64 // connections dropped before registration (bad hello, duplicate ID, ...)
+	Disconnected uint64 // registered devices whose connection ended (clean or not)
+	Frames       uint64 // observation frames dispatched into the pool
+}
+
+// Server turns a Pool into a network ingestion daemon. Configure the
+// exported fields before calling Serve; they must not change afterwards.
+type Server struct {
+	// Pool receives one device per accepted connection. Required.
+	Pool *Pool
+	// Factory builds each remote device's monitor-side state. Required.
+	Factory MonitorFactory
+	// HelloTimeout bounds how long a new connection may take to complete
+	// the handshake before it is dropped (0: no limit). Connected devices
+	// are never timed out for read silence — silence detection is the
+	// monitor's job (Observable.MaxSilence), not the transport's.
+	HelloTimeout time.Duration
+	// WriteTimeout bounds every frame written to a client (default 10s).
+	// Error and control pushes run on shard goroutines; a client that
+	// stops reading until its socket buffer fills must stall only itself,
+	// so a timed-out write closes that connection.
+	WriteTimeout time.Duration
+	// Logf, when non-nil, receives connection lifecycle log lines.
+	Logf func(format string, args ...any)
+
+	mu      sync.Mutex
+	conns   map[string]*remoteConn // registered devices, by ID
+	pending map[net.Conn]struct{}  // accepted, not yet registered
+	closed  bool
+
+	accepted     atomic.Uint64
+	rejected     atomic.Uint64
+	disconnected atomic.Uint64
+	frames       atomic.Uint64
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("fleet: server closed")
+
+// remoteConn is one client connection with deadline-guarded writes. Writes
+// happen from shard goroutines (error pushes) and the connection's handler
+// (echoes, control), so every send arms a fresh write deadline first; a
+// send that fails poisons the connection, which unwinds the read loop and
+// removes the device.
+type remoteConn struct {
+	nc      net.Conn
+	wc      *wire.Conn
+	timeout time.Duration
+}
+
+func (c *remoteConn) send(m wire.Message) error {
+	_ = c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
+	err := c.wc.Encode(m)
+	if err != nil {
+		// A stalled or broken peer must not stall a shard twice.
+		_ = c.nc.Close()
+	}
+	return err
+}
+
+// Stats snapshots the connection counters.
+func (s *Server) Stats() ServerStats {
+	return ServerStats{
+		Accepted:     s.accepted.Load(),
+		Rejected:     s.rejected.Load(),
+		Disconnected: s.disconnected.Load(),
+		Frames:       s.frames.Load(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Serve accepts SUO connections on ln until ln fails or Close is called,
+// handling each connection on its own goroutine. Multiple Serve calls (one
+// per listener — e.g. a Unix socket and a TCP port) may run concurrently
+// against the same Server.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.conns == nil {
+		s.conns = make(map[string]*remoteConn)
+		s.pending = make(map[net.Conn]struct{})
+	}
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return ErrServerClosed
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("fleet: accept: %w", err)
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops accepting registrations and closes every connection; in-flight
+// handlers then unwind, removing their devices from the pool. The listeners
+// passed to Serve are the caller's to close (Serve returns once they are).
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := make([]*remoteConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	pending := make([]net.Conn, 0, len(s.pending))
+	for c := range s.pending {
+		pending = append(pending, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		// Best-effort stop: tell the SUO the monitor is going away.
+		_ = c.send(wire.Message{Type: wire.TypeControl, Control: wire.CtrlStop})
+		_ = c.nc.Close()
+	}
+	for _, c := range pending {
+		_ = c.Close()
+	}
+}
+
+// Control pushes a control command down one registered device's connection.
+func (s *Server) Control(id string, cmd wire.ControlCommand) error {
+	s.mu.Lock()
+	c := s.conns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("fleet: no connected device %q", id)
+	}
+	return c.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: cmd})
+}
+
+// seedOf derives a deterministic per-device seed from the device ID, so a
+// reconnecting device gets the same monitor behaviour each time.
+func seedOf(id string) int64 {
+	h := fnv.New64a()
+	io.WriteString(h, id)
+	return int64(h.Sum64()&(1<<63-1)) + 1
+}
+
+// register admits one handshaken connection into the pool, or explains why
+// not. The returned cleanup undoes the registration.
+func (s *Server) register(id string, rc *remoteConn) (cleanup func(), err error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+	if _, dup := s.conns[id]; dup {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("fleet: device %q already connected", id)
+	}
+	s.conns[id] = rc
+	s.mu.Unlock()
+
+	err = s.Pool.AddDevice(id, seedOf(id), func(id string, seed int64) (*Device, error) {
+		k, mon, err := s.Factory(id, seed)
+		if err != nil {
+			return nil, err
+		}
+		return RemoteDevice(id, k, mon, rc.send), nil
+	})
+	if err != nil {
+		s.mu.Lock()
+		delete(s.conns, id)
+		s.mu.Unlock()
+		return nil, err
+	}
+	return func() {
+		s.mu.Lock()
+		delete(s.conns, id)
+		s.mu.Unlock()
+		_, _ = s.Pool.RemoveDevice(id)
+		s.disconnected.Add(1)
+	}, nil
+}
+
+// handle owns one connection: handshake, registration, then the read loop.
+// Any protocol violation — garbage bytes, an oversized frame, an unknown
+// codec construct — ends this connection and removes this device only; the
+// daemon and every other connection keep running.
+func (s *Server) handle(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.pending[conn] = struct{}{}
+	s.mu.Unlock()
+	unpend := func() {
+		s.mu.Lock()
+		delete(s.pending, conn)
+		s.mu.Unlock()
+	}
+
+	wc := wire.NewConn(conn)
+	timeout := s.WriteTimeout
+	if timeout <= 0 {
+		timeout = 10 * time.Second
+	}
+	rc := &remoteConn{nc: conn, wc: wc, timeout: timeout}
+	if s.HelloTimeout > 0 {
+		_ = conn.SetReadDeadline(time.Now().Add(s.HelloTimeout))
+	}
+	hello, codec, err := wc.AcceptHello()
+	if err != nil {
+		unpend()
+		s.rejected.Add(1)
+		s.logf("fleet: %s: handshake failed: %v", conn.RemoteAddr(), err)
+		conn.Close()
+		return
+	}
+	_ = conn.SetReadDeadline(time.Time{})
+	id := hello.SUO
+	if id == "" {
+		unpend()
+		s.rejected.Add(1)
+		rep := wire.ErrorReport{Detector: "ingest", Detail: "hello frame carries no SUO device ID"}
+		_ = rc.send(wire.Message{Type: wire.TypeError, Error: &rep})
+		conn.Close()
+		return
+	}
+
+	cleanup, err := s.register(id, rc)
+	unpend()
+	if err != nil {
+		s.rejected.Add(1)
+		rep := wire.ErrorReport{Detector: "ingest", Detail: err.Error()}
+		_ = rc.send(wire.Message{Type: wire.TypeError, SUO: id, Error: &rep})
+		s.logf("fleet: %s: rejected %q: %v", conn.RemoteAddr(), id, err)
+		conn.Close()
+		return
+	}
+	s.accepted.Add(1)
+	s.logf("fleet: %s: device %q connected (codec %s), fleet size %d",
+		conn.RemoteAddr(), id, codec.Name(), s.Pool.Size())
+	defer func() {
+		cleanup()
+		conn.Close()
+		s.logf("fleet: device %q disconnected, fleet size %d", id, s.Pool.Size())
+	}()
+
+	for {
+		msg, err := wc.Decode()
+		if err == io.EOF {
+			return
+		}
+		if err != nil {
+			s.logf("fleet: device %q: %v", id, err)
+			return
+		}
+		switch msg.Type {
+		case wire.TypeInput, wire.TypeOutput, wire.TypeState:
+			if msg.Event == nil {
+				continue
+			}
+			// The connection's device is fixed at registration: frames route
+			// by the handshaken ID, not a spoofable per-frame field.
+			if err := s.Pool.Dispatch(id, *msg.Event); err != nil {
+				return // pool stopped — nothing left to ingest into
+			}
+			s.frames.Add(1)
+		case wire.TypeHeartbeat:
+			// Heartbeats carry time and act as a flush barrier. The carried
+			// At advances the device's virtual clock, so a quiet-but-alive
+			// SUO still gets silence sweeps and periodic comparison; the
+			// echo is only written after every earlier observation on this
+			// connection has been through the device's monitor, so any
+			// error frames they raised are already on the wire. Clients
+			// drain by heartbeating before close. If the pool refuses the
+			// barrier (daemon draining), no echo must be sent — a false
+			// echo would tell the client its frames were monitored.
+			if err := s.Pool.AdvanceDevice(id, msg.At); err != nil {
+				return
+			}
+			if err := s.Pool.FlushDevice(id); err != nil {
+				return
+			}
+			if rc.send(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: msg.At}) != nil {
+				return
+			}
+		case wire.TypeHello, wire.TypeControl, wire.TypeError, wire.TypeSpecInfo:
+			// Identification repeats and client-side chatter are ignored.
+		}
+	}
+}

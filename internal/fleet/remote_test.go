@@ -1,0 +1,337 @@
+package fleet
+
+import (
+	"encoding/binary"
+	"io"
+	"net"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"trader/internal/core"
+	"trader/internal/event"
+	"trader/internal/sim"
+	"trader/internal/statemachine"
+	"trader/internal/wire"
+)
+
+// startServer spins a pool + ingestion server on a Unix socket and returns
+// the server and its dialable address. Everything shuts down with the test.
+func startServer(t *testing.T, mutate func(*Server)) (*Server, string) {
+	t.Helper()
+	pool := NewPool(Options{Shards: 2})
+	t.Cleanup(pool.Stop)
+	srv := &Server{Pool: pool, Factory: LightMonitorFactory(), Logf: t.Logf}
+	if mutate != nil {
+		mutate(srv)
+	}
+	addr := "unix:" + filepath.Join(t.TempDir(), "ingest.sock")
+	ln, err := wire.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+	go srv.Serve(ln)
+	return srv, addr
+}
+
+// eventually polls cond for up to 5s — connection teardown and shard
+// commands are asynchronous.
+func eventually(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// outEvent is an observation the LightMonitorFactory spec model compares:
+// model variable "x" stays 0, so any |x| > 0.25 deviates.
+func outEvent(x float64, atMs int64) event.Event {
+	at := sim.Time(atMs) * sim.Millisecond
+	return event.Event{Kind: event.Output, Name: "out", Source: "suo", At: at}.With("x", x)
+}
+
+func TestServerIngestDetectDisconnectReconnect(t *testing.T) {
+	srv, addr := startServer(t, nil)
+
+	wc, err := wire.Dial(addr, "tv-1", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "registration", func() bool { return srv.Pool.Size() == 1 })
+
+	// Deviating observations must come back as a TypeError frame (the
+	// comparator tolerates one deviation, so send two in a row).
+	for i := int64(1); i <= 2; i++ {
+		if err := wc.SendEvent("tv-1", outEvent(5, 10*i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	msg, err := wc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if msg.Type != wire.TypeError || msg.Error == nil || msg.Error.Actual != 5 {
+		t.Fatalf("want deviation error frame, got %+v", msg)
+	}
+	eventually(t, "frame accounting", func() bool { return srv.Stats().Frames == 2 })
+
+	// Disconnect mid-stream: the device leaves the pool and its shard slot
+	// frees up, so the same ID can reconnect.
+	wc.Close()
+	eventually(t, "removal", func() bool { return srv.Pool.Size() == 0 })
+
+	wc2, err := wire.Dial(addr, "tv-1", wire.CodecJSON)
+	if err != nil {
+		t.Fatalf("reconnect with same ID: %v", err)
+	}
+	defer wc2.Close()
+	eventually(t, "re-registration", func() bool { return srv.Pool.Size() == 1 })
+	st := srv.Stats()
+	if st.Accepted != 2 || st.Disconnected != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestServerGarbageFrameClosesOnlyOffender(t *testing.T) {
+	srv, addr := startServer(t, nil)
+
+	healthy, err := wire.Dial(addr, "good", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+
+	network, address, _ := wire.SplitAddr(addr)
+	raw, err := net.Dial(network, address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	bad := wire.NewConn(raw)
+	if _, err := bad.Handshake("bad", wire.CodecJSON); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "both registered", func() bool { return srv.Pool.Size() == 2 })
+
+	// A framed payload that is not valid JSON: the offender dies...
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 3)
+	raw.Write(hdr[:])
+	raw.Write([]byte("{{{"))
+	eventually(t, "offender removed", func() bool { return srv.Pool.Size() == 1 })
+	if _, err := io.ReadAll(raw); err != nil && err != io.EOF {
+		t.Logf("offender conn: %v", err) // closed either way
+	}
+
+	// ...and the daemon keeps serving the healthy connection.
+	if err := healthy.Encode(wire.Message{Type: wire.TypeHeartbeat, At: 7}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := healthy.Decode()
+	if err != nil || msg.Type != wire.TypeHeartbeat || msg.At != 7 {
+		t.Fatalf("heartbeat echo: %+v, %v", msg, err)
+	}
+	if err := healthy.SendEvent("good", outEvent(0.1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "healthy still dispatching", func() bool {
+		ro := srv.Pool.Rollup()
+		return ro.Dispatched >= 1 && ro.Devices == 1
+	})
+}
+
+func TestServerOversizedFrameClosesOnlyOffender(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	network, address, _ := wire.SplitAddr(addr)
+	raw, err := net.Dial(network, address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	wc := wire.NewConn(raw)
+	if _, err := wc.Handshake("huge", ""); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], wire.MaxFrame+1)
+	raw.Write(hdr[:])
+	eventually(t, "offender removed", func() bool { return srv.Pool.Size() == 0 })
+	eventually(t, "disconnect counted", func() bool { return srv.Stats().Disconnected == 1 })
+}
+
+func TestServerRejectsDuplicateAndAnonymousIDs(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	first, err := wire.Dial(addr, "twin", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+
+	// Second connection with the same ID: handshake completes (the reply is
+	// sent before registration), then an ingest error frame arrives.
+	dup, err := wire.Dial(addr, "twin", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dup.Close()
+	msg, err := dup.Decode()
+	if err != nil || msg.Type != wire.TypeError || msg.Error == nil {
+		t.Fatalf("duplicate ID should yield error frame, got %+v, %v", msg, err)
+	}
+
+	anon, err := wire.Dial(addr, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anon.Close()
+	msg, err = anon.Decode()
+	if err != nil || msg.Type != wire.TypeError {
+		t.Fatalf("anonymous hello should yield error frame, got %+v, %v", msg, err)
+	}
+	eventually(t, "rejections counted", func() bool { return srv.Stats().Rejected == 2 })
+	if srv.Pool.Size() != 1 {
+		t.Fatalf("pool size = %d, want 1", srv.Pool.Size())
+	}
+}
+
+func TestServerHelloTimeout(t *testing.T) {
+	srv, addr := startServer(t, func(s *Server) { s.HelloTimeout = 30 * time.Millisecond })
+	network, address, _ := wire.SplitAddr(addr)
+	raw, err := net.Dial(network, address)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer raw.Close()
+	// Say nothing: the server must drop us instead of leaking the conn.
+	eventually(t, "mute connection rejected", func() bool { return srv.Stats().Rejected == 1 })
+	if srv.Pool.Size() != 0 {
+		t.Fatalf("pool size = %d, want 0", srv.Pool.Size())
+	}
+}
+
+// A remote SUO that goes quiet but keeps heartbeating must still trip its
+// monitor's MaxSilence deadline: the heartbeat's At advances the device's
+// virtual clock, firing the silence sweep.
+func TestServerHeartbeatAdvancesClockForSilenceDetection(t *testing.T) {
+	factory := func(id string, seed int64) (*sim.Kernel, *core.Monitor, error) {
+		k := sim.NewKernel(seed)
+		r := statemachine.NewRegion("dev")
+		r.Add(&statemachine.State{Name: "run", Entry: func(c *statemachine.Context) { c.Set("x", 0) }})
+		model := statemachine.MustModel("dev-"+id, k, r)
+		mon, err := core.NewMonitor(k, model, core.Configuration{Observables: []core.Observable{
+			{Name: "x", EventName: "out", ValueName: "x", ModelVar: "x",
+				Threshold: 0.25, Tolerance: 1, MaxSilence: 100 * sim.Millisecond},
+		}})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := mon.Start(); err != nil {
+			return nil, nil, err
+		}
+		return k, mon, nil
+	}
+	srv, addr := startServer(t, func(s *Server) { s.Factory = factory })
+	wc, err := wire.Dial(addr, "quiet", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+
+	// One healthy observation, then silence — only heartbeats carry time.
+	if err := wc.SendEvent("quiet", outEvent(0, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: "quiet", At: 2 * sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+	var sawSilence bool
+	for !sawSilence {
+		msg, err := wc.Decode()
+		if err != nil {
+			t.Fatalf("connection ended before silence report: %v", err)
+		}
+		if msg.Type == wire.TypeError && msg.Error != nil && msg.Error.Detector == "silence" {
+			sawSilence = true
+		}
+		if msg.Type == wire.TypeHeartbeat {
+			break // flush barrier: any silence report would have preceded it
+		}
+	}
+	if !sawSilence {
+		t.Fatal("silence deadline never reported despite heartbeats carrying time")
+	}
+}
+
+// When the pool is gone (daemon draining) the heartbeat echo must NOT be
+// sent — an echo is a promise that all prior frames were monitored.
+func TestServerNoFalseEchoAfterPoolStop(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	wc, err := wire.Dial(addr, "late", wire.CodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+
+	srv.Pool.Stop()
+	if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: "late", At: sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		msg, err := wc.Decode()
+		if err != nil {
+			break // connection dropped: correct
+		}
+		if msg.Type == wire.TypeHeartbeat {
+			t.Fatal("heartbeat echoed after pool stop — false drain signal")
+		}
+	}
+}
+
+func TestServerControlPushAndClose(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	wc, err := wire.Dial(addr, "tv-9", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+
+	if err := srv.Control("tv-9", wire.CtrlRecover); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := wc.Decode()
+	if err != nil || msg.Type != wire.TypeControl || msg.Control != wire.CtrlRecover {
+		t.Fatalf("control frame: %+v, %v", msg, err)
+	}
+	if err := srv.Control("ghost", wire.CtrlStop); err == nil {
+		t.Fatal("control to unknown device should error")
+	}
+
+	// Close pushes a stop control down the connection, then tears it down.
+	srv.Close()
+	sawStop := false
+	for {
+		msg, err := wc.Decode()
+		if err != nil {
+			break
+		}
+		if msg.Type == wire.TypeControl && msg.Control == wire.CtrlStop {
+			sawStop = true
+		}
+	}
+	if !sawStop {
+		t.Fatal("Close should push CtrlStop before closing connections")
+	}
+	eventually(t, "all devices removed", func() bool { return srv.Pool.Size() == 0 })
+}

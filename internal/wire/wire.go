@@ -1,14 +1,18 @@
 // Package wire implements the message protocol spoken across the process
 // boundary of the awareness framework (paper Fig. 2): the System Under
 // Observation and the awareness monitor are separate processes connected by
-// Unix domain sockets. Messages are length-prefixed JSON frames; the framing
-// is transport-agnostic so tests can run over net.Pipe and the daemons over
-// *net.UnixConn.
+// Unix domain sockets or TCP. Messages are length-prefixed frames; the
+// payload encoding is pluggable (JSON by default, a compact binary codec
+// negotiated in the Hello exchange — see Codec), and the framing is
+// transport-agnostic so tests can run over net.Pipe and the daemons over
+// real sockets.
+//
+// The full protocol — frame layout, message types, codec negotiation,
+// heartbeats — is specified in ARCHITECTURE.md at the repository root.
 package wire
 
 import (
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"io"
 	"sync"
@@ -74,6 +78,9 @@ type Message struct {
 	Error *ErrorReport `json:"error,omitempty"`
 	// At is the sender's virtual time.
 	At sim.Time `json:"at,omitempty"`
+	// Codec is carried by Hello frames only: the client's requested payload
+	// codec, and the server's accepted one in the reply. Empty means JSON.
+	Codec string `json:"codec,omitempty"`
 }
 
 // MaxFrame bounds a frame's payload size; oversized frames indicate protocol
@@ -82,42 +89,65 @@ const MaxFrame = 1 << 20
 
 // Encoder writes frames to w. Safe for concurrent use.
 type Encoder struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu    sync.Mutex
+	w     io.Writer
+	codec Codec
+	// buf is the reused frame buffer: 4-byte header + payload, written in a
+	// single Write so concurrent encoders never interleave partial frames.
+	buf []byte
 }
 
-// NewEncoder returns an Encoder writing to w.
-func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w} }
+// NewEncoder returns an Encoder writing JSON-codec frames to w.
+func NewEncoder(w io.Writer) *Encoder { return &Encoder{w: w, codec: JSON} }
+
+// SetCodec switches the payload codec for subsequent frames. It
+// synchronises with in-flight Encodes; callers sequence it against the
+// protocol (after the Hello exchange).
+func (e *Encoder) SetCodec(c Codec) {
+	e.mu.Lock()
+	e.codec = c
+	e.mu.Unlock()
+}
 
 // Encode writes one frame.
 func (e *Encoder) Encode(m Message) error {
-	payload, err := json.Marshal(m)
-	if err != nil {
-		return fmt.Errorf("wire: marshal: %w", err)
-	}
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("wire: frame too large: %d bytes", len(payload))
-	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := e.w.Write(hdr[:]); err != nil {
-		return fmt.Errorf("wire: write header: %w", err)
+	if cap(e.buf) < 4 {
+		e.buf = make([]byte, 4, 512)
 	}
-	if _, err := e.w.Write(payload); err != nil {
-		return fmt.Errorf("wire: write payload: %w", err)
+	buf, err := e.codec.Append(e.buf[:4], m)
+	if err != nil {
+		return err
+	}
+	e.buf = buf[:4] // keep (possibly grown) storage for the next frame
+	n := len(buf) - 4
+	if n > MaxFrame {
+		return fmt.Errorf("wire: frame too large: %d bytes", n)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(n))
+	if _, err := e.w.Write(buf); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
 	}
 	return nil
 }
 
-// Decoder reads frames from r.
+// Decoder reads frames from r. Not safe for concurrent use: the payload
+// buffer is reused between Decode calls (codecs copy what they keep, so the
+// returned Messages themselves are independent of it).
 type Decoder struct {
-	r io.Reader
+	r     io.Reader
+	codec Codec
+	// buf is the reused payload buffer, grown on demand up to MaxFrame so
+	// steady-state decoding performs no per-frame buffer allocation.
+	buf []byte
 }
 
-// NewDecoder returns a Decoder reading from r.
-func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r} }
+// NewDecoder returns a Decoder reading JSON-codec frames from r.
+func NewDecoder(r io.Reader) *Decoder { return &Decoder{r: r, codec: JSON} }
+
+// SetCodec switches the payload codec for subsequent frames.
+func (d *Decoder) SetCodec(c Codec) { d.codec = c }
 
 // Decode reads one frame. It returns io.EOF on clean stream end.
 func (d *Decoder) Decode() (Message, error) {
@@ -132,13 +162,16 @@ func (d *Decoder) Decode() (Message, error) {
 	if n > MaxFrame {
 		return Message{}, fmt.Errorf("wire: frame too large: %d bytes", n)
 	}
-	payload := make([]byte, n)
+	if uint32(cap(d.buf)) < n {
+		d.buf = make([]byte, n)
+	}
+	payload := d.buf[:n]
 	if _, err := io.ReadFull(d.r, payload); err != nil {
 		return Message{}, fmt.Errorf("wire: read payload: %w", err)
 	}
 	var m Message
-	if err := json.Unmarshal(payload, &m); err != nil {
-		return Message{}, fmt.Errorf("wire: unmarshal: %w", err)
+	if err := d.codec.Unmarshal(payload, &m); err != nil {
+		return Message{}, err
 	}
 	return m, nil
 }
@@ -165,6 +198,59 @@ func (c *Conn) Close() error {
 		return c.c.Close()
 	}
 	return nil
+}
+
+// SetCodec switches both directions of the connection to the codec.
+func (c *Conn) SetCodec(codec Codec) {
+	c.Encoder.SetCodec(codec)
+	c.Decoder.SetCodec(codec)
+}
+
+// Handshake performs the client side of the Hello exchange: it sends a
+// Hello frame identifying the SUO and requesting the named codec (empty or
+// "json" for the default), waits for the server's Hello reply, and switches
+// the connection to the codec the server accepted. It returns that codec.
+// Hello frames always travel as JSON, so negotiation works regardless of
+// the outcome.
+func (c *Conn) Handshake(suo, codec string) (Codec, error) {
+	if err := c.Encode(Message{Type: TypeHello, SUO: suo, Codec: codec}); err != nil {
+		return nil, fmt.Errorf("wire: handshake send: %w", err)
+	}
+	reply, err := c.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("wire: handshake reply: %w", err)
+	}
+	if reply.Type == TypeError && reply.Error != nil {
+		return nil, fmt.Errorf("wire: handshake rejected: %s", reply.Error.Detail)
+	}
+	if reply.Type != TypeHello {
+		return nil, fmt.Errorf("wire: handshake reply has type %q, want %q", reply.Type, TypeHello)
+	}
+	accepted, _ := CodecByName(reply.Codec)
+	c.SetCodec(accepted)
+	return accepted, nil
+}
+
+// AcceptHello performs the server side of the Hello exchange: it reads the
+// client's Hello, picks the requested codec if known (JSON otherwise —
+// JSON is the universal fallback), sends a Hello reply naming the accepted
+// codec, and switches the connection to it. It returns the client's Hello
+// and the codec now in effect.
+func (c *Conn) AcceptHello() (Message, Codec, error) {
+	hello, err := c.Decode()
+	if err != nil {
+		return Message{}, nil, err
+	}
+	if hello.Type != TypeHello {
+		return hello, nil, fmt.Errorf("wire: expected hello frame, got %q", hello.Type)
+	}
+	codec, _ := CodecByName(hello.Codec)
+	reply := Message{Type: TypeHello, SUO: hello.SUO, Codec: codec.Name()}
+	if err := c.Encode(reply); err != nil {
+		return hello, nil, fmt.Errorf("wire: hello reply: %w", err)
+	}
+	c.SetCodec(codec)
+	return hello, codec, nil
 }
 
 // SendEvent is a convenience for the SUO side: it frames an observation.
