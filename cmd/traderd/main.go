@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net"
 	"os"
 	"os/signal"
@@ -56,6 +57,7 @@ func main() {
 	shards := flag.Int("shards", runtime.GOMAXPROCS(0), "worker shards for -fleet/-listen modes")
 	fleetSecs := flag.Int("fleet-seconds", 5, "virtual seconds of fleet operation in -fleet mode")
 	statsEvery := flag.Int("stats-seconds", 10, "fleet rollup log interval in -listen mode (0: off)")
+	maxAdvance := flag.Int("max-advance", 0, "largest virtual-time jump in seconds a single client frame may request in -listen mode (0: default 300)")
 	flag.Parse()
 
 	if *fleetN > 0 {
@@ -65,7 +67,7 @@ func main() {
 		return
 	}
 	if *listen != "" {
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *verbose); err != nil {
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
@@ -111,10 +113,17 @@ func monitorFactory(suo string) (fleet.MonitorFactory, error) {
 
 // runIngest is the networked fleet daemon: every accepted connection is one
 // remote SUO monitored as a device of a single sharded pool.
-func runIngest(addrs, suo string, shards, statsEvery int, verbose bool) error {
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
+	}
+	// Saturate rather than convert blindly: a huge flag value (an operator
+	// disabling the bound) must not wrap negative and silently fall back
+	// to the 300s default.
+	adv := sim.Time(math.MaxInt64)
+	if int64(maxAdvance) <= math.MaxInt64/int64(sim.Second) {
+		adv = sim.Time(maxAdvance) * sim.Second
 	}
 	pool := fleet.NewPool(fleet.Options{Shards: shards})
 	defer pool.Stop()
@@ -122,6 +131,7 @@ func runIngest(addrs, suo string, shards, statsEvery int, verbose bool) error {
 		Pool:         pool,
 		Factory:      factory,
 		HelloTimeout: 10 * time.Second,
+		MaxAdvance:   adv,
 	}
 	if verbose {
 		srv.Logf = log.Printf

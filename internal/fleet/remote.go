@@ -100,6 +100,17 @@ type Server struct {
 	// stops reading until its socket buffer fills must stall only itself,
 	// so a timed-out write closes that connection.
 	WriteTimeout time.Duration
+	// MaxAdvance bounds how far a single frame — an observation's event
+	// time or a heartbeat's At — may move its device's virtual clock
+	// forward (default DefaultMaxAdvance). Virtual time is client-supplied
+	// and advancing a clock replays every periodic monitor timer (silence
+	// sweeps, comparison windows, ~10ms period) along the way, so an
+	// unbounded advance — one hostile or buggy frame carrying At =
+	// MaxInt64 — would wedge the device's whole shard stepping timers
+	// through years of virtual time. A frame further than MaxAdvance ahead
+	// of the device's clock is a protocol violation: the connection is
+	// closed and the device removed, like any other malformed traffic.
+	MaxAdvance sim.Time
 	// Logf, when non-nil, receives connection lifecycle log lines.
 	Logf func(format string, args ...any)
 
@@ -117,6 +128,12 @@ type Server struct {
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("fleet: server closed")
 
+// DefaultMaxAdvance is the per-frame virtual-time advance window when
+// Server.MaxAdvance is zero: generous next to real heartbeat cadences
+// (seconds), but small enough that replaying the window's periodic monitor
+// timers stays a bounded, sub-second amount of shard work.
+const DefaultMaxAdvance = 300 * sim.Second
+
 // remoteConn is one client connection with deadline-guarded writes. Writes
 // happen from shard goroutines (error pushes) and the connection's handler
 // (echoes, control), so every send arms a fresh write deadline first; a
@@ -126,6 +143,13 @@ type remoteConn struct {
 	nc      net.Conn
 	wc      *wire.Conn
 	timeout time.Duration
+	// ready flips once the Hello reply is on the wire and the negotiated
+	// codec is in effect. The connection is visible in Server.conns from
+	// reservation — before the reply — so cross-goroutine pushes (Control,
+	// Close's CtrlStop) must check ready first: a frame written ahead of
+	// the Hello reply, or between the reply and the codec switch, would
+	// corrupt the client's handshake.
+	ready atomic.Bool
 }
 
 func (c *remoteConn) send(m wire.Message) error {
@@ -169,6 +193,7 @@ func (s *Server) Serve(ln net.Listener) error {
 	if closed {
 		return ErrServerClosed
 	}
+	var backoff time.Duration
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -178,8 +203,24 @@ func (s *Server) Serve(ln net.Listener) error {
 			if closed {
 				return ErrServerClosed
 			}
+			// A transient failure under load (EMFILE, ECONNABORTED) must
+			// not take down the daemon and every connected device: back
+			// off and retry, net/http style. Only persistent listener
+			// failures end Serve.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Temporary() {
+				if backoff == 0 {
+					backoff = 5 * time.Millisecond
+				} else if backoff *= 2; backoff > time.Second {
+					backoff = time.Second
+				}
+				s.logf("fleet: accept: %v; retrying in %v", err, backoff)
+				time.Sleep(backoff)
+				continue
+			}
 			return fmt.Errorf("fleet: accept: %w", err)
 		}
+		backoff = 0
 		go s.handle(conn)
 	}
 }
@@ -201,7 +242,11 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	for _, c := range conns {
 		// Best-effort stop: tell the SUO the monitor is going away.
-		_ = c.send(wire.Message{Type: wire.TypeControl, Control: wire.CtrlStop})
+		// Mid-handshake connections just get closed — their client is
+		// still expecting the Hello reply, not a control frame.
+		if c.ready.Load() {
+			_ = c.send(wire.Message{Type: wire.TypeControl, Control: wire.CtrlStop})
+		}
 		_ = c.nc.Close()
 	}
 	for _, c := range pending {
@@ -214,7 +259,7 @@ func (s *Server) Control(id string, cmd wire.ControlCommand) error {
 	s.mu.Lock()
 	c := s.conns[id]
 	s.mu.Unlock()
-	if c == nil {
+	if c == nil || !c.ready.Load() {
 		return fmt.Errorf("fleet: no connected device %q", id)
 	}
 	return c.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: cmd})
@@ -228,41 +273,27 @@ func seedOf(id string) int64 {
 	return int64(h.Sum64()&(1<<63-1)) + 1
 }
 
-// register admits one handshaken connection into the pool, or explains why
-// not. The returned cleanup undoes the registration.
-func (s *Server) register(id string, rc *remoteConn) (cleanup func(), err error) {
+// reserve claims the device ID for rc, or explains why not (server
+// draining, ID already connected). It runs before the Hello reply is sent,
+// so a refusal reaches the client as the handshake reply. release undoes
+// the claim.
+func (s *Server) reserve(id string, rc *remoteConn) error {
 	s.mu.Lock()
+	defer s.mu.Unlock()
 	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrServerClosed
+		return ErrServerClosed
 	}
 	if _, dup := s.conns[id]; dup {
-		s.mu.Unlock()
-		return nil, fmt.Errorf("fleet: device %q already connected", id)
+		return fmt.Errorf("fleet: device %q already connected", id)
 	}
 	s.conns[id] = rc
-	s.mu.Unlock()
+	return nil
+}
 
-	err = s.Pool.AddDevice(id, seedOf(id), func(id string, seed int64) (*Device, error) {
-		k, mon, err := s.Factory(id, seed)
-		if err != nil {
-			return nil, err
-		}
-		return RemoteDevice(id, k, mon, rc.send), nil
-	})
-	if err != nil {
-		s.mu.Lock()
-		delete(s.conns, id)
-		s.mu.Unlock()
-		return nil, err
-	}
-	return func() {
-		s.mu.Lock()
-		delete(s.conns, id)
-		s.mu.Unlock()
-		_, _ = s.Pool.RemoveDevice(id)
-		s.disconnected.Add(1)
-	}, nil
+func (s *Server) release(id string) {
+	s.mu.Lock()
+	delete(s.conns, id)
+	s.mu.Unlock()
 }
 
 // handle owns one connection: handshake, registration, then the read loop.
@@ -293,7 +324,7 @@ func (s *Server) handle(conn net.Conn) {
 	if s.HelloTimeout > 0 {
 		_ = conn.SetReadDeadline(time.Now().Add(s.HelloTimeout))
 	}
-	hello, codec, err := wc.AcceptHello()
+	hello, err := wc.ReadHello()
 	if err != nil {
 		unpend()
 		s.rejected.Add(1)
@@ -303,24 +334,68 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	_ = conn.SetReadDeadline(time.Time{})
 	id := hello.SUO
-	if id == "" {
+
+	// Vet the registration BEFORE replying: a refused client must see the
+	// rejection as its handshake reply (a TypeError frame, still JSON —
+	// no codec switch has happened), so its Dial fails synchronously
+	// instead of reporting success for a connection the server is about
+	// to drop.
+	reject := func(detail string) {
 		unpend()
 		s.rejected.Add(1)
-		rep := wire.ErrorReport{Detector: "ingest", Detail: "hello frame carries no SUO device ID"}
-		_ = rc.send(wire.Message{Type: wire.TypeError, Error: &rep})
+		_ = conn.SetWriteDeadline(time.Now().Add(rc.timeout))
+		_ = wc.RejectHello(id, detail)
+		s.logf("fleet: %s: rejected %q: %s", conn.RemoteAddr(), id, detail)
+		conn.Close()
+	}
+	if id == "" {
+		reject("hello frame carries no SUO device ID")
+		return
+	}
+	if err := s.reserve(id, rc); err != nil {
+		reject(err.Error())
+		return
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(rc.timeout))
+	codec, err := wc.ReplyHello(hello)
+	if err != nil {
+		s.release(id)
+		unpend()
+		s.rejected.Add(1)
+		s.logf("fleet: %s: hello reply to %q failed: %v", conn.RemoteAddr(), id, err)
 		conn.Close()
 		return
 	}
+	rc.ready.Store(true)
 
-	cleanup, err := s.register(id, rc)
+	// Pool admission can still fail after the reply (factory error, pool
+	// stopping) — a server-side condition the client learns about through
+	// a post-handshake error frame and a close.
+	err = s.Pool.AddDevice(id, seedOf(id), func(id string, seed int64) (*Device, error) {
+		k, mon, err := s.Factory(id, seed)
+		if err != nil {
+			return nil, err
+		}
+		return RemoteDevice(id, k, mon, rc.send), nil
+	})
 	unpend()
 	if err != nil {
+		s.release(id)
 		s.rejected.Add(1)
 		rep := wire.ErrorReport{Detector: "ingest", Detail: err.Error()}
 		_ = rc.send(wire.Message{Type: wire.TypeError, SUO: id, Error: &rep})
 		s.logf("fleet: %s: rejected %q: %v", conn.RemoteAddr(), id, err)
 		conn.Close()
 		return
+	}
+	cleanup := func() {
+		// Shard first, conns map second: RemoveDevice blocks until the
+		// shard has dropped the device, so once the ID is reservable
+		// again an immediate reconnect's AddDevice cannot collide with
+		// the stale entry (§2.4 allows instant reconnects).
+		_, _ = s.Pool.RemoveDevice(id)
+		s.release(id)
+		s.disconnected.Add(1)
 	}
 	s.accepted.Add(1)
 	s.logf("fleet: %s: device %q connected (codec %s), fleet size %d",
@@ -330,6 +405,34 @@ func (s *Server) handle(conn net.Conn) {
 		conn.Close()
 		s.logf("fleet: device %q disconnected, fleet size %d", id, s.Pool.Size())
 	}()
+
+	maxAdv := s.MaxAdvance
+	if maxAdv <= 0 {
+		maxAdv = DefaultMaxAdvance
+	}
+	// clock shadows the device's virtual time as driven by this connection
+	// — the only source of time for a remote device — so client-supplied
+	// timestamps are vetted here, before they reach the shard. advance
+	// reports whether at is within the MaxAdvance window; a frame beyond
+	// it is a protocol violation that ends the connection (see
+	// Server.MaxAdvance for why unbounded advances are dangerous).
+	var clock sim.Time
+	advance := func(at sim.Time) bool {
+		// at-clock, not clock+maxAdv: the sum overflows when an operator
+		// sets a huge window to effectively disable the bound. clock only
+		// ever holds an accepted at > clock ≥ 0, so the difference is safe.
+		if at > clock && at-clock > maxAdv {
+			rep := wire.ErrorReport{Detector: "ingest", At: clock, Detail: fmt.Sprintf(
+				"frame time %s is beyond the %s advance window (device clock %s)", at, maxAdv, clock)}
+			_ = rc.send(wire.Message{Type: wire.TypeError, SUO: id, Error: &rep, At: clock})
+			s.logf("fleet: device %q: %s", id, rep.Detail)
+			return false
+		}
+		if at > clock {
+			clock = at
+		}
+		return true
+	}
 
 	for {
 		msg, err := wc.Decode()
@@ -345,6 +448,9 @@ func (s *Server) handle(conn net.Conn) {
 			if msg.Event == nil {
 				continue
 			}
+			if !advance(msg.Event.At) {
+				return
+			}
 			// The connection's device is fixed at registration: frames route
 			// by the handshaken ID, not a spoofable per-frame field.
 			if err := s.Pool.Dispatch(id, *msg.Event); err != nil {
@@ -352,6 +458,9 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			s.frames.Add(1)
 		case wire.TypeHeartbeat:
+			if !advance(msg.At) {
+				return
+			}
 			// Heartbeats carry time and act as a flush barrier. The carried
 			// At advances the device's virtual clock, so a quiet-but-alive
 			// SUO still gets silence sweeps and periodic comparison; the

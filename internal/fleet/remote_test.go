@@ -3,8 +3,11 @@ package fleet
 import (
 	"encoding/binary"
 	"io"
+	"math"
 	"net"
 	"path/filepath"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -176,26 +179,24 @@ func TestServerRejectsDuplicateAndAnonymousIDs(t *testing.T) {
 	defer first.Close()
 	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
 
-	// Second connection with the same ID: handshake completes (the reply is
-	// sent before registration), then an ingest error frame arrives.
+	// Second connection with the same ID: the rejection IS the handshake
+	// reply, so Dial itself fails and tells the client why.
 	dup, err := wire.Dial(addr, "twin", "")
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		dup.Close()
+		t.Fatal("duplicate ID should fail the handshake")
 	}
-	defer dup.Close()
-	msg, err := dup.Decode()
-	if err != nil || msg.Type != wire.TypeError || msg.Error == nil {
-		t.Fatalf("duplicate ID should yield error frame, got %+v, %v", msg, err)
+	if !strings.Contains(err.Error(), "already connected") {
+		t.Fatalf("duplicate ID error = %v, want the reason", err)
 	}
 
 	anon, err := wire.Dial(addr, "", "")
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		anon.Close()
+		t.Fatal("anonymous hello should fail the handshake")
 	}
-	defer anon.Close()
-	msg, err = anon.Decode()
-	if err != nil || msg.Type != wire.TypeError {
-		t.Fatalf("anonymous hello should yield error frame, got %+v, %v", msg, err)
+	if !strings.Contains(err.Error(), "no SUO device ID") {
+		t.Fatalf("anonymous hello error = %v, want the reason", err)
 	}
 	eventually(t, "rejections counted", func() bool { return srv.Stats().Rejected == 2 })
 	if srv.Pool.Size() != 1 {
@@ -295,6 +296,133 @@ func TestServerNoFalseEchoAfterPoolStop(t *testing.T) {
 		if msg.Type == wire.TypeHeartbeat {
 			t.Fatal("heartbeat echoed after pool stop — false drain signal")
 		}
+	}
+}
+
+// A frame carrying a runaway timestamp (up to MaxInt64) must not wedge its
+// shard replaying years of virtual-time monitor timers: the advance window
+// rejects it and closes only the offending connection, preserving the
+// "a stalled client cannot stall a shard" guarantee.
+func TestServerRejectsRunawayTimeAdvance(t *testing.T) {
+	srv, addr := startServer(t, nil)
+
+	healthy, err := wire.Dial(addr, "steady", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer healthy.Close()
+	bomb, err := wire.Dial(addr, "bomb", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bomb.Close()
+	eventually(t, "both registered", func() bool { return srv.Pool.Size() == 2 })
+
+	// Heartbeat path: a hostile At, one frame, would otherwise be ~10^11
+	// repeater steps on the shard goroutine.
+	if err := bomb.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: "bomb", At: sim.Time(math.MaxInt64)}); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "offender removed", func() bool { return srv.Pool.Size() == 1 })
+	msg, err := bomb.Decode()
+	if err == nil && (msg.Type != wire.TypeError || msg.Error == nil) {
+		t.Fatalf("offender should see an error frame (or a close), got %+v", msg)
+	}
+
+	// Observation path: the event's own timestamp is vetted the same way.
+	bomb2, err := wire.Dial(addr, "bomb2", wire.CodecJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bomb2.Close()
+	eventually(t, "second offender registered", func() bool { return srv.Pool.Size() == 2 })
+	ev := event.Event{Kind: event.Output, Name: "out", Source: "suo", At: sim.Time(math.MaxInt64)}
+	if err := bomb2.SendEvent("bomb2", ev); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "second offender removed", func() bool { return srv.Pool.Size() == 1 })
+
+	// The shard keeps serving the healthy device: in-window advances and
+	// the flush barrier still work.
+	if err := healthy.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: "steady", At: 2 * sim.Second}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = healthy.Decode()
+	if err != nil || msg.Type != wire.TypeHeartbeat || msg.At != 2*sim.Second {
+		t.Fatalf("healthy heartbeat echo: %+v, %v", msg, err)
+	}
+}
+
+// An operator-supplied huge MaxAdvance (effectively disabling the bound)
+// must not overflow the window arithmetic and start rejecting well-behaved
+// frames once the clock has advanced.
+func TestServerHugeMaxAdvanceDoesNotOverflow(t *testing.T) {
+	srv, addr := startServer(t, func(s *Server) { s.MaxAdvance = sim.Time(math.MaxInt64) })
+	wc, err := wire.Dial(addr, "wide", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+
+	for _, at := range []sim.Time{sim.Second, 5 * sim.Second} {
+		if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: "wide", At: at}); err != nil {
+			t.Fatal(err)
+		}
+		msg, err := wc.Decode()
+		if err != nil || msg.Type != wire.TypeHeartbeat || msg.At != at {
+			t.Fatalf("heartbeat %s: got %+v, %v", at, msg, err)
+		}
+	}
+}
+
+// tempErr mimics a transient accept failure (EMFILE under load).
+type tempErr struct{}
+
+func (tempErr) Error() string   { return "accept: too many open files" }
+func (tempErr) Timeout() bool   { return false }
+func (tempErr) Temporary() bool { return true }
+
+// flakyListener fails its first Accept with a temporary error.
+type flakyListener struct {
+	net.Listener
+	failed atomic.Bool
+}
+
+func (l *flakyListener) Accept() (net.Conn, error) {
+	if l.failed.CompareAndSwap(false, true) {
+		return nil, tempErr{}
+	}
+	return l.Listener.Accept()
+}
+
+// A transient accept failure must not end Serve — that would take down the
+// whole ingestion daemon and every connected device. Serve backs off and
+// keeps accepting.
+func TestServeRetriesTemporaryAcceptErrors(t *testing.T) {
+	pool := NewPool(Options{Shards: 1})
+	t.Cleanup(pool.Stop)
+	srv := &Server{Pool: pool, Factory: LightMonitorFactory(), Logf: t.Logf}
+	addr := "unix:" + filepath.Join(t.TempDir(), "flaky.sock")
+	ln, err := wire.Listen(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); ln.Close() })
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(&flakyListener{Listener: ln}) }()
+
+	// The first Accept fails; this connection only succeeds if Serve retried.
+	wc, err := wire.Dial(addr, "survivor", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registration after transient accept error", func() bool { return srv.Pool.Size() == 1 })
+	select {
+	case err := <-done:
+		t.Fatalf("Serve returned on a temporary accept error: %v", err)
+	default:
 	}
 }
 

@@ -87,6 +87,13 @@ type Message struct {
 // corruption and are rejected.
 const MaxFrame = 1 << 20
 
+// bufRetain caps the frame-buffer capacity an Encoder or Decoder keeps
+// between frames. One unusually large frame (up to MaxFrame) must not pin
+// ~1 MiB for the connection's lifetime — on a daemon hosting very large
+// fleets of mostly-small-frame connections that adds up — so storage beyond
+// the cap is released once the frame is processed.
+const bufRetain = 64 << 10
+
 // Encoder writes frames to w. Safe for concurrent use.
 type Encoder struct {
 	mu    sync.Mutex
@@ -120,7 +127,11 @@ func (e *Encoder) Encode(m Message) error {
 	if err != nil {
 		return err
 	}
-	e.buf = buf[:4] // keep (possibly grown) storage for the next frame
+	if cap(buf) > bufRetain {
+		e.buf = nil // outlier frame: release the storage after this write
+	} else {
+		e.buf = buf[:4] // keep the (possibly grown) storage for the next frame
+	}
 	n := len(buf) - 4
 	if n > MaxFrame {
 		return fmt.Errorf("wire: frame too large: %d bytes", n)
@@ -138,8 +149,9 @@ func (e *Encoder) Encode(m Message) error {
 type Decoder struct {
 	r     io.Reader
 	codec Codec
-	// buf is the reused payload buffer, grown on demand up to MaxFrame so
-	// steady-state decoding performs no per-frame buffer allocation.
+	// buf is the reused payload buffer, grown on demand so steady-state
+	// decoding performs no per-frame buffer allocation; an outlier frame
+	// that grows it past bufRetain releases it after decoding.
 	buf []byte
 }
 
@@ -170,7 +182,11 @@ func (d *Decoder) Decode() (Message, error) {
 		return Message{}, fmt.Errorf("wire: read payload: %w", err)
 	}
 	var m Message
-	if err := d.codec.Unmarshal(payload, &m); err != nil {
+	err := d.codec.Unmarshal(payload, &m)
+	if cap(d.buf) > bufRetain {
+		d.buf = nil // outlier frame: release the storage (see bufRetain)
+	}
+	if err != nil {
 		return Message{}, err
 	}
 	return m, nil
@@ -231,25 +247,59 @@ func (c *Conn) Handshake(suo, codec string) (Codec, error) {
 	return accepted, nil
 }
 
-// AcceptHello performs the server side of the Hello exchange: it reads the
-// client's Hello, picks the requested codec if known (JSON otherwise —
-// JSON is the universal fallback), sends a Hello reply naming the accepted
-// codec, and switches the connection to it. It returns the client's Hello
-// and the codec now in effect.
-func (c *Conn) AcceptHello() (Message, Codec, error) {
+// ReadHello performs the first half of the server side of the Hello
+// exchange: it reads and checks the client's Hello frame without replying,
+// so the server can vet the identification (ID present, not a duplicate,
+// server still admitting, ...) before committing to the connection. Follow
+// with ReplyHello to accept or RejectHello to refuse.
+func (c *Conn) ReadHello() (Message, error) {
 	hello, err := c.Decode()
 	if err != nil {
-		return Message{}, nil, err
+		return Message{}, err
 	}
 	if hello.Type != TypeHello {
-		return hello, nil, fmt.Errorf("wire: expected hello frame, got %q", hello.Type)
+		return hello, fmt.Errorf("wire: expected hello frame, got %q", hello.Type)
 	}
+	return hello, nil
+}
+
+// ReplyHello accepts a Hello previously read with ReadHello: it picks the
+// requested codec if known (JSON otherwise — JSON is the universal
+// fallback), sends a Hello reply naming the accepted codec, and switches
+// the connection to it.
+func (c *Conn) ReplyHello(hello Message) (Codec, error) {
 	codec, _ := CodecByName(hello.Codec)
 	reply := Message{Type: TypeHello, SUO: hello.SUO, Codec: codec.Name()}
 	if err := c.Encode(reply); err != nil {
-		return hello, nil, fmt.Errorf("wire: hello reply: %w", err)
+		return nil, fmt.Errorf("wire: hello reply: %w", err)
 	}
 	c.SetCodec(codec)
+	return codec, nil
+}
+
+// RejectHello refuses a Hello previously read with ReadHello: the handshake
+// reply is a TypeError frame instead of a Hello, so the client's Handshake
+// (and Dial) fails synchronously with the detail. No codec switch happens —
+// a rejection always travels as JSON, like the Hello frames themselves.
+func (c *Conn) RejectHello(suo, detail string) error {
+	rep := ErrorReport{Detector: "ingest", Detail: detail}
+	return c.Encode(Message{Type: TypeError, SUO: suo, Error: &rep})
+}
+
+// AcceptHello performs the unconditional server side of the Hello exchange:
+// ReadHello followed immediately by ReplyHello. Servers that vet clients
+// before admitting them call the two halves themselves, with RejectHello on
+// the refusal path. It returns the client's Hello and the codec now in
+// effect.
+func (c *Conn) AcceptHello() (Message, Codec, error) {
+	hello, err := c.ReadHello()
+	if err != nil {
+		return hello, nil, err
+	}
+	codec, err := c.ReplyHello(hello)
+	if err != nil {
+		return hello, nil, err
+	}
 	return hello, codec, nil
 }
 

@@ -244,6 +244,71 @@ func TestPropertyEventRoundTrip(t *testing.T) {
 	}
 }
 
+// One outlier frame must not pin MaxFrame-sized storage for the
+// connection's lifetime: both codec ends release their buffer past
+// bufRetain (the decoder matters most — its frame sizes are peer-chosen).
+func TestOutlierFrameBufferReleased(t *testing.T) {
+	var buf bytes.Buffer
+	enc := NewEncoder(&buf)
+	big := Message{Type: TypeError, Error: &ErrorReport{Detail: strings.Repeat("x", 4*bufRetain)}}
+	if err := enc.Encode(big); err != nil {
+		t.Fatal(err)
+	}
+	if cap(enc.buf) > bufRetain {
+		t.Fatalf("encoder retained %d bytes after an outlier frame, cap is %d", cap(enc.buf), bufRetain)
+	}
+	// Steady-state small frames keep their storage between Encodes.
+	small := Message{Type: TypeHeartbeat, At: 7}
+	if err := enc.Encode(small); err != nil {
+		t.Fatal(err)
+	}
+	before := cap(enc.buf)
+	if err := enc.Encode(small); err != nil {
+		t.Fatal(err)
+	}
+	if before == 0 || cap(enc.buf) != before {
+		t.Fatalf("small-frame buffer not reused: cap %d -> %d", before, cap(enc.buf))
+	}
+	// Everything written stays decodable, and the decoder drops its own
+	// storage after the outlier while reusing it for the small frames.
+	dec := NewDecoder(&buf)
+	for i, want := range []MsgType{TypeError, TypeHeartbeat, TypeHeartbeat} {
+		m, err := dec.Decode()
+		if err != nil || m.Type != want {
+			t.Fatalf("frame %d: got %q, %v; want %q", i, m.Type, err, want)
+		}
+		if cap(dec.buf) > bufRetain {
+			t.Fatalf("frame %d: decoder retained %d bytes, cap is %d", i, cap(dec.buf), bufRetain)
+		}
+	}
+}
+
+// A server that refuses a client pre-registration answers the handshake
+// itself with an error frame, so Handshake (and Dial) fails synchronously
+// with the reason instead of reporting success for a doomed connection.
+func TestRejectHelloFailsClientHandshake(t *testing.T) {
+	cend, send := net.Pipe()
+	defer cend.Close()
+	defer send.Close()
+	server := NewConn(send)
+	go func() {
+		hello, err := server.ReadHello()
+		if err != nil {
+			return
+		}
+		_ = server.RejectHello(hello.SUO, "fleet is full")
+		send.Close()
+	}()
+	client := NewConn(cend)
+	_, err := client.Handshake("tv-1", CodecBinary)
+	if err == nil {
+		t.Fatal("Handshake should fail on a rejection reply")
+	}
+	if !strings.Contains(err.Error(), "fleet is full") {
+		t.Fatalf("Handshake error = %v, want the server's detail", err)
+	}
+}
+
 func BenchmarkEncodeDecode(b *testing.B) {
 	ev := event.Event{Kind: event.Output, Name: "frame", Source: "video", At: 123}
 	ev = ev.With("q", 0.9).With("fps", 50)
