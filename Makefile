@@ -1,12 +1,20 @@
 # Standard gate: build + vet + race-enabled tests. `make check` is what CI
 # and pre-merge runs; the race detector is required because event.Bus and
-# internal/fleet are concurrent by design. `make docs` is the documentation
-# gate: vet plus a check that every package (and command) carries a godoc
-# package comment.
+# internal/fleet are concurrent by design. TESTFLAGS threads extra `go test`
+# flags through the gate — CI's race job uses `make check TESTFLAGS=-short`
+# to keep wall time bounded (the long 120-device e2e and the shard sweep run
+# in CI's smoke job instead). `make docs` is the documentation gate: vet
+# plus a check that every package (and command) carries a godoc package
+# comment. `make fuzz` smoke-runs the wire codec fuzz target for FUZZTIME
+# (default 10s) — the same invocation CI's smoke job uses. `make cover`
+# writes a coverage profile to cover.out and prints the per-function
+# summary.
 
 GO ?= go
+TESTFLAGS ?=
+FUZZTIME ?= 10s
 
-.PHONY: check build vet test test-race bench docs experiments clean
+.PHONY: check build vet test test-race bench fuzz cover docs experiments clean
 
 check: build vet test-race
 
@@ -17,19 +25,35 @@ vet:
 	$(GO) vet ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test $(TESTFLAGS) ./...
 
 test-race:
-	$(GO) test -race ./...
+	$(GO) test -race $(TESTFLAGS) ./...
 
 # bench runs the full benchmark suite, including the per-experiment
 # benchmarks (E1-E14), the wire codec pair (BenchmarkWireJSON /
-# BenchmarkWireBinary) and the networked fleet-ingestion benchmark.
+# BenchmarkWireBinary), the networked fleet-ingestion benchmark (with and
+# without the durable journal) and BenchmarkJournalAppend.
 bench:
 	$(GO) test -bench . -benchmem ./...
 
+# fuzz runs the wire codec fuzz target (FuzzDecode): random frames through
+# both codecs must be cleanly rejected or decoded, never panic. CI's smoke
+# job runs exactly this; raise FUZZTIME locally for a deeper hunt.
+fuzz:
+	$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) ./internal/wire
+
+# cover writes cover.out and prints the per-function coverage summary.
+cover:
+	$(GO) test $(TESTFLAGS) -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out
+
 # docs fails when any package lacks a godoc package comment ("// Package x"
 # for libraries, "// Command x" for mains) in any of its non-test files.
+# The failure flag is checked in its own `if` statement: chaining it as
+# `[ $fail -eq 0 ] && echo ok || exit 1` would route a failed echo into the
+# exit-1 branch and make the target's status depend on the chain's last
+# command rather than the flag.
 docs: vet
 	@fail=0; \
 	for dir in $$(find . -name '*.go' -not -name '*_test.go' -not -path './.git/*' | xargs -n1 dirname | sort -u); do \
@@ -38,7 +62,8 @@ docs: vet
 			echo "missing package comment: $$dir"; fail=1; \
 		fi; \
 	done; \
-	[ $$fail -eq 0 ] && echo "docs: every package has a package comment" || exit 1
+	if [ $$fail -ne 0 ]; then exit 1; fi; \
+	echo "docs: every package has a package comment"
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -19,6 +19,7 @@ import (
 	"trader/internal/event"
 	"trader/internal/exper"
 	"trader/internal/fleet"
+	"trader/internal/journal"
 	"trader/internal/sim"
 	"trader/internal/spectrum"
 	"trader/internal/statemachine"
@@ -179,20 +180,84 @@ func benchWireCodec(b *testing.B, codec wire.Codec) {
 func BenchmarkWireJSON(b *testing.B)   { benchWireCodec(b, wire.JSON) }
 func BenchmarkWireBinary(b *testing.B) { benchWireCodec(b, wire.Binary) }
 
+// BenchmarkJournalAppend measures the journal hot path in isolation: one
+// representative observation frame encoded (binary wire codec), CRC-framed
+// and appended. "sync" is the durable configuration the ingestion daemon
+// runs — group-commit fsync, so the syncs/op metric shows how many appends
+// each fsync batch absorbed under the parallel load; "nosync" isolates the
+// encode+CRC+buffered-write cost with durability off.
+func BenchmarkJournalAppend(b *testing.B) {
+	msg := wireBenchMessage()
+	for _, mode := range []struct {
+		name   string
+		noSync bool
+	}{{"sync", false}, {"nosync", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			w, err := journal.Create(b.TempDir(), journal.Options{NoSync: mode.noSync})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer w.Close()
+			b.ReportAllocs()
+			// Group commit only batches when appends overlap; 8 goroutines
+			// per proc keeps appenders piling up behind the fsync leader
+			// even on a single-core host (the fsync syscall yields the P).
+			b.SetParallelism(8)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					if err := w.Append(msg); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			})
+			b.StopTimer()
+			if st := w.Stats(); st.Appends > 0 {
+				b.ReportMetric(float64(st.Syncs)/float64(st.Appends), "syncs/op")
+			}
+		})
+	}
+}
+
 // BenchmarkFleetIngestion measures the full networked ingestion path of
 // ISSUE 2: concurrent SUO connections over a real Unix socket, each frame
 // handshaken, framed, decoded and dispatched through the FNV shard routing
 // into a per-device monitor. One op is one observation frame end-to-end;
 // the heartbeat flush barrier at the end guarantees every frame has been
-// through its monitor before the clock stops.
+// through its monitor before the clock stops. The journal=on variants add
+// ISSUE 3's durable write-ahead journal to the same path, so the cost of
+// group-commit fsync batching is a tracked number next to the journal-off
+// baseline.
 func BenchmarkFleetIngestion(b *testing.B) {
 	const conns = 32
-	for _, codec := range []string{wire.CodecJSON, wire.CodecBinary} {
-		b.Run("codec="+codec, func(b *testing.B) {
+	for _, cfg := range []struct {
+		codec   string
+		journal bool
+	}{
+		{wire.CodecJSON, false},
+		{wire.CodecBinary, false},
+		{wire.CodecJSON, true},
+		{wire.CodecBinary, true},
+	} {
+		codec := cfg.codec
+		name := fmt.Sprintf("codec=%s/journal=off", codec)
+		if cfg.journal {
+			name = fmt.Sprintf("codec=%s/journal=on", codec)
+		}
+		b.Run(name, func(b *testing.B) {
 			pool := fleet.NewPool(fleet.Options{})
 			defer pool.Stop()
 			srv := &fleet.Server{Pool: pool, Factory: fleet.LightMonitorFactory()}
 			defer srv.Close()
+			if cfg.journal {
+				jw, err := journal.Create(b.TempDir(), journal.Options{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer jw.Close()
+				srv.Journal = jw
+			}
 			ln, err := wire.Listen("unix:" + filepath.Join(b.TempDir(), "bench.sock"))
 			if err != nil {
 				b.Fatal(err)
@@ -270,6 +335,11 @@ func BenchmarkE14Fleet(b *testing.B) {
 	shardSet := []int{1, 2, 4}
 	if mp := runtime.GOMAXPROCS(0); mp > 4 {
 		shardSet = append(shardSet, mp)
+	}
+	if testing.Short() {
+		// -short keeps one representative configuration; the full shard
+		// sweep (the scaling claim) runs in CI's smoke job.
+		shardSet = shardSet[len(shardSet)-1:]
 	}
 	for _, shards := range shardSet {
 		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {

@@ -18,11 +18,21 @@
 // across the whole fleet, aggregated error reports, and a throughput
 // summary.
 //
+// With -journal DIR the ingestion daemon writes every accepted frame to a
+// durable write-ahead journal before dispatching it, and recovers existing
+// journal state on boot — kill -9 the daemon and restart it, and every
+// device's monitor state and fault history is rebuilt before new
+// connections are admitted (reconnecting devices adopt their recovered
+// monitors). With -replay DIR the daemon instead replays a journal offline
+// into a fresh pool, prints the fleet rollup and exits: deterministic
+// post-mortem diagnosis without the fleet attached.
+//
 // Usage:
 //
 //	traderd [-socket /tmp/trader.sock] [-suo tv|mediaplayer] [-v]
-//	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-v]
+//	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-journal DIR] [-v]
 //	traderd -fleet 1000 [-shards 8] [-fleet-seconds 5] [-v]
+//	traderd -replay DIR [-suo light] [-shards 8] [-v]
 package main
 
 import (
@@ -41,6 +51,7 @@ import (
 	"trader/internal/core"
 	"trader/internal/exper"
 	"trader/internal/fleet"
+	"trader/internal/journal"
 	"trader/internal/mediaplayer"
 	"trader/internal/sim"
 	"trader/internal/statemachine"
@@ -58,8 +69,22 @@ func main() {
 	fleetSecs := flag.Int("fleet-seconds", 5, "virtual seconds of fleet operation in -fleet mode")
 	statsEvery := flag.Int("stats-seconds", 10, "fleet rollup log interval in -listen mode (0: off)")
 	maxAdvance := flag.Int("max-advance", 0, "largest virtual-time jump in seconds a single client frame may request in -listen mode (0: default 300)")
+	journalDir := flag.String("journal", "", "write-ahead journal directory for -listen mode: journal every accepted frame, auto-recover on boot")
+	replayDir := flag.String("replay", "", "replay a journal directory into a fresh pool, print the rollup, and exit")
 	flag.Parse()
 
+	if *journalDir != "" && *listen == "" {
+		// Only -listen mode journals; silently accepting the flag elsewhere
+		// (including -replay, which only reads a journal) would leave an
+		// operator believing frames are durable when nothing is written.
+		log.Fatalf("traderd: -journal requires -listen (only the ingestion daemon journals frames)")
+	}
+	if *replayDir != "" {
+		if err := runReplay(*replayDir, *suo, *shards, *verbose); err != nil {
+			log.Fatalf("traderd: replay: %v", err)
+		}
+		return
+	}
 	if *fleetN > 0 {
 		if err := runFleet(*fleetN, *shards, *fleetSecs, *verbose); err != nil {
 			log.Fatalf("traderd: fleet: %v", err)
@@ -67,7 +92,7 @@ func main() {
 		return
 	}
 	if *listen != "" {
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *verbose); err != nil {
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
@@ -111,9 +136,96 @@ func monitorFactory(suo string) (fleet.MonitorFactory, error) {
 	}
 }
 
+// profileMarker is the meta record traderd appends when it opens a journal
+// for writing: a Hello frame from "traderd" itself naming the -suo monitor
+// profile the frames are observed under. Pool.Replay skips Hello records,
+// so the marker costs nothing at replay — but checkJournalProfile reads it
+// back so a journal written under one profile cannot be silently replayed
+// into monitors built from another, which would produce bogus verdicts.
+func profileMarker(suo string) wire.Message {
+	return wire.Message{Type: wire.TypeHello, SUO: "traderd", Target: suo}
+}
+
+// checkJournalProfile compares the journal's profile marker (if any — the
+// journal may be empty, torn at the first record, or from a build without
+// markers) against the -suo profile about to monitor its frames. Journal
+// corruption is deliberately not reported here: the replay that follows
+// reports it with full position information.
+func checkJournalProfile(dir, suo string) error {
+	r, err := journal.OpenReader(dir)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	m, err := r.Next()
+	if err != nil || m.Type != wire.TypeHello || m.SUO != "traderd" || m.Target == "" {
+		return nil
+	}
+	if m.Target != suo {
+		return fmt.Errorf("journal %s was written under -suo %s, but -suo %s is in effect; pass -suo %s to replay it faithfully",
+			dir, m.Target, suo, m.Target)
+	}
+	return nil
+}
+
+// runReplay is offline post-mortem mode: rebuild a fleet pool from a frame
+// journal — no listeners, no clients — print what the fleet had observed
+// and detected at the moment of the last durable frame, and exit.
+func runReplay(dir, suo string, shards int, verbose bool) error {
+	factory, err := monitorFactory(suo)
+	if err != nil {
+		return err
+	}
+	pool := fleet.NewPool(fleet.Options{Shards: shards})
+	defer pool.Stop()
+	if verbose {
+		pool.OnReport(func(device string, r wire.ErrorReport) {
+			log.Printf("traderd: replay: %s: %s", device, r)
+		})
+	}
+	if _, err := recoverJournal(dir, suo, pool, factory); err != nil {
+		return err
+	}
+	ro := pool.Rollup()
+	log.Printf("traderd: replay rollup: %d devices, %d dispatched, %d comparisons, %d deviations, %d error reports",
+		ro.Devices, ro.Dispatched, ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports)
+	return nil
+}
+
+// recoverJournal rebuilds pool state from the journal at dir — the one
+// recovery sequence shared by -replay (offline post-mortem) and -journal
+// (recovery on daemon boot): profile-mismatch check, replay through the
+// factory, and a logged summary with the torn-tail note.
+func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFactory) (fleet.ReplayStats, error) {
+	var st fleet.ReplayStats
+	if err := checkJournalProfile(dir, suo); err != nil {
+		return st, err
+	}
+	r, err := journal.OpenReader(dir)
+	if err != nil {
+		return st, err
+	}
+	defer r.Close()
+	start := time.Now()
+	if st, err = pool.Replay(r, factory); err != nil {
+		return st, err
+	}
+	if st.Frames+st.Heartbeats > 0 {
+		torn := ""
+		if r.Torn() {
+			torn = " (torn tail record discarded — crash mid-append)"
+		}
+		log.Printf("traderd: replayed %s from %s in %v%s", st, dir, time.Since(start), torn)
+	}
+	return st, nil
+}
+
 // runIngest is the networked fleet daemon: every accepted connection is one
-// remote SUO monitored as a device of a single sharded pool.
-func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, verbose bool) error {
+// remote SUO monitored as a device of a single sharded pool. With a journal
+// directory it is also crash-durable: existing journal state is recovered
+// into the pool before any listener opens, and every accepted frame is
+// journaled write-ahead from then on.
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir string, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -132,6 +244,23 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, verbose bo
 		Factory:      factory,
 		HelloTimeout: 10 * time.Second,
 		MaxAdvance:   adv,
+	}
+	var jw *journal.Writer
+	if journalDir != "" {
+		// Recover before listening: devices must carry their pre-crash
+		// monitor state before their connections come back.
+		if _, err := recoverJournal(journalDir, suo, pool, factory); err != nil {
+			return fmt.Errorf("recovering journal %s: %w", journalDir, err)
+		}
+		if jw, err = journal.Create(journalDir, journal.Options{}); err != nil {
+			return err
+		}
+		defer jw.Close()
+		if err := jw.Append(profileMarker(suo)); err != nil {
+			return err
+		}
+		srv.Journal = jw
+		log.Printf("traderd: journaling accepted frames to %s (write-ahead, group-commit fsync)", journalDir)
 	}
 	if verbose {
 		srv.Logf = log.Printf
@@ -184,6 +313,11 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, verbose bo
 			cs := srv.Stats()
 			log.Printf("traderd: final: %d frames ingested, %d comparisons, %d error reports, %d connections served",
 				cs.Frames, ro.Monitor.Comparisons, ro.Reports, cs.Accepted)
+			if jw != nil {
+				js := jw.Stats()
+				log.Printf("traderd: journal: %d records in %d fsync batches across %d segments",
+					js.Appends, js.Syncs, js.Segments)
+			}
 			return nil
 		case err := <-errc:
 			if err != nil && err != fleet.ErrServerClosed {

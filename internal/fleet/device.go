@@ -8,6 +8,7 @@ import (
 	"trader/internal/sim"
 	"trader/internal/statemachine"
 	"trader/internal/tvsim"
+	"trader/internal/wire"
 )
 
 // Device is one fleet member: a virtual clock, a monitor watching the
@@ -25,6 +26,12 @@ type Device struct {
 	Feed func(event.Event)
 	// Close, when non-nil, tears the device down on removal or pool stop.
 	Close func()
+	// Attach, when non-nil, redirects the device's monitor→SUO traffic
+	// (error-report pushes) to a new sink. RemoteDevice sets it so a device
+	// rebuilt from a journal — whose original connection died with the
+	// crashed daemon — can be re-adopted by the reconnecting client
+	// (Pool.AttachDevice). It runs on the shard goroutine.
+	Attach func(send func(wire.Message) error)
 }
 
 // Factory builds one device. It runs on the owning shard's goroutine, so

@@ -32,6 +32,13 @@ import (
 // ErrStopped is returned by operations on a pool after Stop.
 var ErrStopped = errors.New("fleet: pool stopped")
 
+// ErrDuplicateDevice is wrapped by AddDevice when the ID is already
+// present. The ingestion server distinguishes it from other admission
+// failures: a pool slot occupied with no connection behind it is a device
+// rebuilt by journal recovery, which a reconnecting client adopts instead
+// of being rejected (see Server.Journal and Pool.Replay).
+var ErrDuplicateDevice = errors.New("duplicate device")
+
 // Options configures a Pool.
 type Options struct {
 	// Shards is the number of worker goroutines (default GOMAXPROCS).
@@ -236,7 +243,7 @@ func (p *Pool) AddDevice(id string, seed int64, f Factory) error {
 	errc := make(chan error, 1)
 	if err := p.send(p.ShardOf(id), func(s *shard) {
 		if _, dup := s.devices[id]; dup {
-			errc <- fmt.Errorf("fleet: duplicate device %q", id)
+			errc <- fmt.Errorf("fleet: %w %q", ErrDuplicateDevice, id)
 			return
 		}
 		d, err := f(id, seed)

@@ -57,10 +57,23 @@ func LightMonitorFactory() MonitorFactory {
 // called from shard goroutines and must be safe for concurrent use
 // (wire.Encoder is).
 func RemoteDevice(id string, k *sim.Kernel, mon *core.Monitor, send func(wire.Message) error) *Device {
+	// The sink is swappable: a device rebuilt by journal replay starts with
+	// a discarding sender and is re-pointed at the live connection when its
+	// client reconnects (Pool.AttachDevice).
+	var sendMu sync.Mutex
+	cur := send
 	mon.OnError(func(r wire.ErrorReport) {
+		sendMu.Lock()
+		send := cur
+		sendMu.Unlock()
 		_ = send(wire.Message{Type: wire.TypeError, SUO: id, Error: &r, At: r.At})
 	})
 	d := &Device{ID: id, Kernel: k, Monitor: mon, Close: mon.Stop}
+	d.Attach = func(s func(wire.Message) error) {
+		sendMu.Lock()
+		cur = s
+		sendMu.Unlock()
+	}
 	d.Feed = func(e event.Event) {
 		if e.At > k.Now() {
 			k.Run(e.At)
@@ -111,6 +124,20 @@ type Server struct {
 	// of the device's clock is a protocol violation: the connection is
 	// closed and the device removed, like any other malformed traffic.
 	MaxAdvance sim.Time
+	// Journal, when non-nil, receives every accepted frame — observations
+	// and heartbeats, after validation and the MaxAdvance vetting — tagged
+	// with the registered device ID and the frame's virtual time.
+	// Appends are write-ahead: a frame reaches the pool (and a heartbeat is
+	// echoed) only after its journal record is durable, so a journal-backed
+	// pool can be rebuilt losslessly after a crash (Pool.Replay) and a
+	// heartbeat echo now also acknowledges durability. A failed append
+	// closes the connection — frames that cannot be made durable are not
+	// ingested. Journaling also changes disconnect semantics: the device
+	// stays in the pool (with its error sink detached) instead of being
+	// removed, matching the continuous per-device lifetime its journal
+	// records, and the next connection for the ID adopts it.
+	// *journal.Writer implements this interface.
+	Journal FrameJournal
 	// Logf, when non-nil, receives connection lifecycle log lines.
 	Logf func(format string, args ...any)
 
@@ -127,6 +154,13 @@ type Server struct {
 
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("fleet: server closed")
+
+// FrameJournal is the server's durable frame sink. Append must be safe for
+// concurrent use (connections journal from their own goroutines) and must
+// not retain the message. journal.Writer is the production implementation.
+type FrameJournal interface {
+	Append(wire.Message) error
+}
 
 // DefaultMaxAdvance is the per-frame virtual-time advance window when
 // Server.MaxAdvance is zero: generous next to real heartbeat cadences
@@ -265,9 +299,11 @@ func (s *Server) Control(id string, cmd wire.ControlCommand) error {
 	return c.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: cmd})
 }
 
-// seedOf derives a deterministic per-device seed from the device ID, so a
-// reconnecting device gets the same monitor behaviour each time.
-func seedOf(id string) int64 {
+// SeedOf derives a deterministic per-device seed from the device ID, so a
+// reconnecting device gets the same monitor behaviour each time — and so a
+// journal replay (which sees only device IDs) rebuilds each monitor with
+// exactly the seed the live server gave it.
+func SeedOf(id string) int64 {
 	h := fnv.New64a()
 	io.WriteString(h, id)
 	return int64(h.Sum64()&(1<<63-1)) + 1
@@ -371,13 +407,21 @@ func (s *Server) handle(conn net.Conn) {
 	// Pool admission can still fail after the reply (factory error, pool
 	// stopping) — a server-side condition the client learns about through
 	// a post-handshake error frame and a close.
-	err = s.Pool.AddDevice(id, seedOf(id), func(id string, seed int64) (*Device, error) {
-		k, mon, err := s.Factory(id, seed)
-		if err != nil {
-			return nil, err
+	adopted := false
+	var resumeAt sim.Time
+	err = s.Pool.AddRemoteDevice(id, s.Factory, rc.send)
+	if errors.Is(err, ErrDuplicateDevice) {
+		// The pool holds this ID but no connection does (a genuine duplicate
+		// connection was refused at reserve, before the Hello reply): the
+		// device was rebuilt by journal recovery and its monitor state —
+		// clocks, counters, fault history — must survive the reconnect.
+		// Adopt it: point its error pushes at this connection and resume.
+		var ok bool
+		if resumeAt, ok, err = s.Pool.AttachDevice(id, rc.send); err == nil && !ok {
+			err = fmt.Errorf("fleet: device %q exists but cannot be adopted", id)
 		}
-		return RemoteDevice(id, k, mon, rc.send), nil
-	})
+		adopted = err == nil
+	}
 	unpend()
 	if err != nil {
 		s.release(id)
@@ -389,6 +433,19 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	cleanup := func() {
+		if s.Journal != nil {
+			// A journal-backed fleet keeps the device across disconnects:
+			// its history is durable and a later boot would rebuild it via
+			// replay anyway, so removing it live would only make the live
+			// pool diverge from its own journal (and re-anchor a resuming
+			// client's advance window at zero, refusing any resume beyond
+			// MaxAdvance). Detach the error sink; the next connection for
+			// this ID adopts the device and resumes its timeline.
+			_, _, _ = s.Pool.AttachDevice(id, func(wire.Message) error { return nil })
+			s.release(id)
+			s.disconnected.Add(1)
+			return
+		}
 		// Shard first, conns map second: RemoveDevice blocks until the
 		// shard has dropped the device, so once the ID is reservable
 		// again an immediate reconnect's AddDevice cannot collide with
@@ -398,8 +455,12 @@ func (s *Server) handle(conn net.Conn) {
 		s.disconnected.Add(1)
 	}
 	s.accepted.Add(1)
-	s.logf("fleet: %s: device %q connected (codec %s), fleet size %d",
-		conn.RemoteAddr(), id, codec.Name(), s.Pool.Size())
+	how := "connected"
+	if adopted {
+		how = "reconnected to recovered device"
+	}
+	s.logf("fleet: %s: device %q %s (codec %s), fleet size %d",
+		conn.RemoteAddr(), id, how, codec.Name(), s.Pool.Size())
 	defer func() {
 		cleanup()
 		conn.Close()
@@ -415,8 +476,13 @@ func (s *Server) handle(conn net.Conn) {
 	// timestamps are vetted here, before they reach the shard. advance
 	// reports whether at is within the MaxAdvance window; a frame beyond
 	// it is a protocol violation that ends the connection (see
-	// Server.MaxAdvance for why unbounded advances are dangerous).
-	var clock sim.Time
+	// Server.MaxAdvance for why unbounded advances are dangerous). An
+	// adopted connection anchors the window at the recovered device's
+	// virtual time, not zero: the client resumes with timestamps at or
+	// beyond its last acknowledged heartbeat, which on a fleet older than
+	// MaxAdvance would otherwise read as a runaway jump and get the
+	// reconnect refused forever.
+	clock := resumeAt
 	advance := func(at sim.Time) bool {
 		// at-clock, not clock+maxAdv: the sum overflows when an operator
 		// sets a huge window to effectively disable the bound. clock only
@@ -451,6 +517,16 @@ func (s *Server) handle(conn net.Conn) {
 			if !advance(msg.Event.At) {
 				return
 			}
+			// Write-ahead: the frame must be durable before the pool sees
+			// it, tagged with the handshaken ID (not the spoofable SUO
+			// field) so replay routes it exactly as live dispatch did.
+			if s.Journal != nil {
+				jm := wire.Message{Type: msg.Type, SUO: id, Event: msg.Event, At: msg.Event.At}
+				if err := s.Journal.Append(jm); err != nil {
+					s.logf("fleet: device %q: journal: %v", id, err)
+					return
+				}
+			}
 			// The connection's device is fixed at registration: frames route
 			// by the handshaken ID, not a spoofable per-frame field.
 			if err := s.Pool.Dispatch(id, *msg.Event); err != nil {
@@ -460,6 +536,16 @@ func (s *Server) handle(conn net.Conn) {
 		case wire.TypeHeartbeat:
 			if !advance(msg.At) {
 				return
+			}
+			// Heartbeats are journaled too: replay must re-run the same
+			// silence sweeps and comparison windows the live pool ran, and
+			// a journaled heartbeat marks every frame before it durable —
+			// so the echo below also acknowledges durability to the client.
+			if s.Journal != nil {
+				if err := s.Journal.Append(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: msg.At}); err != nil {
+					s.logf("fleet: device %q: journal: %v", id, err)
+					return
+				}
 			}
 			// Heartbeats carry time and act as a flush barrier. The carried
 			// At advances the device's virtual clock, so a quiet-but-alive

@@ -1,0 +1,147 @@
+// Package journal implements the durable write-ahead frame log behind
+// traderd's crash recovery: a segmented, append-only, CRC-checked record of
+// every wire frame the ingestion server accepts. A daemon that journals its
+// accepted frames can be killed at any instant and rebuilt losslessly by
+// replaying the journal into a fresh fleet pool (fleet.Pool.Replay), and the
+// same journal doubles as a deterministic post-mortem trace (`traderd
+// -replay`) — the observe-record-replay loop that bridges monitoring and
+// recovery in the runtime-verification literature.
+//
+// # Record format
+//
+// A journal is a directory of segment files named wal-NNNNNNNN.seg,
+// replayed in index order. Each segment is a sequence of records:
+//
+//	u32  payload length (big-endian)
+//	u32  CRC-32C of the payload (Castagnoli, big-endian)
+//	[n]  payload: the wire.Message in the binary wire codec
+//
+// The payload reuses wire.Binary — the same reflection-free layout frames
+// travel in (ARCHITECTURE.md §2.7) — so the encode cost on the ingestion
+// hot path is the cost already paid to speak the protocol, and any tool
+// that can decode the wire can decode the journal.
+//
+// # Durability
+//
+// Append is write-ahead and group-committed: it returns once the record is
+// flushed AND fsynced, but concurrent appenders share one fsync — the first
+// caller into the commit path syncs every record appended so far, and the
+// callers that piled up behind it observe their record already durable and
+// return without another syscall. Journaling therefore costs one fsync per
+// batch of concurrent appends, not one per frame. Segments rotate at
+// Options.SegmentBytes (checked after each append, so a segment may exceed
+// the limit by at most one record).
+//
+// # Recovery semantics
+//
+// A crash can tear the record being written when the process died: the tail
+// of the final segment may hold a prefix of a record. The Reader tolerates
+// exactly that — an incomplete record at the very end of the journal ends
+// the replay cleanly (Torn reports it) because the frame it would have held
+// was never acknowledged durable to anyone. Every other defect is
+// corruption and is reported as a *CorruptError with the segment, byte
+// offset and record index: an incomplete record mid-journal (later segments
+// continue past lost data) and a CRC or codec mismatch anywhere, including
+// the tail — a torn buffered write truncates, it does not scramble, so a
+// bad CRC means the storage lied. Create repairs a torn tail (truncating
+// the final segment to its last whole record) before opening a new segment,
+// preserving the tail-only invariant across restarts.
+package journal
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// recordHeader is the fixed per-record framing: u32 length + u32 CRC-32C.
+const recordHeader = 8
+
+// DefaultSegmentBytes is the rotation threshold when Options.SegmentBytes
+// is zero.
+const DefaultSegmentBytes = 8 << 20
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+// castagnoli is the CRC-32C polynomial table; hardware-accelerated on
+// amd64/arm64, so the checksum is cheap next to the fsync it guards.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// segName formats the canonical segment file name for index i.
+func segName(i int) string { return fmt.Sprintf("%s%08d%s", segPrefix, i, segSuffix) }
+
+// segIndex parses a segment file name, reporting ok=false for foreign files.
+func segIndex(name string) (int, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	i, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix))
+	if err != nil || i < 0 {
+		return 0, false
+	}
+	return i, true
+}
+
+// segments lists the journal's segment file names in replay (index) order.
+// A missing directory is an empty journal, not an error: a monitor booting
+// with a fresh -journal directory has simply never crashed before.
+func segments(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	type seg struct {
+		name string
+		idx  int
+	}
+	var segs []seg
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		if i, ok := segIndex(e.Name()); ok {
+			segs = append(segs, seg{e.Name(), i})
+		}
+	}
+	sort.Slice(segs, func(a, b int) bool { return segs[a].idx < segs[b].idx })
+	names := make([]string, len(segs))
+	for i, s := range segs {
+		names[i] = s.name
+	}
+	return names, nil
+}
+
+// syncDir fsyncs the directory itself, making freshly created segment
+// entries durable. Best-effort: not every filesystem supports it.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	_ = d.Close()
+}
+
+// CorruptError reports unrecoverable journal damage with enough position
+// information to find it on disk: the segment file, the byte offset of the
+// offending record, and how many records were replayed before it.
+type CorruptError struct {
+	Segment string // segment file name
+	Offset  int64  // byte offset of the record that failed
+	Record  uint64 // records successfully read before the failure
+	Detail  string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("journal: %s@%d (after %d records): %s",
+		e.Segment, e.Offset, e.Record, e.Detail)
+}

@@ -1,0 +1,149 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+
+	"trader/internal/wire"
+)
+
+// Reader replays a journal directory in record order. Not safe for
+// concurrent use. Next returns io.EOF at the clean end of the journal —
+// including after a torn trailing record, which Torn then reports.
+type Reader struct {
+	dir  string
+	segs []string // segment file names not yet opened
+	f    *os.File
+	br   *bufio.Reader
+	path string // current segment file name
+	off  int64  // byte offset of the next record in the current segment
+	last bool   // the current segment is the journal's final one
+	buf  []byte // reused payload buffer
+	recs uint64 // records returned so far
+	torn bool
+}
+
+// errSegEnd signals a clean segment boundary to the Next loop.
+var errSegEnd = errors.New("journal: segment end")
+
+// OpenReader opens dir for replay. A missing or empty directory is an
+// empty journal: Next returns io.EOF immediately.
+func OpenReader(dir string) (*Reader, error) {
+	names, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{dir: dir, segs: names}, nil
+}
+
+// Next returns the next journaled frame, io.EOF at the end of the journal,
+// or a *CorruptError pinpointing unrecoverable damage.
+func (r *Reader) Next() (wire.Message, error) {
+	for {
+		if r.f == nil {
+			if len(r.segs) == 0 {
+				return wire.Message{}, io.EOF
+			}
+			name := r.segs[0]
+			r.segs = r.segs[1:]
+			f, err := os.Open(filepath.Join(r.dir, name))
+			if err != nil {
+				return wire.Message{}, fmt.Errorf("journal: %w", err)
+			}
+			r.f, r.br, r.path, r.off = f, bufio.NewReaderSize(f, 64<<10), name, 0
+			r.last = len(r.segs) == 0
+		}
+		m, err := r.next()
+		if err == errSegEnd {
+			r.closeSeg()
+			continue
+		}
+		return m, err
+	}
+}
+
+func (r *Reader) closeSeg() {
+	if r.f != nil {
+		_ = r.f.Close()
+		r.f = nil
+	}
+}
+
+// next reads one record from the current segment.
+func (r *Reader) next() (wire.Message, error) {
+	var hdr [recordHeader]byte
+	if _, err := io.ReadFull(r.br, hdr[:]); err != nil {
+		switch err {
+		case io.EOF:
+			return wire.Message{}, errSegEnd // clean record boundary
+		case io.ErrUnexpectedEOF:
+			return r.tail("record header")
+		default:
+			return wire.Message{}, fmt.Errorf("journal: %s: %w", r.path, err)
+		}
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	want := binary.BigEndian.Uint32(hdr[4:])
+	if n > wire.MaxFrame {
+		// Bound the allocation before trusting the length, exactly as the
+		// wire framing layer does.
+		return wire.Message{}, r.corrupt(fmt.Sprintf("impossible record length %d", n))
+	}
+	if cap(r.buf) < int(n) {
+		r.buf = make([]byte, n)
+	}
+	payload := r.buf[:n]
+	if _, err := io.ReadFull(r.br, payload); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return r.tail("record payload")
+		}
+		return wire.Message{}, fmt.Errorf("journal: %s: %w", r.path, err)
+	}
+	if got := crc32.Checksum(payload, castagnoli); got != want {
+		return wire.Message{}, r.corrupt(fmt.Sprintf("crc mismatch: stored %08x, computed %08x", want, got))
+	}
+	var m wire.Message
+	if err := wire.Binary.Unmarshal(payload, &m); err != nil {
+		return wire.Message{}, r.corrupt(err.Error())
+	}
+	r.off += recordHeader + int64(n)
+	r.recs++
+	return m, nil
+}
+
+// tail classifies an incomplete record: at the end of the journal's final
+// segment it is the torn write crash recovery expects — replay ends
+// cleanly, Torn reports it. Anywhere earlier the journal lost data that
+// later segments continue past, which replay must not paper over.
+func (r *Reader) tail(what string) (wire.Message, error) {
+	if r.last {
+		r.torn = true
+		r.closeSeg()
+		r.segs = nil
+		return wire.Message{}, io.EOF
+	}
+	return wire.Message{}, r.corrupt("truncated " + what + " mid-journal")
+}
+
+func (r *Reader) corrupt(detail string) error {
+	return &CorruptError{Segment: r.path, Offset: r.off, Record: r.recs, Detail: detail}
+}
+
+// Torn reports whether the journal ended in a torn trailing record — a
+// crash mid-append. Meaningful once Next has returned io.EOF.
+func (r *Reader) Torn() bool { return r.torn }
+
+// Records returns how many records Next has returned.
+func (r *Reader) Records() uint64 { return r.recs }
+
+// Close releases the reader's current segment file.
+func (r *Reader) Close() error {
+	r.closeSeg()
+	return nil
+}

@@ -1,0 +1,360 @@
+package journal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trader/internal/wire"
+)
+
+// ErrClosed is returned by Append after Close.
+var ErrClosed = errors.New("journal: writer closed")
+
+// Options configures a Writer.
+type Options struct {
+	// SegmentBytes is the rotation threshold (default DefaultSegmentBytes).
+	// A segment may exceed it by at most one record.
+	SegmentBytes int64
+	// NoSync disables fsync: appends are durable only as far as the OS page
+	// cache. For benchmarks and tests that measure or don't need durability.
+	NoSync bool
+}
+
+// WriterStats counts a writer's work; Syncs/Appends is the group-commit
+// batching ratio (1.0 = one fsync per frame, i.e. no batching won).
+type WriterStats struct {
+	Appends  uint64 // records appended
+	Syncs    uint64 // fsync batches issued
+	Segments int    // segment files this writer has opened
+}
+
+// Writer appends wire frames to a journal directory. Safe for concurrent
+// use; concurrent Appends share fsyncs (see the package comment).
+type Writer struct {
+	dir  string
+	opts Options
+
+	// mu guards the current segment: file, buffer, size, and the append
+	// sequence number. Held only for in-memory work and (rarely) rotation —
+	// never across the group-commit fsync.
+	mu    sync.Mutex
+	f     *os.File
+	bw    *bufio.Writer
+	seg   int    // current segment index
+	size  int64  // bytes appended to the current segment
+	seq   uint64 // records appended (monotonic)
+	nsegs int
+	err   error // sticky: a failed write or sync poisons the writer
+
+	// syncMu is held by the group-commit leader for the duration of its
+	// fsync; durable is the highest seq known to have reached stable
+	// storage. Appenders whose record is already ≤ durable return without
+	// touching the disk.
+	syncMu  sync.Mutex
+	durable atomic.Uint64
+	syncs   atomic.Uint64
+	appends atomic.Uint64
+}
+
+// Create opens dir for appending (creating it if needed), repairs a torn
+// tail left by a crash in the newest existing segment, and starts a fresh
+// segment after the existing ones — existing records are never rewritten,
+// so a journal accumulates across daemon restarts and a replay covers the
+// full history.
+func Create(dir string, opts Options) (*Writer, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = DefaultSegmentBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	names, err := segments(dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 1
+	if len(names) > 0 {
+		last := names[len(names)-1]
+		idx, _ := segIndex(last)
+		next = idx + 1
+		if err := repairTail(filepath.Join(dir, last)); err != nil {
+			return nil, err
+		}
+	}
+	w := &Writer{dir: dir, opts: opts, seg: next - 1}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.rotateLocked(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// repairTail truncates path to its last structurally whole record. A torn
+// record is only tolerated at the very end of the journal (see the package
+// comment); once this writer appends a new segment after path, a torn tail
+// there would read as mid-journal corruption, so it must be cut off first.
+// Only incomplete records are repaired — a CRC mismatch is real corruption
+// and is left in place for the reader to report, not silently discarded.
+func repairTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return fmt.Errorf("journal: repair: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 64<<10)
+	var good int64 // end offset of the last whole record
+	var hdr [recordHeader]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil // clean end, nothing to repair
+			}
+			if err == io.ErrUnexpectedEOF {
+				break // torn header
+			}
+			return fmt.Errorf("journal: repair: %w", err)
+		}
+		n := binary.BigEndian.Uint32(hdr[:4])
+		if n > wire.MaxFrame {
+			// An impossible length is corruption, not tearing; leave it for
+			// the reader's position-carrying error.
+			return nil
+		}
+		if _, err := br.Discard(int(n)); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				break // torn payload
+			}
+			return fmt.Errorf("journal: repair: %w", err)
+		}
+		good += recordHeader + int64(n)
+	}
+	if err := f.Truncate(good); err != nil {
+		return fmt.Errorf("journal: repair: %w", err)
+	}
+	return f.Sync()
+}
+
+// rotateLocked seals the current segment (flush + fsync + close) and opens
+// the next one. Caller holds w.mu.
+func (w *Writer) rotateLocked() error {
+	if w.f != nil {
+		if err := w.bw.Flush(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		if !w.opts.NoSync {
+			if err := w.f.Sync(); err != nil {
+				return fmt.Errorf("journal: fsync: %w", err)
+			}
+			w.syncs.Add(1)
+		}
+		raise(&w.durable, w.seq) // everything in the sealed segment is down
+		if err := w.f.Close(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	w.seg++
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seg)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	w.f, w.bw, w.size = f, bufio.NewWriterSize(f, 64<<10), 0
+	w.nsegs++
+	if !w.opts.NoSync {
+		syncDir(w.dir) // the new segment's directory entry must survive too
+	}
+	return nil
+}
+
+// recPool recycles record-encode buffers across Appends so the CPU-bound
+// encode+CRC work can run outside w.mu without allocating per record.
+var recPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
+
+// recRetain caps the buffer capacity returned to recPool, mirroring the
+// wire layer's bufRetain: one outlier record must not pin a large buffer.
+const recRetain = 64 << 10
+
+// hdrZero reserves record-header space at the front of an encode buffer.
+var hdrZero [recordHeader]byte
+
+// Append encodes m (binary wire codec), appends the CRC-framed record to
+// the current segment, and — unless Options.NoSync — returns once the
+// record is durable. Concurrent appends coalesce into shared fsyncs.
+func (w *Writer) Append(m wire.Message) error {
+	// Encode and checksum before taking the lock: the CPU-bound half of an
+	// append parallelises across connections; w.mu covers only the
+	// buffered write and the sequence bump.
+	rec := recPool.Get().(*[]byte)
+	buf := append((*rec)[:0], hdrZero[:]...)
+	buf, err := wire.Binary.Append(buf, m)
+	if err != nil {
+		recPool.Put(rec)
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	n := len(buf) - recordHeader
+	if n > wire.MaxFrame {
+		recPool.Put(rec)
+		return fmt.Errorf("journal: record too large: %d bytes", n)
+	}
+	binary.BigEndian.PutUint32(buf[:4], uint32(n))
+	binary.BigEndian.PutUint32(buf[4:recordHeader], crc32.Checksum(buf[recordHeader:], castagnoli))
+
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		recPool.Put(rec)
+		return err
+	}
+	if _, err := w.bw.Write(buf); err != nil {
+		w.err = fmt.Errorf("journal: write: %w", err)
+		err := w.err
+		w.mu.Unlock()
+		recPool.Put(rec)
+		return err
+	}
+	w.size += int64(len(buf))
+	w.seq++
+	seq := w.seq
+	if w.size >= w.opts.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.err = err
+			w.mu.Unlock()
+			recPool.Put(rec)
+			return err
+		}
+	}
+	w.mu.Unlock()
+	if cap(buf) <= recRetain {
+		*rec = buf[:0]
+		recPool.Put(rec)
+	}
+	w.appends.Add(1)
+	if w.opts.NoSync {
+		return nil
+	}
+	return w.syncTo(seq)
+}
+
+// syncTo blocks until record seq is durable. Group commit: the first caller
+// through syncMu flushes and fsyncs once on behalf of every record appended
+// so far; callers that queued behind it find their record already covered
+// and return without issuing another syscall.
+func (w *Writer) syncTo(seq uint64) error {
+	if w.durable.Load() >= seq {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.durable.Load() >= seq {
+		return nil // the previous leader's fsync covered us while we waited
+	}
+	// Widen the commit window: yield once so appenders that are already
+	// runnable land their records before the batch is snapshotted. On a
+	// loaded single-core host this is the difference between one fsync per
+	// frame and one per batch; elsewhere it is one cheap scheduler call.
+	runtime.Gosched()
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	cur := w.seq
+	err := w.bw.Flush()
+	f := w.f
+	if err != nil {
+		w.err = fmt.Errorf("journal: flush: %w", err)
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	// The fsync itself runs outside w.mu so appends keep landing in the
+	// buffer (the next batch) while this batch reaches the platter.
+	w.mu.Unlock()
+	if err := f.Sync(); err != nil {
+		// A rotation can seal this very segment — flush, fsync, close —
+		// between the snapshot above and the syscall here, in which case
+		// Sync fails on the closed handle but every record in the batch is
+		// already durable: rotation raises durable past cur before it
+		// closes the file. Only poison the writer when the batch truly
+		// didn't make it down.
+		if w.durable.Load() >= cur {
+			return nil
+		}
+		err = fmt.Errorf("journal: fsync: %w", err)
+		w.mu.Lock()
+		w.err = err
+		w.mu.Unlock()
+		return err
+	}
+	w.syncs.Add(1)
+	raise(&w.durable, cur)
+	return nil
+}
+
+// raise lifts a monotonically to at least v.
+func raise(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Close flushes and fsyncs outstanding records and closes the segment.
+// Further Appends return ErrClosed.
+func (w *Writer) Close() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	err := w.bw.Flush()
+	if err == nil && !w.opts.NoSync {
+		if err = w.f.Sync(); err == nil {
+			w.syncs.Add(1)
+		}
+	}
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		// Only a successful flush+sync may raise the watermark: an Append
+		// still waiting in syncTo must not read its record as durable when
+		// Close failed to get it down — it reports the close error instead.
+		raise(&w.durable, w.seq)
+	}
+	w.f = nil
+	if w.err == nil {
+		if err != nil {
+			w.err = fmt.Errorf("journal: close: %w", err)
+		} else {
+			w.err = ErrClosed
+		}
+	}
+	return err
+}
+
+// Stats snapshots the writer's counters.
+func (w *Writer) Stats() WriterStats {
+	w.mu.Lock()
+	segs := w.nsegs
+	w.mu.Unlock()
+	return WriterStats{Appends: w.appends.Load(), Syncs: w.syncs.Load(), Segments: segs}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"testing"
 	"testing/quick"
+
+	"trader/internal/event"
 )
 
 // Property: Decode never panics and never returns a frame on arbitrary
@@ -52,6 +54,55 @@ func TestPropertyValidThenGarbage(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzDecode is the native fuzz target (the testing/quick properties above
+// are its fixed-budget cousins): arbitrary byte streams through the framing
+// layer and both payload codecs must be decoded or cleanly rejected, never
+// panic, hang, or over-allocate — the daemon shares a process with a whole
+// fleet of other connections. CI's smoke job runs this for 10s on every
+// push (`make fuzz`); `make fuzz FUZZTIME=10m` digs deeper.
+func FuzzDecode(f *testing.F) {
+	// Seed the corpus with well-formed frames in both codecs — the mutator
+	// works best from valid structure — plus truncations and raw noise.
+	ev := event.Event{Kind: event.Output, Name: "out", Source: "suo", At: 42, Seq: 7}.
+		With("x", 1.5).With("q", 0.25)
+	rep := ErrorReport{Detector: "cmp", Observable: "x", Expected: 1, Actual: 2, Consecutive: 3, At: 42}
+	msgs := []Message{
+		{Type: TypeHello, SUO: "fuzz-dev", Codec: CodecBinary},
+		{Type: TypeOutput, SUO: "fuzz-dev", Event: &ev, At: 42},
+		{Type: TypeError, SUO: "fuzz-dev", Error: &rep, At: 42},
+		{Type: TypeHeartbeat, SUO: "fuzz-dev", At: 99},
+	}
+	for _, codec := range []Codec{JSON, Binary} {
+		var buf bytes.Buffer
+		enc := NewEncoder(&buf)
+		enc.SetCodec(codec)
+		for _, m := range msgs {
+			if err := enc.Encode(m); err != nil {
+				f.Fatal(err)
+			}
+		}
+		raw := buf.Bytes()
+		f.Add(raw, codec.Name() == CodecBinary)
+		f.Add(raw[:len(raw)/2], codec.Name() == CodecBinary)
+	}
+	f.Add([]byte{}, false)
+	f.Add([]byte{0, 0, 0, 4, 0xff, 0xff, 0xff, 0xff}, true)
+
+	f.Fuzz(func(t *testing.T, raw []byte, useBinary bool) {
+		dec := NewDecoder(bytes.NewReader(raw))
+		if useBinary {
+			dec.SetCodec(Binary)
+		}
+		// A stream either yields frames or fails; each Decode consumes
+		// input, so the loop is bounded by the input length.
+		for i := 0; i < 16; i++ {
+			if _, err := dec.Decode(); err != nil {
+				return
+			}
+		}
+	})
 }
 
 // A header announcing a huge frame must be rejected before allocation.
