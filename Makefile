@@ -5,10 +5,11 @@
 # to keep wall time bounded (the long 120-device e2e and the shard sweep run
 # in CI's smoke job instead). `make docs` is the documentation gate: vet
 # plus a check that every package (and command) carries a godoc package
-# comment. `make fuzz` smoke-runs the wire codec fuzz target for FUZZTIME
-# (default 10s) — the same invocation CI's smoke job uses. `make cover`
-# writes a coverage profile to cover.out and prints the per-function
-# summary.
+# comment. `make fuzz` smoke-runs the wire codec and journal reader fuzz
+# targets for FUZZTIME each (default 10s) — the same invocation CI's smoke
+# job uses. `make bench` runs every benchmark and writes machine-readable
+# results to BENCH_4.json. `make cover` writes a coverage profile to
+# cover.out and prints the per-function summary.
 
 GO ?= go
 TESTFLAGS ?=
@@ -30,18 +31,29 @@ test:
 test-race:
 	$(GO) test -race $(TESTFLAGS) ./...
 
-# bench runs the full benchmark suite, including the per-experiment
-# benchmarks (E1-E14), the wire codec pair (BenchmarkWireJSON /
-# BenchmarkWireBinary), the networked fleet-ingestion benchmark (with and
-# without the durable journal) and BenchmarkJournalAppend.
+# bench runs the full benchmark suite — the per-experiment benchmarks
+# (E1-E14), the wire codec pair (BenchmarkWireJSON / BenchmarkWireBinary),
+# the networked fleet-ingestion benchmark (journal off/on, recovery
+# controller attached), BenchmarkJournalAppend and
+# BenchmarkControllerReport — and additionally emits machine-readable
+# results to $(BENCHJSON) via cmd/benchjson (frames/s, ns/op, allocs/op,
+# reports/s, ...), so the perf trajectory is tracked across PRs. The raw
+# transcript is kept in bench.out.
+BENCHJSON ?= BENCH_4.json
 bench:
-	$(GO) test -bench . -benchmem ./...
+	@$(GO) test -bench . -benchmem ./... > bench.out; status=$$?; \
+	cat bench.out; \
+	if [ $$status -ne 0 ]; then exit $$status; fi; \
+	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCHJSON)
 
-# fuzz runs the wire codec fuzz target (FuzzDecode): random frames through
-# both codecs must be cleanly rejected or decoded, never panic. CI's smoke
-# job runs exactly this; raise FUZZTIME locally for a deeper hunt.
+# fuzz smoke-runs both native fuzz targets: the wire codec (FuzzDecode —
+# random frames through both codecs must be cleanly rejected or decoded,
+# never panic) and the journal reader (FuzzJournalReader — random segment
+# bytes must classify as torn tail or CorruptError, never panic). CI's
+# smoke job runs exactly this; raise FUZZTIME locally for a deeper hunt.
 fuzz:
-	$(GO) test -fuzz=Fuzz -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -fuzz=FuzzJournalReader -fuzztime=$(FUZZTIME) ./internal/journal
 
 # cover writes cover.out and prints the per-function coverage summary.
 cover:

@@ -15,6 +15,7 @@ import (
 	"testing"
 	"time"
 
+	"trader/internal/control"
 	"trader/internal/core"
 	"trader/internal/event"
 	"trader/internal/exper"
@@ -228,22 +229,30 @@ func BenchmarkJournalAppend(b *testing.B) {
 // through its monitor before the clock stops. The journal=on variants add
 // ISSUE 3's durable write-ahead journal to the same path, so the cost of
 // group-commit fsync batching is a tracked number next to the journal-off
-// baseline.
+// baseline; the ctl=on variant additionally attaches ISSUE 4's recovery
+// controller (healthy traffic: its per-frame cost is the report fan-in
+// registration only, and the acceptance bar is staying within 10% of the
+// journal-on baseline).
 func BenchmarkFleetIngestion(b *testing.B) {
 	const conns = 32
 	for _, cfg := range []struct {
-		codec   string
-		journal bool
+		codec      string
+		journal    bool
+		controller bool
 	}{
-		{wire.CodecJSON, false},
-		{wire.CodecBinary, false},
-		{wire.CodecJSON, true},
-		{wire.CodecBinary, true},
+		{wire.CodecJSON, false, false},
+		{wire.CodecBinary, false, false},
+		{wire.CodecJSON, true, false},
+		{wire.CodecBinary, true, false},
+		{wire.CodecBinary, true, true},
 	} {
 		codec := cfg.codec
 		name := fmt.Sprintf("codec=%s/journal=off", codec)
 		if cfg.journal {
 			name = fmt.Sprintf("codec=%s/journal=on", codec)
+		}
+		if cfg.controller {
+			name += "/ctl=on"
 		}
 		b.Run(name, func(b *testing.B) {
 			pool := fleet.NewPool(fleet.Options{})
@@ -257,6 +266,12 @@ func BenchmarkFleetIngestion(b *testing.B) {
 				}
 				defer jw.Close()
 				srv.Journal = jw
+				if cfg.controller {
+					ctl := control.Attach(pool, control.Options{
+						Actuator: srv, Journal: jw, Policy: control.DefaultPolicy()})
+					defer ctl.Close()
+					srv.OnAck = ctl.HandleAck
+				}
 			}
 			ln, err := wire.Listen("unix:" + filepath.Join(b.TempDir(), "bench.sock"))
 			if err != nil {

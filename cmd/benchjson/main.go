@@ -1,0 +1,137 @@
+// Command benchjson converts `go test -bench` output into machine-readable
+// JSON so the performance trajectory is tracked across PRs: `make bench`
+// pipes the full benchmark run through it and writes BENCH_4.json with one
+// entry per benchmark — iterations plus every reported metric (ns/op,
+// B/op, allocs/op, and custom metrics like frames/s, reports/s, syncs/op).
+//
+// Usage:
+//
+//	benchjson [-in bench.out] [-out BENCH_4.json]
+//
+// With no flags it filters stdin to stdout, so it also composes:
+//
+//	go test -bench . -benchmem ./... | benchjson -out BENCH_4.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	// Name is the benchmark path without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Pkg is the package the benchmark ran in (from the `pkg:` header).
+	Pkg string `json:"pkg,omitempty"`
+	// Procs is GOMAXPROCS during the run (the -P name suffix).
+	Procs int `json:"procs,omitempty"`
+	// Iterations is b.N.
+	Iterations int64 `json:"iterations"`
+	// Metrics holds every value/unit pair on the line, keyed by unit.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the file layout: run context plus the benchmark list.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parseLine parses one `BenchmarkX-8  N  v unit  v unit ...` result line,
+// reporting ok=false for everything else (headers, PASS/ok lines, logs).
+func parseLine(line, pkg string) (Benchmark, bool) {
+	f := strings.Fields(line)
+	if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") || len(f)%2 != 0 {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: f[0], Pkg: pkg, Iterations: iters, Metrics: map[string]float64{}}
+	if i := strings.LastIndex(b.Name, "-"); i > 0 {
+		if procs, err := strconv.Atoi(b.Name[i+1:]); err == nil {
+			b.Name, b.Procs = b.Name[:i], procs
+		}
+	}
+	for i := 2; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[f[i+1]] = v
+	}
+	return b, true
+}
+
+// parse scans a full `go test -bench` transcript.
+func parse(r io.Reader) (Output, error) {
+	var out Output
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "pkg: "):
+			pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		default:
+			if b, ok := parseLine(line, pkg); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+func main() {
+	in := flag.String("in", "", "benchmark transcript to parse (default stdin)")
+	outPath := flag.String("out", "", "JSON output file (default stdout)")
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatalf("benchjson: %v", err)
+		}
+		defer f.Close()
+		src = f
+	}
+	out, err := parse(src)
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	if len(out.Benchmarks) == 0 {
+		log.Fatalf("benchjson: no benchmark result lines found")
+	}
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	enc = append(enc, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*outPath, enc, 0o644); err != nil {
+		log.Fatalf("benchjson: %v", err)
+	}
+	fmt.Printf("benchjson: %d benchmarks -> %s\n", len(out.Benchmarks), *outPath)
+}

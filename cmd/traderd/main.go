@@ -27,10 +27,19 @@
 // into a fresh pool, prints the fleet rollup and exits: deterministic
 // post-mortem diagnosis without the fleet attached.
 //
+// With -recover POLICY the awareness loop is closed: a recovery controller
+// (internal/control) subscribes to the fleet's error reports, classifies
+// them (deviation, silence, runaway), and escalates each misbehaving device
+// — tolerate, reset its comparator, restart it as a recoverable unit,
+// quarantine it — pushing the corresponding control commands down the
+// device's connection and journaling every action, so -replay reconstructs
+// what the controller did. A periodic recovery rollup (actions, downtime,
+// FMEA criticality of the observed failure classes) joins the fleet stats.
+//
 // Usage:
 //
 //	traderd [-socket /tmp/trader.sock] [-suo tv|mediaplayer] [-v]
-//	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-journal DIR] [-v]
+//	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-journal DIR] [-recover default] [-v]
 //	traderd -fleet 1000 [-shards 8] [-fleet-seconds 5] [-v]
 //	traderd -replay DIR [-suo light] [-shards 8] [-v]
 package main
@@ -48,6 +57,7 @@ import (
 	"syscall"
 	"time"
 
+	"trader/internal/control"
 	"trader/internal/core"
 	"trader/internal/exper"
 	"trader/internal/fleet"
@@ -71,6 +81,7 @@ func main() {
 	maxAdvance := flag.Int("max-advance", 0, "largest virtual-time jump in seconds a single client frame may request in -listen mode (0: default 300)")
 	journalDir := flag.String("journal", "", "write-ahead journal directory for -listen mode: journal every accepted frame, auto-recover on boot")
 	replayDir := flag.String("replay", "", "replay a journal directory into a fresh pool, print the rollup, and exit")
+	recoverPol := flag.String("recover", "", "recovery controller policy for -listen mode: default, aggressive or patient (empty: monitoring only)")
 	flag.Parse()
 
 	if *journalDir != "" && *listen == "" {
@@ -91,8 +102,11 @@ func main() {
 		}
 		return
 	}
+	if *recoverPol != "" && *listen == "" {
+		log.Fatalf("traderd: -recover requires -listen (the controller actuates through the ingestion server)")
+	}
 	if *listen != "" {
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *verbose); err != nil {
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
@@ -224,8 +238,11 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 // remote SUO monitored as a device of a single sharded pool. With a journal
 // directory it is also crash-durable: existing journal state is recovered
 // into the pool before any listener opens, and every accepted frame is
-// journaled write-ahead from then on.
-func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir string, verbose bool) error {
+// journaled write-ahead from then on. With a -recover policy the awareness
+// loop is closed: a recovery controller escalates each device's error
+// reports (tolerate → reset → restart → quarantine), actuates through the
+// server's control pushes, and journals every action.
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -268,6 +285,25 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			log.Printf("traderd: %s: %s", device, r)
 		})
 	}
+	var ctl *control.Controller
+	if recoverPol != "" {
+		pol, err := control.PolicyByName(recoverPol)
+		if err != nil {
+			return err
+		}
+		opts := control.Options{Actuator: srv, Policy: pol}
+		if jw != nil {
+			opts.Journal = jw
+		}
+		if verbose {
+			opts.Logf = log.Printf
+		}
+		ctl = control.Attach(pool, opts)
+		defer ctl.Close()
+		srv.OnAck = ctl.HandleAck
+		log.Printf("traderd: recovery controller on (policy %s: tolerate %d, resets %d, restarts %d, restart latency %s)",
+			pol.Name, pol.Tolerate, pol.Resets, pol.Restarts, pol.RestartLatency)
+	}
 
 	errc := make(chan error, 8)
 	var listeners []net.Listener
@@ -303,6 +339,14 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			log.Printf("traderd: fleet: %d devices, %d frames ingested, %d dispatched, %d comparisons, %d deviations, %d reports (%d accepted, %d rejected, %d disconnected)",
 				ro.Devices, cs.Frames, ro.Dispatched, ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports,
 				cs.Accepted, cs.Rejected, cs.Disconnected)
+			if ctl != nil {
+				cro := ctl.Rollup()
+				log.Printf("traderd: recovery: %s", cro)
+				if crit := control.Criticality(cro); len(crit) > 0 {
+					log.Printf("traderd: recovery: most critical failure class: %s (RPN %.3f)",
+						crit[0].Component, crit[0].RPN)
+				}
+			}
 		case sig := <-sigc:
 			log.Printf("traderd: %v: draining fleet", sig)
 			srv.Close()
@@ -313,6 +357,9 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			cs := srv.Stats()
 			log.Printf("traderd: final: %d frames ingested, %d comparisons, %d error reports, %d connections served",
 				cs.Frames, ro.Monitor.Comparisons, ro.Reports, cs.Accepted)
+			if ctl != nil {
+				log.Printf("traderd: recovery final: %s", ctl.Rollup())
+			}
 			if jw != nil {
 				js := jw.Stats()
 				log.Printf("traderd: journal: %d records in %d fsync batches across %d segments",

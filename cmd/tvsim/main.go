@@ -9,7 +9,9 @@
 // picks the wire codec) and streaming its events; error reports and control
 // commands pushed down by the daemon are counted per device. Every
 // -fault-every'th device runs the fault schedule, so a known fraction of
-// the fleet misbehaves.
+// the fleet misbehaves. Devices honor the recovery control plane of
+// `traderd -recover`: CtrlReset is acknowledged, CtrlRestart re-handshakes
+// and resumes streaming, CtrlQuarantine takes the device out of service.
 //
 // Usage:
 //
@@ -20,6 +22,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -107,43 +110,180 @@ func scenario(k *sim.Kernel, tv *tvsim.TV, duration int) sim.Time {
 
 // deviceStats aggregates what one remote TV saw during a -connect session.
 type deviceStats struct {
-	keys, frames   int
-	reports, ctrls uint64
+	keys, frames          int
+	reports, ctrls        uint64
+	restarts, quarantines uint64
+}
+
+// errDeviceDown reports a frame dropped because the device is between
+// connections (restarting) or out of service (quarantined).
+var errDeviceDown = errors.New("tvsim: device down")
+
+// fleetTV is one remote SUO honoring the recovery control plane: a
+// reconnectable connection whose reader answers control pushes — CtrlReset
+// is acked, CtrlRestart re-handshakes and resumes streaming (frames emitted
+// while down are lost: that is the downtime the controller accounts), and
+// CtrlQuarantine stops the device for good.
+type fleetTV struct {
+	addr, id, codec string
+
+	mu          sync.Mutex
+	wc          *wire.Conn
+	down        bool
+	quarantined bool
+	// stopped latches when the session ends (close): a restart re-dial
+	// still in flight must not resurrect the connection afterwards.
+	stopped bool
+
+	// lastAt shadows the latest streamed virtual time so acks sent from
+	// the reader goroutine carry an in-window timestamp.
+	lastAt                atomic.Int64
+	reports, ctrls        atomic.Uint64
+	restarts, quarantines atomic.Uint64
+	drained               chan struct{}
+	drainedOnce           sync.Once
+}
+
+func (d *fleetTV) at() sim.Time { return sim.Time(d.lastAt.Load()) }
+
+// conn returns the live connection, or errDeviceDown between connections.
+func (d *fleetTV) conn() (*wire.Conn, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.down || d.wc == nil {
+		return nil, errDeviceDown
+	}
+	return d.wc, nil
+}
+
+func (d *fleetTV) send(m wire.Message) error {
+	wc, err := d.conn()
+	if err != nil {
+		return err
+	}
+	return wc.Encode(m)
+}
+
+// forward streams one bus event, dropping it silently while the device is
+// down — a restarting SUO produces no observable output.
+func (d *fleetTV) forward(e event.Event) {
+	wc, err := d.conn()
+	if err != nil {
+		return
+	}
+	d.lastAt.Store(int64(e.At))
+	_ = wc.SendEvent(d.id, e)
+}
+
+// read consumes one connection's downstream frames until it ends.
+func (d *fleetTV) read(wc *wire.Conn) {
+	for {
+		msg, err := wc.Decode()
+		if err != nil {
+			return
+		}
+		switch msg.Type {
+		case wire.TypeError:
+			d.reports.Add(1)
+		case wire.TypeHeartbeat:
+			// The daemon's heartbeat echo is a flush barrier: every
+			// observation sent before it has been monitored and its error
+			// frames already precede the echo on this stream.
+			d.drainedOnce.Do(func() { close(d.drained) })
+		case wire.TypeControl:
+			d.ctrls.Add(1)
+			switch msg.Control {
+			case wire.CtrlReset:
+				// Monitor-side state was re-armed; nothing to tear down on
+				// a simulated TV — acknowledge so the controller knows.
+				_ = d.send(wire.Ack(d.id, wire.CtrlReset, d.at()))
+			case wire.CtrlRestart:
+				// Honored synchronously: a restarting SUO stops consuming
+				// its old connection (a quarantine verdict racing the
+				// restart is re-delivered by the daemon on the next
+				// handshake). The next Decode sees the closed connection
+				// and ends this reader.
+				d.restart()
+			case wire.CtrlQuarantine:
+				d.quarantines.Add(1)
+				_ = d.send(wire.Ack(d.id, wire.CtrlQuarantine, d.at()))
+				d.mu.Lock()
+				d.quarantined, d.down = true, true
+				d.mu.Unlock()
+				wc.Close()
+				return
+			}
+		}
+	}
+}
+
+// restart honors CtrlRestart: drop the connection, re-handshake (the daemon
+// re-admits the ID — or, in journal mode, hands back the adopted device),
+// acknowledge, resume streaming.
+func (d *fleetTV) restart() {
+	d.mu.Lock()
+	if d.quarantined || d.stopped {
+		d.mu.Unlock()
+		return
+	}
+	d.down = true
+	old := d.wc
+	d.wc = nil
+	d.mu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+	var wc *wire.Conn
+	var err error
+	for try := 0; try < 40; try++ {
+		// The daemon may still be tearing the old registration down; the
+		// ID frees up within a removal round-trip.
+		if wc, err = wire.Dial(d.addr, d.id, d.codec); err == nil {
+			break
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	if err != nil {
+		log.Printf("tvsim: %s: restart re-handshake failed: %v", d.id, err)
+		return
+	}
+	d.mu.Lock()
+	if d.quarantined || d.stopped { // overtaken while re-dialing: stay down
+		d.mu.Unlock()
+		wc.Close()
+		return
+	}
+	d.wc = wc
+	d.down = false
+	d.mu.Unlock()
+	// Only now is the restart honored: re-handshaken and streaming again.
+	d.restarts.Add(1)
+	_ = wc.Encode(wire.Ack(d.id, wire.CtrlRestart, d.at()))
+	go d.read(wc)
+}
+
+func (d *fleetTV) close() {
+	d.mu.Lock()
+	wc := d.wc
+	d.wc, d.down, d.stopped = nil, true, true
+	d.mu.Unlock()
+	if wc != nil {
+		wc.Close()
+	}
 }
 
 // runOne connects one simulated TV to the ingestion daemon and plays the
-// scenario to the horizon, streaming every bus event over the wire.
+// scenario to the horizon, streaming every bus event over the wire and
+// honoring any recovery commands the daemon pushes back.
 func runOne(addr, id, codec string, seed int64, duration int, schedule []faults.Fault) (deviceStats, error) {
 	var st deviceStats
+	d := &fleetTV{addr: addr, id: id, codec: codec, drained: make(chan struct{})}
 	wc, err := wire.Dial(addr, id, codec)
 	if err != nil {
 		return st, err
 	}
-	defer wc.Close()
-
-	// Count the monitor's view coming back down the connection.
-	var reports, ctrls atomic.Uint64
-	drained := make(chan struct{})
-	go func() {
-		for {
-			msg, err := wc.Decode()
-			if err != nil {
-				return
-			}
-			switch msg.Type {
-			case wire.TypeError:
-				reports.Add(1)
-			case wire.TypeControl:
-				ctrls.Add(1)
-			case wire.TypeHeartbeat:
-				// The daemon's heartbeat echo is a flush barrier: every
-				// observation we sent before it has been monitored and its
-				// error frames already precede the echo on this stream.
-				close(drained)
-				return
-			}
-		}
-	}()
+	d.wc = wc
+	go d.read(wc)
 
 	k := sim.NewKernel(seed)
 	tv := tvsim.New(k, tvsim.Config{})
@@ -152,21 +292,31 @@ func runOne(addr, id, codec string, seed int64, duration int, schedule []faults.
 	}
 	var frames int
 	tv.Bus().Subscribe("frame", func(event.Event) { frames++ })
-	sub := core.ForwardBus(tv.Bus(), wc, id, nil)
+	sub := tv.Bus().Subscribe("", func(e event.Event) {
+		if e.Kind == event.Err {
+			return
+		}
+		d.forward(e)
+	})
 	defer sub.Unsubscribe()
 
 	horizon := scenario(k, tv, duration)
 	k.Run(horizon)
 
 	// Drain: heartbeat, wait for the echo, then tear the connection down.
-	if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: horizon}); err == nil {
+	// A device that ended the session down (restarting or quarantined) has
+	// nothing to drain.
+	d.lastAt.Store(int64(horizon))
+	if err := d.send(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: horizon}); err == nil {
 		select {
-		case <-drained:
+		case <-d.drained:
 		case <-time.After(10 * time.Second):
 		}
 	}
-	wc.Close()
-	st = deviceStats{keys: int(tv.KeysHandled), frames: frames, reports: reports.Load(), ctrls: ctrls.Load()}
+	d.close()
+	st = deviceStats{keys: int(tv.KeysHandled), frames: frames,
+		reports: d.reports.Load(), ctrls: d.ctrls.Load(),
+		restarts: d.restarts.Load(), quarantines: d.quarantines.Load()}
 	return st, nil
 }
 
@@ -192,7 +342,7 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 	wg.Wait()
 
 	var ok, keys, frames int
-	var reports, ctrls uint64
+	var reports, ctrls, restarts, quarantines uint64
 	var firstErr error
 	for i := range stats {
 		if errs[i] != nil {
@@ -206,9 +356,11 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 		frames += stats[i].frames
 		reports += stats[i].reports
 		ctrls += stats[i].ctrls
+		restarts += stats[i].restarts
+		quarantines += stats[i].quarantines
 	}
-	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received",
-		time.Since(start), ok, n, keys, frames, reports, ctrls)
+	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received (%d restarts honored, %d quarantined)",
+		time.Since(start), ok, n, keys, frames, reports, ctrls, restarts, quarantines)
 	if ok == 0 && firstErr != nil {
 		return firstErr
 	}

@@ -13,6 +13,11 @@
 // network: cmd/traderd -listen accepts concurrent SUO connections (Unix
 // socket/TCP, JSON or negotiated binary codec) and monitors each as a pool
 // device, with cmd/tvsim -connect as the matching fleet client.
+// internal/journal makes ingestion crash-durable (write-ahead frame log,
+// replayable post mortem), and internal/control closes the awareness loop:
+// error reports are classified and escalated per device — tolerate, reset,
+// restart as a recoverable unit, quarantine — with every recovery action
+// actuated over the wire and journaled (traderd -recover).
 //
 // See ARCHITECTURE.md for the concept-to-package map and the full wire
 // protocol specification, README.md for the layout, DESIGN.md for the

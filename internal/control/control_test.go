@@ -1,0 +1,448 @@
+package control
+
+// White-box tests of the escalation ladder: the table-driven cases drive
+// handleReport synchronously (newController, no goroutine) so action
+// sequences are exact; the concurrency test runs the full asynchronous
+// pipeline over a sharded pool under -race.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+
+	"trader/internal/event"
+	"trader/internal/fleet"
+	"trader/internal/journal"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+// fakeActuator records every push and disconnect, in order.
+type fakeActuator struct {
+	mu          sync.Mutex
+	pushes      []wire.ControlCommand
+	disconnects []string
+}
+
+func (a *fakeActuator) Control(id string, cmd wire.ControlCommand) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pushes = append(a.pushes, cmd)
+	return nil
+}
+
+func (a *fakeActuator) Disconnect(id string) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.disconnects = append(a.disconnects, id)
+	return nil
+}
+
+// rep is one scripted error report.
+type rep struct {
+	atMs     int64
+	detector string
+}
+
+func deviationAt(atMs int64) rep { return rep{atMs: atMs, detector: "comparator"} }
+
+func report(r rep) wire.ErrorReport {
+	return wire.ErrorReport{
+		Detector: r.detector, Observable: "x", Expected: 0, Actual: 2,
+		Consecutive: 2, At: sim.Time(r.atMs) * sim.Millisecond,
+	}
+}
+
+// ladderPolicy is the tight ladder most cases use: 1 tolerated report, 1
+// reset, 1 restart (50ms), then quarantine; cooldown 1s; runaway off.
+func ladderPolicy() Policy {
+	return Policy{Name: "test", Tolerate: 1, Resets: 1, Restarts: 1,
+		RestartLatency: 50 * sim.Millisecond, Cooldown: sim.Second}
+}
+
+func TestEscalationLadderTable(t *testing.T) {
+	cases := []struct {
+		name     string
+		pol      Policy
+		reports  []rep
+		want     []Rung                // action sequence, in order
+		pushes   []wire.ControlCommand // wire pushes, in order
+		dropped  int                   // devices disconnected
+		absorbed uint64
+	}{
+		{
+			// The Nth consecutive report is still tolerated...
+			name:    "tolerance boundary: Nth report tolerated",
+			pol:     Policy{Tolerate: 2, Resets: 1, Restarts: 1, RestartLatency: 50 * sim.Millisecond, Cooldown: sim.Second},
+			reports: []rep{deviationAt(10), deviationAt(20)},
+			want:    []Rung{RungTolerate, RungTolerate},
+		},
+		{
+			// ...and the N+1th crosses into actuation.
+			name:    "tolerance boundary: N+1th report resets",
+			pol:     Policy{Tolerate: 2, Resets: 1, Restarts: 1, RestartLatency: 50 * sim.Millisecond, Cooldown: sim.Second},
+			reports: []rep{deviationAt(10), deviationAt(20), deviationAt(30)},
+			want:    []Rung{RungTolerate, RungTolerate, RungReset},
+			pushes:  []wire.ControlCommand{wire.CtrlReset},
+		},
+		{
+			name: "full ladder fires in order",
+			pol:  ladderPolicy(),
+			// Restart is decided at 30ms and completes at 80ms; the 200ms
+			// report finds the unit running again and quarantines.
+			reports: []rep{deviationAt(10), deviationAt(20), deviationAt(30), deviationAt(200)},
+			want:    []Rung{RungTolerate, RungReset, RungRestart, RungQuarantine},
+			pushes:  []wire.ControlCommand{wire.CtrlReset, wire.CtrlRestart, wire.CtrlQuarantine},
+			dropped: 1,
+		},
+		{
+			name: "reports during a restart are absorbed",
+			pol:  ladderPolicy(),
+			// 40ms and 60ms land inside the 30→80ms restart window: no
+			// action, no ladder movement.
+			reports:  []rep{deviationAt(10), deviationAt(20), deviationAt(30), deviationAt(40), deviationAt(60), deviationAt(200)},
+			want:     []Rung{RungTolerate, RungReset, RungRestart, RungQuarantine},
+			pushes:   []wire.ControlCommand{wire.CtrlReset, wire.CtrlRestart, wire.CtrlQuarantine},
+			dropped:  1,
+			absorbed: 2,
+		},
+		{
+			name: "flapping device de-escalates after cooldown",
+			pol:  ladderPolicy(),
+			// Fail (tolerate, reset), recover for > 1s, fail again: the
+			// fresh episode starts at the ladder's bottom — flapping does
+			// not march a recovering device to quarantine.
+			reports: []rep{deviationAt(10), deviationAt(20), deviationAt(1520), deviationAt(1530)},
+			want:    []Rung{RungTolerate, RungReset, RungTolerate, RungReset},
+			pushes:  []wire.ControlCommand{wire.CtrlReset, wire.CtrlReset},
+		},
+		{
+			name: "quarantine is final",
+			pol:  ladderPolicy(),
+			// Reports after quarantine (the monitor still sweeps) climb
+			// nothing and push nothing.
+			reports: []rep{deviationAt(10), deviationAt(20), deviationAt(30), deviationAt(200), deviationAt(1300), deviationAt(2400)},
+			want:    []Rung{RungTolerate, RungReset, RungRestart, RungQuarantine},
+			pushes:  []wire.ControlCommand{wire.CtrlReset, wire.CtrlRestart, wire.CtrlQuarantine},
+			dropped: 1,
+		},
+		{
+			name: "runaway storm skips the gentle rungs",
+			pol: Policy{Tolerate: 5, Resets: 5, Restarts: 1, RestartLatency: 50 * sim.Millisecond,
+				Cooldown: sim.Second, RunawayReports: 3, RunawayWindow: 20 * sim.Millisecond},
+			// Three reports within 20ms of each other: the third is a
+			// runaway and jumps straight to restart despite 5 tolerated
+			// reports remaining.
+			reports: []rep{deviationAt(10), deviationAt(20), deviationAt(30)},
+			want:    []Rung{RungTolerate, RungTolerate, RungRestart},
+			pushes:  []wire.ControlCommand{wire.CtrlRestart},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pool := fleet.NewPool(fleet.Options{Shards: 1})
+			defer pool.Stop()
+			act := &fakeActuator{}
+			var got []Rung
+			c := newController(pool, Options{
+				Actuator: act, Policy: tc.pol, Logf: t.Logf,
+				OnAction: func(a Action) {
+					if a.Device != "dev" {
+						t.Errorf("action for %q, want dev", a.Device)
+					}
+					got = append(got, a.Rung)
+				},
+			})
+			for _, r := range tc.reports {
+				c.handleReport("dev", report(r))
+			}
+			if fmt.Sprint(got) != fmt.Sprint(tc.want) {
+				t.Fatalf("actions = %v, want %v", got, tc.want)
+			}
+			if fmt.Sprint(act.pushes) != fmt.Sprint(tc.pushes) {
+				t.Fatalf("pushes = %v, want %v", act.pushes, tc.pushes)
+			}
+			if len(act.disconnects) != tc.dropped {
+				t.Fatalf("disconnects = %v, want %d", act.disconnects, tc.dropped)
+			}
+			if ro := c.rollup(); ro.Absorbed != tc.absorbed {
+				t.Fatalf("absorbed = %d, want %d (rollup %s)", ro.Absorbed, tc.absorbed, ro)
+			}
+		})
+	}
+}
+
+// Silence reports classify as silence; classification feeds the rollup and
+// the FMEA criticality ranking.
+func TestClassificationAndCriticality(t *testing.T) {
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	c := newController(pool, Options{Policy: PatientPolicy()})
+	c.handleReport("a", report(rep{atMs: 10, detector: "comparator"}))
+	c.handleReport("a", report(rep{atMs: 500, detector: "silence"}))
+	c.handleReport("b", report(rep{atMs: 600, detector: "silence"}))
+	ro := c.rollup()
+	if ro.Deviations != 1 || ro.Silences != 2 || ro.Runaways != 0 {
+		t.Fatalf("classes = %d/%d/%d, want 1/2/0", ro.Deviations, ro.Silences, ro.Runaways)
+	}
+	if ro.Devices != 2 {
+		t.Fatalf("devices = %d, want 2", ro.Devices)
+	}
+	crit := Criticality(ro)
+	if len(crit) != 3 {
+		t.Fatalf("criticality entries = %d, want 3", len(crit))
+	}
+	// Silence dominates occurrence (2/3) and carries higher severity and
+	// worse detectability than deviation, so it must rank first.
+	if crit[0].Component != ClassSilence.String() {
+		t.Fatalf("top criticality = %s, want silence", crit[0].Component)
+	}
+	if Criticality(Rollup{}) != nil {
+		t.Fatal("criticality of an empty rollup should be nil")
+	}
+}
+
+// Downtime accounting is the recovery manager's: each completed restart
+// contributes exactly the policy's RestartLatency.
+func TestDowntimeMatchesRecoveryManager(t *testing.T) {
+	pol := ladderPolicy()
+	pol.Restarts = 2
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	c := newController(pool, Options{Policy: pol})
+	// Two full restart cycles: tolerate(10), reset(20), restart(30..80),
+	// restart(200..250), then quarantine at 400.
+	for _, ms := range []int64{10, 20, 30, 200, 400} {
+		c.handleReport("dev", report(deviationAt(ms)))
+	}
+	c.advanceTo(sim.Second)
+	ro := c.rollup()
+	if ro.Restarts != 2 || ro.RestartsCompleted != 2 {
+		t.Fatalf("restarts = %d started, %d completed, want 2/2 (%s)", ro.Restarts, ro.RestartsCompleted, ro)
+	}
+	want := 2 * pol.RestartLatency
+	if ro.Downtime != want {
+		t.Fatalf("downtime = %s, want %s", ro.Downtime, want)
+	}
+	// Cross-check against the manager's own unit accounting.
+	if u := c.mgr.Unit("dev"); u.Downtime != want || u.Recoveries != 2 {
+		t.Fatalf("manager unit: downtime %s, recoveries %d, want %s/2", u.Downtime, u.Recoveries, want)
+	}
+}
+
+// Every action is journaled write-ahead; reading the journal back yields a
+// byte-identical action sequence.
+func TestActionsJournaledByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	jw, err := journal.Create(dir, journal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	var live []wire.Message
+	c := newController(pool, Options{Journal: jw, Policy: ladderPolicy(),
+		OnAction: func(a Action) { live = append(live, a.Frame()) }})
+	for _, ms := range []int64{10, 20, 30, 200} {
+		c.handleReport("dev", report(deviationAt(ms)))
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(live) != 4 {
+		t.Fatalf("live actions = %d, want 4", len(live))
+	}
+
+	jr, err := journal.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	var journaled []wire.Message
+	for {
+		m, err := jr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type == wire.TypeControl {
+			journaled = append(journaled, m)
+		}
+	}
+	if len(journaled) != len(live) {
+		t.Fatalf("journaled actions = %d, want %d", len(journaled), len(live))
+	}
+	for i := range live {
+		want, err1 := wire.Binary.Append(nil, live[i])
+		got, err2 := wire.Binary.Append(nil, journaled[i])
+		if err1 != nil || err2 != nil {
+			t.Fatal(err1, err2)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("action %d differs: live %+v, journaled %+v", i, live[i], journaled[i])
+		}
+	}
+}
+
+// The full asynchronous pipeline under concurrency: 32 faulty devices on 8
+// shards report through the pool fan-in while the controller escalates.
+// Run with -race (make check does): the point is that shard goroutines,
+// connection-free report fan-in and the controller goroutine share nothing
+// but the inbox.
+func TestConcurrentEscalationAcrossShards(t *testing.T) {
+	const devices = 32
+	pool := fleet.NewPool(fleet.Options{Shards: 8})
+	defer pool.Stop()
+	factory := fleet.LightFactory(1) // every device echoes a deviating level
+	for i := 0; i < devices; i++ {
+		if err := pool.AddDevice(fleet.DeviceID(i), int64(i)+1, factory); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var mu sync.Mutex
+	perDevice := make(map[string][]Rung)
+	pol := Policy{Tolerate: 1, Resets: 1, Restarts: 1,
+		RestartLatency: 20 * sim.Millisecond, Cooldown: 10 * sim.Second}
+	c := Attach(pool, Options{Policy: pol, OnAction: func(a Action) {
+		mu.Lock()
+		perDevice[a.Device] = append(perDevice[a.Device], a.Rung)
+		mu.Unlock()
+	}})
+	defer c.Close()
+
+	// Phase 1 — the race: rounds of commanded levels with virtual time
+	// advancing fleet-wide, no synchronisation with the controller. Shard
+	// goroutines fan reports in while the controller escalates and its
+	// re-arms chase the traffic.
+	round := func() {
+		for i := 0; i < devices; i++ {
+			e := event.Event{Kind: event.Input, Name: "set", Source: "headend"}.With("x", 0)
+			if err := pool.Dispatch(fleet.DeviceID(i), e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := pool.Advance(10 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for r := 0; r < 30; r++ {
+		round()
+	}
+	c.Sync()
+
+	// Phase 2 — convergence: synced rounds until every device has been
+	// marched to quarantine (every device deviates persistently, so the
+	// ladder must complete for all of them).
+	for r := 0; r < 200 && c.Rollup().Quarantined < devices; r++ {
+		round()
+		c.Sync()
+		if err := pool.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ro := c.Rollup()
+	if ro.Dropped != 0 {
+		t.Fatalf("dropped %d reports — inbox too small for the test load", ro.Dropped)
+	}
+	if ro.Devices != devices {
+		t.Fatalf("controller saw %d devices, want %d", ro.Devices, devices)
+	}
+	// Every report is either classified or came from a retired device.
+	if ro.Reports != ro.Deviations+ro.Silences+ro.Runaways+ro.AfterQuarantine {
+		t.Fatalf("class counts do not sum to reports: %s", ro)
+	}
+	ladder := []Rung{RungTolerate, RungReset, RungRestart, RungQuarantine}
+	mu.Lock()
+	defer mu.Unlock()
+	for id, rungs := range perDevice {
+		if len(rungs) == 0 || len(rungs) > len(ladder) {
+			t.Fatalf("%s: actions %v", id, rungs)
+		}
+		for i, r := range rungs {
+			if r != ladder[i] {
+				t.Fatalf("%s: actions %v, want a prefix of %v", id, rungs, ladder)
+			}
+		}
+	}
+	if len(perDevice) != devices {
+		t.Fatalf("%d devices acted on, want %d", len(perDevice), devices)
+	}
+	if ro.Quarantined != devices || ro.Quarantines != uint64(devices) {
+		t.Fatalf("quarantined %d devices in %d actions, want all %d: %s",
+			ro.Quarantined, ro.Quarantines, devices, ro)
+	}
+}
+
+// A closed controller sheds reports and still serves the frozen rollup.
+func TestCloseFreezesState(t *testing.T) {
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	c := Attach(pool, Options{Policy: ladderPolicy()})
+	c.Report("dev", report(deviationAt(10)))
+	c.Sync()
+	c.Close()
+	c.Report("dev", report(deviationAt(20))) // dropped silently
+	ro := c.Rollup()
+	if ro.Reports != 1 || ro.Tolerated != 1 {
+		t.Fatalf("frozen rollup = %s, want exactly the pre-close report", ro)
+	}
+	c.Close() // idempotent
+}
+
+// BenchmarkControllerReport measures the controller's decision hot path:
+// one error report through the inbox, classification, cooldown
+// de-escalation, one tolerate action with its comparator re-arm round-trip
+// — the steady-state cost of a fleet that flaps. journal=on adds the
+// write-ahead action record (NoSync: the CPU cost, as in
+// BenchmarkJournalAppend's nosync variant; production actions are rare
+// enough that their fsync is noise).
+func BenchmarkControllerReport(b *testing.B) {
+	for _, journaled := range []bool{false, true} {
+		name := "journal=off"
+		if journaled {
+			name = "journal=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			pool := fleet.NewPool(fleet.Options{Shards: 2})
+			defer pool.Stop()
+			if err := pool.AddDevice("dev", 1, fleet.LightFactory(0)); err != nil {
+				b.Fatal(err)
+			}
+			opts := Options{Policy: Policy{Tolerate: 1, Resets: 1, Restarts: 1,
+				RestartLatency: 10 * sim.Millisecond, Cooldown: sim.Millisecond}}
+			if journaled {
+				jw, err := journal.Create(b.TempDir(), journal.Options{NoSync: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer jw.Close()
+				opts.Journal = jw
+			}
+			c := Attach(pool, opts)
+			defer c.Close()
+			rep := wire.ErrorReport{Detector: "comparator", Observable: "x", Expected: 0, Actual: 2, Consecutive: 2}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				// 1ms spacing ≥ cooldown: every report opens a fresh
+				// episode, so each one runs the full decision path.
+				rep.At = sim.Time(i+1) * sim.Millisecond
+				c.Report("dev", rep)
+				if i%512 == 511 {
+					c.Sync() // bound in-flight reports below the inbox cap
+				}
+			}
+			c.Sync()
+			b.StopTimer()
+			if ro := c.Rollup(); ro.Dropped != 0 {
+				b.Fatalf("%d reports shed — the measurement is incomplete", ro.Dropped)
+			}
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "reports/s")
+		})
+	}
+}

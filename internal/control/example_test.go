@@ -1,0 +1,47 @@
+package control_test
+
+import (
+	"fmt"
+
+	"trader/internal/control"
+	"trader/internal/event"
+	"trader/internal/fleet"
+	"trader/internal/sim"
+)
+
+// One persistently faulty device marched up the full escalation ladder: the
+// monitor reports each deviation episode, the controller tolerates the
+// first, then resets the comparator, then restarts the device (25ms of
+// accounted downtime), then quarantines it. The pool.Sync/ctl.Sync pair
+// after each round makes the asynchronous pipeline deterministic for the
+// example; live deployments just let it run.
+func Example() {
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	if err := pool.AddDevice("tv-1", 1, fleet.LightFactory(1)); err != nil {
+		fmt.Println(err)
+		return
+	}
+	pol := control.Policy{Tolerate: 1, Resets: 1, Restarts: 1,
+		RestartLatency: 25 * sim.Millisecond, Cooldown: 10 * sim.Second}
+	ctl := control.Attach(pool, control.Options{Policy: pol,
+		OnAction: func(a control.Action) { fmt.Println(a) }})
+	defer ctl.Close()
+
+	for round := 1; round <= 7; round++ {
+		e := event.Event{Kind: event.Input, Name: "set", Source: "headend"}.With("x", 0)
+		_ = pool.Dispatch("tv-1", e)
+		_ = pool.Advance(10 * sim.Millisecond) // periodic comparison fires
+		ctl.Sync()                             // actions decided and applied
+		_ = pool.Sync()                        // comparator re-arms applied
+	}
+	ro := ctl.Rollup()
+	fmt.Printf("downtime %s across %d restart(s), %d device(s) quarantined\n",
+		ro.Downtime, ro.RestartsCompleted, ro.Quarantined)
+	// Output:
+	// tv-1: tolerate (deviation) at 10.000ms
+	// tv-1: reset (deviation) at 20.000ms
+	// tv-1: restart (deviation) at 30.000ms
+	// tv-1: quarantine (deviation) at 60.000ms
+	// downtime 25.000ms across 1 restart(s), 1 device(s) quarantined
+}

@@ -1,0 +1,242 @@
+package control
+
+import (
+	"fmt"
+
+	"trader/internal/faults"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+// Class is the controller's triage of one error report: which kind of
+// trouble the device is in, expressed in the fault taxonomy of
+// internal/faults. The class decides how the escalation ladder moves —
+// a runaway device skips straight past the gentle rungs.
+type Class int
+
+// Fault classes, in increasing order of alarm.
+const (
+	// ClassDeviation is a comparator or model-invariant report: the device
+	// produced a wrong value (a value-corruption fault manifesting).
+	ClassDeviation Class = iota
+	// ClassSilence is a silence-detector report: a component went quiet
+	// past its deadline, the signature of a crashed task.
+	ClassSilence
+	// ClassRunaway is a report storm: reports arriving so fast that
+	// resets demonstrably do not help — the device is continuously, not
+	// episodically, wrong (an overload in the fault catalogue's terms).
+	ClassRunaway
+	nClasses
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassDeviation:
+		return "deviation"
+	case ClassSilence:
+		return "silence"
+	case ClassRunaway:
+		return "runaway"
+	default:
+		return fmt.Sprintf("class(%d)", int(c))
+	}
+}
+
+// Kind maps the class into the fault catalogue of internal/faults, so
+// controller rollups speak the same taxonomy as the injection experiments.
+func (c Class) Kind() faults.Kind {
+	switch c {
+	case ClassSilence:
+		return faults.TaskCrash
+	case ClassRunaway:
+		return faults.Overload
+	default:
+		return faults.ValueCorruption
+	}
+}
+
+// Detector names as emitted by core.Monitor's error reports.
+const (
+	detectorComparator = "comparator"
+	detectorSilence    = "silence"
+)
+
+// ClassOf performs the detector half of classification: silence reports come
+// from the silence sweeper, everything else (comparator, model invariant) is
+// a deviation. The timing half — runaway detection — needs per-device
+// report history and lives in the controller.
+func ClassOf(r wire.ErrorReport) Class {
+	if r.Detector == detectorSilence {
+		return ClassSilence
+	}
+	return ClassDeviation
+}
+
+// Rung is one step of the escalation ladder. Every error report moves a
+// device's ladder: the controller acts at the device's current rung and
+// escalates when the rung's budget is spent.
+type Rung int
+
+// The escalation ladder, mildest first.
+const (
+	// RungTolerate absorbs the report: no wire action, but the device's
+	// comparator is re-armed so monitoring keeps producing evidence.
+	RungTolerate Rung = iota
+	// RungReset pushes CtrlReset: the SUO clears its erroneous state, the
+	// comparator re-arms, and a healthy device stops reporting.
+	RungReset
+	// RungRestart recovers the device as a recoverable unit (Sect. 4.5):
+	// CtrlRestart is pushed, the device re-handshakes and resumes, and the
+	// restart latency is accounted as downtime by the recovery manager.
+	RungRestart
+	// RungQuarantine retires the device: dispatches stop, the connection
+	// is closed, and no further escalation happens.
+	RungQuarantine
+)
+
+// String returns the rung name (also the Target field of the action's
+// journal record).
+func (r Rung) String() string {
+	switch r {
+	case RungTolerate:
+		return "tolerate"
+	case RungReset:
+		return "reset"
+	case RungRestart:
+		return "restart"
+	case RungQuarantine:
+		return "quarantine"
+	default:
+		return fmt.Sprintf("rung(%d)", int(r))
+	}
+}
+
+// Command returns the wire control command the rung pushes to the device —
+// empty for tolerate, which acts only monitor-side.
+func (r Rung) Command() wire.ControlCommand {
+	switch r {
+	case RungReset:
+		return wire.CtrlReset
+	case RungRestart:
+		return wire.CtrlRestart
+	case RungQuarantine:
+		return wire.CtrlQuarantine
+	default:
+		return ""
+	}
+}
+
+// Policy parameterises the per-device escalation ladder.
+type Policy struct {
+	// Name labels the policy in logs ("default", "aggressive", ...).
+	Name string
+	// Tolerate is how many reports are absorbed — comparator re-armed,
+	// nothing pushed — before the first wire action.
+	Tolerate int
+	// Resets is how many CtrlReset pushes are tried before escalating to a
+	// restart.
+	Resets int
+	// Restarts is how many restart cycles are tried before quarantine.
+	Restarts int
+	// RestartLatency is the virtual time one device restart takes; each
+	// completed restart contributes exactly this much accounted downtime.
+	RestartLatency sim.Time
+	// Cooldown, when positive, de-escalates: a device whose reports stop
+	// for this long drops back to the bottom of the ladder, so a flapping
+	// device that genuinely recovers between episodes is not marched to
+	// quarantine by unrelated episodes.
+	Cooldown sim.Time
+	// RunawayReports and RunawayWindow detect report storms: this many
+	// consecutive reports, each within the window of the previous one,
+	// classify the device as runaway and jump the ladder straight to the
+	// restart rung — resets are demonstrably not helping. Zero disables.
+	RunawayReports int
+	RunawayWindow  sim.Time
+}
+
+// DefaultPolicy is the balanced ladder: a couple of tolerated episodes, a
+// couple of resets, one restart, then quarantine.
+func DefaultPolicy() Policy {
+	return Policy{
+		Name:           "default",
+		Tolerate:       2,
+		Resets:         2,
+		Restarts:       1,
+		RestartLatency: 250 * sim.Millisecond,
+		Cooldown:       5 * sim.Second,
+		RunawayReports: 6,
+		RunawayWindow:  50 * sim.Millisecond,
+	}
+}
+
+// AggressivePolicy escalates on the first report and quarantines quickly —
+// for fleets where a misbehaving device endangers its neighbours.
+func AggressivePolicy() Policy {
+	return Policy{
+		Name:           "aggressive",
+		Tolerate:       0,
+		Resets:         1,
+		Restarts:       1,
+		RestartLatency: 250 * sim.Millisecond,
+		Cooldown:       30 * sim.Second,
+		RunawayReports: 3,
+		RunawayWindow:  100 * sim.Millisecond,
+	}
+}
+
+// PatientPolicy tolerates long and never quarantines on its own clock's
+// worth of restarts — for fleets where taking a device out of service is
+// worse than noisy monitoring.
+func PatientPolicy() Policy {
+	return Policy{
+		Name:           "patient",
+		Tolerate:       5,
+		Resets:         4,
+		Restarts:       3,
+		RestartLatency: 500 * sim.Millisecond,
+		Cooldown:       2 * sim.Second,
+		RunawayReports: 10,
+		RunawayWindow:  20 * sim.Millisecond,
+	}
+}
+
+// PolicyByName resolves a named preset (traderd's -recover flag).
+func PolicyByName(name string) (Policy, error) {
+	switch name {
+	case "default":
+		return DefaultPolicy(), nil
+	case "aggressive":
+		return AggressivePolicy(), nil
+	case "patient":
+		return PatientPolicy(), nil
+	default:
+		return Policy{}, fmt.Errorf("control: unknown policy %q (want default, aggressive or patient)", name)
+	}
+}
+
+// Action is one escalation decision the controller took.
+type Action struct {
+	// Device is the fleet device the action targets.
+	Device string
+	// Rung is the ladder step that fired.
+	Rung Rung
+	// Class is the triage of the report that triggered the action.
+	Class Class
+	// At is the controller's virtual time when the action was taken.
+	At sim.Time
+}
+
+func (a Action) String() string {
+	return fmt.Sprintf("%s: %s (%s) at %s", a.Device, a.Rung, a.Class, a.At)
+}
+
+// Frame is the action's journal record: a TypeControl frame carrying the
+// pushed command (empty for tolerate) with the rung name in Target. The
+// server never journals upstream TypeControl frames, so in a journal these
+// records are unambiguously the controller's own decisions, and `-replay`
+// reconstructs the exact recovery-action sequence (fleet.Pool.Replay
+// re-applies their pool-side effects at the recorded positions).
+func (a Action) Frame() wire.Message {
+	return wire.Message{Type: wire.TypeControl, SUO: a.Device, Control: a.Rung.Command(), Target: a.Rung.String(), At: a.At}
+}

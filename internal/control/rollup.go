@@ -1,0 +1,129 @@
+package control
+
+import (
+	"fmt"
+
+	"trader/internal/fmea"
+	"trader/internal/sim"
+)
+
+// Rollup is the control plane's fleet-level accounting: what the fleet
+// reported, how it was classified, what the ladder did about it, and what
+// the recovery manager accounted for it.
+type Rollup struct {
+	// Reports processed; Dropped were shed on inbox overflow.
+	Reports uint64
+	Dropped uint64
+	// Per-class report counts.
+	Deviations uint64
+	Silences   uint64
+	Runaways   uint64
+	// Per-rung action counts.
+	Tolerated   uint64
+	Resets      uint64
+	Restarts    uint64
+	Quarantines uint64
+	// Absorbed reports arrived while a restart was already in flight;
+	// AfterQuarantine reports came from retired devices; Deescalations are
+	// cooldown drops back to the ladder's bottom (healed episodes).
+	Absorbed        uint64
+	AfterQuarantine uint64
+	Deescalations   uint64
+	// Acks counts control-command acknowledgements from devices;
+	// PushFailures counts wire pushes that could not be delivered;
+	// JournalErrors counts actions whose write-ahead record failed.
+	Acks          uint64
+	PushFailures  uint64
+	JournalErrors uint64
+	// Devices have reported at least once; Quarantined are out of service.
+	Devices     int
+	Quarantined int
+	// RestartsCompleted and Downtime come from the recovery.Manager: each
+	// completed restart contributes exactly the policy's RestartLatency.
+	RestartsCompleted uint64
+	Downtime          sim.Time
+	// Now is the controller's virtual clock.
+	Now sim.Time
+}
+
+func (ro Rollup) String() string {
+	return fmt.Sprintf(
+		"%d reports (%d deviation, %d silence, %d runaway, %d dropped) → %d tolerated, %d resets, %d restarts, %d quarantines; %d acks; %d/%d devices quarantined, downtime %s",
+		ro.Reports, ro.Deviations, ro.Silences, ro.Runaways, ro.Dropped,
+		ro.Tolerated, ro.Resets, ro.Restarts, ro.Quarantines, ro.Acks,
+		ro.Quarantined, ro.Devices, ro.Downtime)
+}
+
+// Rollup snapshots the controller's accounting. It round-trips through the
+// controller goroutine (a barrier: reports enqueued before it are
+// reflected); on a closed controller it reads the frozen state directly.
+func (c *Controller) Rollup() Rollup {
+	reply := make(chan Rollup, 1)
+	if c.put(item{kind: itemRollup, reply: reply}, true) {
+		return <-reply
+	}
+	<-c.done // closed: the loop has exited, the state is frozen
+	return c.rollup()
+}
+
+// rollup builds the Rollup. Controller-goroutine only (or post-Close).
+func (c *Controller) rollup() Rollup {
+	ro := Rollup{
+		Reports:         c.tally.Reports,
+		Dropped:         c.dropped.Load(),
+		Deviations:      c.tally.Classes[ClassDeviation],
+		Silences:        c.tally.Classes[ClassSilence],
+		Runaways:        c.tally.Classes[ClassRunaway],
+		Tolerated:       c.tally.Rungs[RungTolerate],
+		Resets:          c.tally.Rungs[RungReset],
+		Restarts:        c.tally.Rungs[RungRestart],
+		Quarantines:     c.tally.Rungs[RungQuarantine],
+		Absorbed:        c.tally.Absorbed,
+		AfterQuarantine: c.tally.AfterQuarantine,
+		Deescalations:   c.tally.Deescalations,
+		Acks:            c.tally.Acks,
+		PushFailures:    c.tally.PushFailures,
+		JournalErrors:   c.tally.JournalErrors,
+		Devices:         len(c.devs),
+
+		RestartsCompleted: c.mgr.RecoveriesCompleted,
+		Now:               c.kernel.Now(),
+	}
+	for _, d := range c.devs {
+		if d.quarantined {
+			ro.Quarantined++
+		}
+	}
+	for _, name := range c.mgr.Units() {
+		ro.Downtime += c.mgr.Unit(name).Downtime
+	}
+	return ro
+}
+
+// Criticality builds an FMEA worksheet over the fault classes the fleet has
+// exhibited (Sect. 4.7's architecture-level FMEA, fed by runtime occurrence
+// instead of design-time estimates): occurrence is each class's share of
+// the processed reports; severity and detectability characterise the class
+// — deviations are well-detected and moderately severe, silence means a
+// component is down, a runaway device is both severe and harder to pin.
+// Entries come back sorted by risk priority; the top entry is the failure
+// class currently threatening user-perceived reliability most. Nil when
+// nothing has been reported.
+func Criticality(ro Rollup) []fmea.Entry {
+	total := ro.Deviations + ro.Silences + ro.Runaways
+	if total == 0 {
+		return nil
+	}
+	occ := func(n uint64) float64 { return float64(n) / float64(total) }
+	a := fmea.NewArchitecture()
+	a.AddComponent(fmea.Component{Name: ClassDeviation.String(), UserFacing: true, Modes: []fmea.FailureMode{
+		{Name: string(ClassDeviation.Kind()), Occurrence: occ(ro.Deviations), LocalSeverity: 0.5, Detectability: 0.9},
+	}})
+	a.AddComponent(fmea.Component{Name: ClassSilence.String(), UserFacing: true, Modes: []fmea.FailureMode{
+		{Name: string(ClassSilence.Kind()), Occurrence: occ(ro.Silences), LocalSeverity: 0.8, Detectability: 0.6},
+	}})
+	a.AddComponent(fmea.Component{Name: ClassRunaway.String(), UserFacing: true, Modes: []fmea.FailureMode{
+		{Name: string(ClassRunaway.Kind()), Occurrence: occ(ro.Runaways), LocalSeverity: 0.9, Detectability: 0.7},
+	}})
+	return a.Analyze()
+}

@@ -362,6 +362,22 @@ func (m *Monitor) report(r wire.ErrorReport) {
 	}
 }
 
+// Reset clears deviation state for every observable at once: consecutive
+// counters, latched error episodes and silence flags all re-arm, so the next
+// deviation opens a fresh episode and is reported anew. The recovery control
+// plane calls it after each escalation action — without the re-arm, a
+// persistently failing device would report once and then sit silently behind
+// its latched episode, starving the escalation ladder of evidence.
+func (m *Monitor) Reset() {
+	now := m.kernel.Now()
+	for _, st := range m.all {
+		st.consecutive = 0
+		st.inError = false
+		st.silenced = false
+		st.lastSeen = now
+	}
+}
+
 // ResetObservable clears deviation state for the named observable (used by
 // recovery once the SUO is repaired, so a fresh episode is reported anew).
 func (m *Monitor) ResetObservable(name string) {

@@ -32,6 +32,12 @@ type Device struct {
 	// crashed daemon — can be re-adopted by the reconnecting client
 	// (Pool.AttachDevice). It runs on the shard goroutine.
 	Attach func(send func(wire.Message) error)
+
+	// quarantined marks a device the recovery control plane took out of
+	// service: dispatches and broadcasts to it are dropped and counted.
+	// Owned by the shard goroutine like the rest of the Device
+	// (Pool.QuarantineDevice sets it there).
+	quarantined bool
 }
 
 // Factory builds one device. It runs on the owning shard's goroutine, so

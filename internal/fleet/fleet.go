@@ -72,6 +72,9 @@ type Stats struct {
 	Dispatched uint64
 	// Dropped counts targeted events whose device was unknown.
 	Dropped uint64
+	// Quarantined counts events dropped because their device was
+	// quarantined by the recovery control plane.
+	Quarantined uint64
 	// Reports counts error reports fanned in from device monitors.
 	Reports uint64
 }
@@ -105,11 +108,12 @@ type Pool struct {
 // dispatch hot path never touches a cache line shared between shards; the
 // rollup sums them with atomic loads.
 type shard struct {
-	idx        int
-	cmds       chan func(*shard)
-	devices    map[string]*Device
-	dispatched atomic.Uint64
-	dropped    atomic.Uint64
+	idx         int
+	cmds        chan func(*shard)
+	devices     map[string]*Device
+	dispatched  atomic.Uint64
+	dropped     atomic.Uint64
+	quarantined atomic.Uint64
 	// final is the shard's monitor-counter sum at shutdown, written by the
 	// worker just before it exits and published to readers by Pool.term.
 	final core.MonitorStats
@@ -283,6 +287,56 @@ func (p *Pool) RemoveDevice(id string) (bool, error) {
 	return <-found, nil
 }
 
+// QuarantineDevice takes a device out of service: subsequent dispatches and
+// broadcasts to it are dropped (counted in Stats.Quarantined) while its
+// monitor state stays in the pool, so a post-mortem still sees what the
+// device had done. The flag survives connection churn — a quarantined remote
+// device that reconnects is adopted quarantined, not returned to service.
+// It reports whether the device was present.
+func (p *Pool) QuarantineDevice(id string) (bool, error) {
+	found := make(chan bool, 1)
+	if err := p.send(p.ShardOf(id), func(s *shard) {
+		d, ok := s.devices[id]
+		if ok {
+			d.quarantined = true
+		}
+		found <- ok
+	}); err != nil {
+		return false, err
+	}
+	return <-found, nil
+}
+
+// Quarantined reports whether the device exists and is quarantined.
+func (p *Pool) Quarantined(id string) (bool, error) {
+	q := make(chan bool, 1)
+	if err := p.send(p.ShardOf(id), func(s *shard) {
+		d, ok := s.devices[id]
+		q <- ok && d.quarantined
+	}); err != nil {
+		return false, err
+	}
+	return <-q, nil
+}
+
+// ResetDevice clears a device monitor's deviation state (core.Monitor.Reset)
+// so detection re-arms: the recovery control plane calls it as part of every
+// escalation action, and journal replay re-applies it at the recorded
+// position. It reports whether the device was present.
+func (p *Pool) ResetDevice(id string) (bool, error) {
+	found := make(chan bool, 1)
+	if err := p.send(p.ShardOf(id), func(s *shard) {
+		d, ok := s.devices[id]
+		if ok && d.Monitor != nil {
+			d.Monitor.Reset()
+		}
+		found <- ok
+	}); err != nil {
+		return false, err
+	}
+	return <-found, nil
+}
+
 // Dispatch routes one event to one device, asynchronously. Unknown devices
 // are counted in Stats().Dropped.
 func (p *Pool) Dispatch(id string, e event.Event) error {
@@ -317,13 +371,21 @@ func (p *Pool) DispatchBatch(batch []Targeted) error {
 	return nil
 }
 
-// Broadcast delivers the event to every device: one command per shard.
+// Broadcast delivers the event to every non-quarantined device: one command
+// per shard.
 func (p *Pool) Broadcast(e event.Event) error {
 	return p.sendAll(func(s *shard) {
+		var n, q uint64
 		for _, d := range s.devices {
+			if d.quarantined {
+				q++
+				continue
+			}
 			d.Feed(e)
+			n++
 		}
-		s.dispatched.Add(uint64(len(s.devices)))
+		s.dispatched.Add(n)
+		s.quarantined.Add(q)
 	})
 }
 
@@ -331,6 +393,10 @@ func (s *shard) deliver(p *Pool, id string, e event.Event) {
 	d, ok := s.devices[id]
 	if !ok {
 		s.dropped.Add(1)
+		return
+	}
+	if d.quarantined {
+		s.quarantined.Add(1)
 		return
 	}
 	d.Feed(e)
@@ -460,6 +526,7 @@ func (p *Pool) Rollup() Stats {
 	for _, s := range p.shards {
 		st.Dispatched += s.dispatched.Load()
 		st.Dropped += s.dropped.Load()
+		st.Quarantined += s.quarantined.Load()
 	}
 	st.Reports = p.reports.Load()
 	return st

@@ -350,3 +350,110 @@ func TestRollupSurvivesStop(t *testing.T) {
 		t.Fatalf("Stats() after stop = %+v, want %+v", p.Stats(), before.Monitor)
 	}
 }
+
+// Quarantine takes a device out of dispatch: targeted events, batches and
+// broadcasts all skip it (counted separately from unknown-device drops),
+// its monitor counters freeze, and a comparator reset re-arms detection.
+func TestQuarantineStopsDispatches(t *testing.T) {
+	pool := fleet.NewPool(fleet.Options{Shards: 2})
+	defer pool.Stop()
+	for i := 0; i < 2; i++ {
+		if err := pool.AddDevice(fleet.DeviceID(i), int64(i)+1, fleet.LightFactory(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in := func() event.Event {
+		return event.Event{Kind: event.Input, Name: "set", Source: "t"}.With("x", 1)
+	}
+	if err := pool.Dispatch(fleet.DeviceID(0), in()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	before := pool.DeviceStats()[fleet.DeviceID(0)]
+
+	found, err := pool.QuarantineDevice(fleet.DeviceID(0))
+	if err != nil || !found {
+		t.Fatalf("quarantine: found=%v err=%v", found, err)
+	}
+	if found, err := pool.QuarantineDevice("ghost"); err != nil || found {
+		t.Fatalf("quarantine ghost: found=%v err=%v", found, err)
+	}
+
+	// Targeted dispatch and broadcast: the quarantined device is skipped.
+	if err := pool.Dispatch(fleet.DeviceID(0), in()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Broadcast(in()); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.DispatchBatch([]fleet.Targeted{
+		{Device: fleet.DeviceID(0), Event: in()},
+		{Device: fleet.DeviceID(1), Event: in()},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	ro := pool.Rollup()
+	if ro.Quarantined != 3 {
+		t.Fatalf("quarantined drops = %d, want 3", ro.Quarantined)
+	}
+	if ro.Dropped != 0 {
+		t.Fatalf("unknown-device drops = %d, want 0", ro.Dropped)
+	}
+	// 1 pre-quarantine targeted + broadcast and batch to the healthy device.
+	if ro.Dispatched != 3 {
+		t.Fatalf("dispatched = %d, want 3", ro.Dispatched)
+	}
+	if after := pool.DeviceStats()[fleet.DeviceID(0)]; after != before {
+		t.Fatalf("quarantined device's monitor moved: %+v -> %+v", before, after)
+	}
+}
+
+// ResetDevice clears latched comparator episodes so a persistent deviation
+// is reported again — the controller's re-arm primitive.
+func TestResetDeviceReArmsComparator(t *testing.T) {
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	// Every device faulty: the echo deviates from the commanded level.
+	if err := pool.AddDevice("dev", 1, fleet.LightFactory(1)); err != nil {
+		t.Fatal(err)
+	}
+	var reports atomic.Uint64
+	pool.OnReport(func(string, wire.ErrorReport) { reports.Add(1) })
+	in := func() event.Event {
+		return event.Event{Kind: event.Input, Name: "set", Source: "t"}.With("x", 0)
+	}
+	// Two deviating comparisons cross the tolerance; the episode latches.
+	for i := 0; i < 4; i++ {
+		if err := pool.Dispatch("dev", in()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reports.Load(); got != 1 {
+		t.Fatalf("reports before reset = %d, want 1 (latched episode)", got)
+	}
+	if found, err := pool.ResetDevice("dev"); err != nil || !found {
+		t.Fatalf("reset: found=%v err=%v", found, err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := pool.Dispatch("dev", in()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := pool.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := reports.Load(); got != 2 {
+		t.Fatalf("reports after reset = %d, want 2 (fresh episode)", got)
+	}
+	if found, err := pool.ResetDevice("ghost"); err != nil || found {
+		t.Fatalf("reset ghost: found=%v err=%v", found, err)
+	}
+}

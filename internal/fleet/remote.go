@@ -124,6 +124,12 @@ type Server struct {
 	// of the device's clock is a protocol violation: the connection is
 	// closed and the device removed, like any other malformed traffic.
 	MaxAdvance sim.Time
+	// OnAck, when non-nil, receives every TypeAck frame a device sends back
+	// after honoring a control command, tagged with the handshaken device ID
+	// (not the spoofable SUO field). The recovery controller hooks here to
+	// learn that its pushes were actuated. It runs on the connection's read
+	// goroutine and must not block.
+	OnAck func(id string, m wire.Message)
 	// Journal, when non-nil, receives every accepted frame — observations
 	// and heartbeats, after validation and the MaxAdvance vetting — tagged
 	// with the registered device ID and the frame's virtual time.
@@ -184,13 +190,23 @@ type remoteConn struct {
 	// the Hello reply, or between the reply and the codec switch, would
 	// corrupt the client's handshake.
 	ready atomic.Bool
+	// closed latches once the connection is being torn down — by a failed
+	// send, the read loop unwinding, Disconnect, or Close. Sends racing the
+	// teardown (controller pushes, Close's CtrlStop broadcast) then fail
+	// fast with net.ErrClosed instead of arming write deadlines on, and
+	// writing into, a socket another goroutine is closing.
+	closed atomic.Bool
 }
 
 func (c *remoteConn) send(m wire.Message) error {
+	if c.closed.Load() {
+		return fmt.Errorf("fleet: send: %w", net.ErrClosed)
+	}
 	_ = c.nc.SetWriteDeadline(time.Now().Add(c.timeout))
 	err := c.wc.Encode(m)
 	if err != nil {
 		// A stalled or broken peer must not stall a shard twice.
+		c.closed.Store(true)
 		_ = c.nc.Close()
 	}
 	return err
@@ -281,6 +297,7 @@ func (s *Server) Close() {
 		if c.ready.Load() {
 			_ = c.send(wire.Message{Type: wire.TypeControl, Control: wire.CtrlStop})
 		}
+		c.closed.Store(true)
 		_ = c.nc.Close()
 	}
 	for _, c := range pending {
@@ -297,6 +314,21 @@ func (s *Server) Control(id string, cmd wire.ControlCommand) error {
 		return fmt.Errorf("fleet: no connected device %q", id)
 	}
 	return c.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: cmd})
+}
+
+// Disconnect closes one registered device's connection — the quarantine
+// escalation's final act. The connection's read loop unwinds exactly as for
+// a client-initiated disconnect: the device is removed from the pool (or, in
+// journal mode, kept with its error sink detached).
+func (s *Server) Disconnect(id string) error {
+	s.mu.Lock()
+	c := s.conns[id]
+	s.mu.Unlock()
+	if c == nil {
+		return fmt.Errorf("fleet: no connected device %q", id)
+	}
+	c.closed.Store(true)
+	return c.nc.Close()
 }
 
 // SeedOf derives a deterministic per-device seed from the device ID, so a
@@ -462,10 +494,27 @@ func (s *Server) handle(conn net.Conn) {
 	s.logf("fleet: %s: device %q %s (codec %s), fleet size %d",
 		conn.RemoteAddr(), id, how, codec.Name(), s.Pool.Size())
 	defer func() {
+		// Latch closed before teardown so a controller push racing the
+		// unwind fails fast instead of writing into the dying socket.
+		rc.closed.Store(true)
 		cleanup()
 		conn.Close()
 		s.logf("fleet: device %q disconnected, fleet size %d", id, s.Pool.Size())
 	}()
+
+	// A quarantined device's reconnect must not resurrect its service: the
+	// recovery controller retired it, and the CtrlQuarantine push that told
+	// it so can be lost when quarantine races the device's own restart
+	// re-handshake (the client is between connections). Re-deliver the
+	// verdict as the first frame of the new connection and end it — the
+	// quarantine flag on the adopted device is the durable truth.
+	if adopted {
+		if q, err := s.Pool.Quarantined(id); err == nil && q {
+			s.logf("fleet: device %q reconnected while quarantined; refusing service", id)
+			_ = rc.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: wire.CtrlQuarantine})
+			return
+		}
+	}
 
 	maxAdv := s.MaxAdvance
 	if maxAdv <= 0 {
@@ -564,6 +613,16 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			if rc.send(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: msg.At}) != nil {
 				return
+			}
+		case wire.TypeAck:
+			// A control-command acknowledgement. Its At is client time and
+			// is vetted like any other — an ack is the one frame a restarted
+			// device may send before resuming its observation stream.
+			if !advance(msg.At) {
+				return
+			}
+			if s.OnAck != nil {
+				s.OnAck(id, msg)
 			}
 		case wire.TypeHello, wire.TypeControl, wire.TypeError, wire.TypeSpecInfo:
 			// Identification repeats and client-side chatter are ignored.

@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/binary"
+	"fmt"
 	"io"
 	"math"
 	"net"
@@ -462,4 +463,115 @@ func TestServerControlPushAndClose(t *testing.T) {
 		t.Fatal("Close should push CtrlStop before closing connections")
 	}
 	eventually(t, "all devices removed", func() bool { return srv.Pool.Size() == 0 })
+}
+
+// Server.Disconnect (the quarantine rung's final act) closes a registered
+// device's connection and unwinds it like any client-initiated disconnect.
+func TestServerDisconnect(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	wc, err := wire.Dial(addr, "q-1", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+	if err := srv.Disconnect("q-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wc.Decode(); err == nil {
+		t.Fatal("client connection should be closed after Disconnect")
+	}
+	eventually(t, "device removed", func() bool { return srv.Pool.Size() == 0 })
+	if err := srv.Disconnect("q-1"); err == nil {
+		t.Fatal("Disconnect of an unknown device should error")
+	}
+	if err := srv.Control("q-1", wire.CtrlReset); err == nil {
+		t.Fatal("Control after Disconnect should error")
+	}
+}
+
+// The Close broadcast and controller pushes share conn.send with the read
+// loop's teardown. A push racing a device's disconnect — client-initiated
+// or Server.Disconnect — must return an error, never write into a closed
+// connection or panic. Run under -race in the standard gate.
+func TestControlPushRacesDisconnect(t *testing.T) {
+	srv, addr := startServer(t, nil)
+	for i := 0; i < 16; i++ {
+		id := fmt.Sprintf("racer-%02d", i)
+		wc, err := wire.Dial(addr, id, wire.CodecBinary)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+		// Drain pushes so the client's socket buffer never stalls the test.
+		go func() {
+			for {
+				if _, err := wc.Decode(); err != nil {
+					return
+				}
+			}
+		}()
+		pushed := make(chan error, 1)
+		go func() {
+			for {
+				if err := srv.Control(id, wire.CtrlReset); err != nil {
+					pushed <- err
+					return
+				}
+			}
+		}()
+		// Alternate who kills the connection while pushes are in flight.
+		if i%2 == 0 {
+			wc.Close()
+		} else {
+			_ = srv.Disconnect(id)
+			wc.Close()
+		}
+		err = <-pushed
+		if err == nil {
+			t.Fatal("push against a closed connection returned nil")
+		}
+		eventually(t, "device removed", func() bool { return srv.Pool.Size() == 0 })
+	}
+}
+
+// TypeAck frames route to Server.OnAck tagged with the handshaken device
+// ID, and their client-supplied At is vetted by the same advance window as
+// every other frame.
+func TestServerRoutesAcks(t *testing.T) {
+	type ack struct {
+		id  string
+		cmd wire.ControlCommand
+		at  sim.Time
+	}
+	acks := make(chan ack, 4)
+	srv, addr := startServer(t, func(s *Server) {
+		s.MaxAdvance = sim.Second
+		s.OnAck = func(id string, m wire.Message) {
+			acks <- ack{id: id, cmd: m.Control, at: m.At}
+		}
+	})
+	wc, err := wire.Dial(addr, "acker", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+	if err := wc.Encode(wire.Ack("spoofed-id", wire.CtrlRestart, 5*sim.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	got := <-acks
+	if got.id != "acker" || got.cmd != wire.CtrlRestart || got.at != 5*sim.Millisecond {
+		t.Fatalf("ack routed as %+v, want handshaken ID acker / restart / 5ms", got)
+	}
+	// A runaway ack timestamp is a protocol violation like any other.
+	if err := wc.Encode(wire.Ack("acker", wire.CtrlRestart, 2*sim.Second)); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "offender removed", func() bool { return srv.Pool.Size() == 0 })
+	select {
+	case a := <-acks:
+		t.Fatalf("out-of-window ack was still routed: %+v", a)
+	default:
+	}
 }

@@ -19,13 +19,14 @@ import (
 type ReplayStats struct {
 	Frames     int // observation frames re-dispatched
 	Heartbeats int // heartbeat records re-applied as clock advances
+	Actions    int // recovery-action records re-applied (controller decisions)
 	Devices    int // devices rebuilt through the factory
 	Skipped    int // records with nothing to replay (no ID, no event, foreign type)
 }
 
 func (st ReplayStats) String() string {
-	return fmt.Sprintf("%d frames + %d heartbeats into %d devices (%d skipped)",
-		st.Frames, st.Heartbeats, st.Devices, st.Skipped)
+	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions into %d devices (%d skipped)",
+		st.Frames, st.Heartbeats, st.Actions, st.Devices, st.Skipped)
 }
 
 // Replay rebuilds fleet state from a journal written by Server.Journal: the
@@ -62,8 +63,11 @@ func (p *Pool) Replay(r *journal.Reader, factory MonitorFactory) (ReplayStats, e
 		}
 		id := m.SUO
 		switch m.Type {
-		case wire.TypeInput, wire.TypeOutput, wire.TypeState, wire.TypeHeartbeat:
-			// replayable — fall through to device lookup
+		case wire.TypeInput, wire.TypeOutput, wire.TypeState, wire.TypeHeartbeat, wire.TypeControl:
+			// replayable — fall through to device lookup. A TypeControl
+			// record is a recovery action the controller journaled
+			// write-ahead (see internal/control), so replay reconstructs
+			// what the controller *did*, not just what it saw.
 		default:
 			st.Skipped++ // meta records (e.g. traderd's profile marker)
 			continue
@@ -102,6 +106,22 @@ func (p *Pool) Replay(r *journal.Reader, factory MonitorFactory) (ReplayStats, e
 				return st, err
 			}
 			st.Heartbeats++
+		case wire.TypeControl:
+			// Re-apply the action's pool-side effect at its journal
+			// position: quarantine takes the device back out of service;
+			// every other rung (tolerate, reset, restart) re-armed the
+			// comparator when it ran live, so it re-arms here too.
+			switch m.Control {
+			case wire.CtrlQuarantine:
+				if _, err := p.QuarantineDevice(id); err != nil {
+					return st, err
+				}
+			default:
+				if _, err := p.ResetDevice(id); err != nil {
+					return st, err
+				}
+			}
+			st.Actions++
 		}
 	}
 	if err := p.Sync(); err != nil {

@@ -119,6 +119,7 @@ var tagOfType = map[MsgType]byte{
 	TypeError:     6,
 	TypeHeartbeat: 7,
 	TypeSpecInfo:  8,
+	TypeAck:       9,
 }
 
 var typeOfTag = func() map[byte]MsgType {

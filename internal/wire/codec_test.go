@@ -25,9 +25,11 @@ func sampleMessages() []Message {
 		{Type: TypeOutput, SUO: "tv", Event: &ev, At: 123},
 		{Type: TypeState, Event: &event.Event{Kind: event.State, Name: "mode"}},
 		{Type: TypeControl, Control: CtrlRecover, Target: "teletext", At: 42},
+		{Type: TypeControl, SUO: "tv", Control: CtrlQuarantine, Target: "quarantine", At: 7},
 		{Type: TypeError, Error: &rep, At: 99},
 		{Type: TypeHeartbeat, At: 1000},
 		{Type: TypeSpecInfo},
+		Ack("tv-0001", CtrlRestart, 1234),
 	}
 }
 

@@ -73,6 +73,8 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeOutput, SUO: "fuzz-dev", Event: &ev, At: 42},
 		{Type: TypeError, SUO: "fuzz-dev", Error: &rep, At: 42},
 		{Type: TypeHeartbeat, SUO: "fuzz-dev", At: 99},
+		{Type: TypeControl, SUO: "fuzz-dev", Control: CtrlRestart, Target: "restart", At: 99},
+		Ack("fuzz-dev", CtrlRestart, 100),
 	}
 	for _, codec := range []Codec{JSON, Binary} {
 		var buf bytes.Buffer

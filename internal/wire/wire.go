@@ -34,18 +34,36 @@ const (
 	TypeError     MsgType = "error"     // monitor → SUO/operator: IErrorNotify
 	TypeHeartbeat MsgType = "heartbeat" // liveness probe, both directions
 	TypeSpecInfo  MsgType = "spec_info" // monitor internal: ISpecInfo snapshot
+	TypeAck       MsgType = "ack"       // SUO → monitor: control command honored
 )
 
 // ControlCommand is carried by TypeControl frames.
 type ControlCommand string
 
-// Control commands the monitor can send to an adapted SUO.
+// Control commands the monitor can send to an adapted SUO. The recovery
+// control plane (internal/control) pushes the last three as escalation
+// actions; a SUO that honors one answers with a TypeAck frame echoing the
+// command, so the controller can tell actuation from silence.
 const (
 	CtrlStart   ControlCommand = "start"
 	CtrlStop    ControlCommand = "stop"
-	CtrlReset   ControlCommand = "reset"
+	CtrlReset   ControlCommand = "reset"   // clear erroneous state; monitoring re-arms
 	CtrlRecover ControlCommand = "recover" // ask the SUO to run a recovery action
+	// CtrlRestart asks the SUO to restart as a recoverable unit: drop the
+	// connection, re-handshake, resume streaming from its current time.
+	CtrlRestart ControlCommand = "restart"
+	// CtrlQuarantine takes the SUO out of service: the monitor stops
+	// dispatching to it and its connection is closed; the SUO must stop
+	// streaming.
+	CtrlQuarantine ControlCommand = "quarantine"
 )
+
+// Ack builds the SUO-side acknowledgement frame for a control command the
+// SUO has honored. At carries the SUO's virtual time, vetted by the server
+// like any other client-supplied timestamp.
+func Ack(suo string, cmd ControlCommand, at sim.Time) Message {
+	return Message{Type: TypeAck, SUO: suo, Control: cmd, At: at}
+}
 
 // ErrorReport describes a detected error (monitor → operator/SUO).
 type ErrorReport struct {
