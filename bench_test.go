@@ -17,6 +17,7 @@ import (
 
 	"trader/internal/control"
 	"trader/internal/core"
+	"trader/internal/diagnose"
 	"trader/internal/event"
 	"trader/internal/exper"
 	"trader/internal/fleet"
@@ -142,7 +143,72 @@ func wireBenchMessage() wire.Message {
 // acceptance bar from ISSUE 2: binary decode ≥ 3× faster than JSON with
 // fewer allocations per frame.
 func benchWireCodec(b *testing.B, codec wire.Codec) {
-	msg := wireBenchMessage()
+	benchWireMessage(b, codec, wireBenchMessage())
+}
+
+func BenchmarkWireJSON(b *testing.B)   { benchWireCodec(b, wire.JSON) }
+func BenchmarkWireBinary(b *testing.B) { benchWireCodec(b, wire.Binary) }
+
+// snapshotBenchMessage is a representative diagnosis-evidence frame: a
+// paper-scale (60 000-block) coverage snapshot with four half-populated
+// windows — the payload a device serves on a diagnosis pull and the
+// journal's evidence record.
+func snapshotBenchMessage() wire.Message {
+	rec := diagnose.NewRecorder(diagnose.RecorderOptions{Blocks: diagnose.DefaultBlocks, Windows: 4, Seed: 7})
+	for w := 0; w < 4; w++ {
+		for _, f := range []string{"teletext", "volume", "zapping", "menu"} {
+			rec.Press(f)
+		}
+		rec.Rotate(sim.Time(w+1) * sim.Second)
+	}
+	return wire.Message{Type: wire.TypeSnapshot, SUO: "tvsim-000123", Target: "fail",
+		At: 4 * sim.Second, Snapshot: rec.Snapshot()}
+}
+
+// BenchmarkSnapshotJSON/BenchmarkSnapshotBinary measure the snapshot frame
+// on the same encode/decode harness as the observation frames: the
+// diagnosis pull path moves ~60 KiB coverage payloads, so its codec cost is
+// a tracked number next to the per-observation costs.
+func BenchmarkSnapshotJSON(b *testing.B)   { benchWireMessage(b, wire.JSON, snapshotBenchMessage()) }
+func BenchmarkSnapshotBinary(b *testing.B) { benchWireMessage(b, wire.Binary, snapshotBenchMessage()) }
+
+// BenchmarkFleetDiagnosis measures the fleet-level diagnosis engine room at
+// paper scale (60 000 blocks): "fold" is one labeled 4-window snapshot
+// accumulated into the sharded spectrum (the per-evidence cost of a pull),
+// "rank" is the parallel top-10 suspiciousness ranking over the folded
+// counters (the per-rollup cost).
+func BenchmarkFleetDiagnosis(b *testing.B) {
+	msg := snapshotBenchMessage()
+	windows := msg.Snapshot.Windows
+	b.Run("fold", func(b *testing.B) {
+		s := spectrum.NewSpectra(diagnose.DefaultBlocks, 0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, w := range windows {
+				s.FoldWords(w.Words, i%9 == 0)
+			}
+		}
+	})
+	b.Run("rank", func(b *testing.B) {
+		s := spectrum.NewSpectra(diagnose.DefaultBlocks, 0)
+		for i := 0; i < 64; i++ {
+			for _, w := range windows {
+				s.FoldWords(w.Words, i%9 == 0)
+			}
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if got := s.TopN(spectrum.Ochiai, 10); len(got) != 10 {
+				b.Fatal("short ranking")
+			}
+		}
+	})
+}
+
+// benchWireMessage is benchWireCodec for an arbitrary message shape.
+func benchWireMessage(b *testing.B, codec wire.Codec, msg wire.Message) {
 	b.Run("encode", func(b *testing.B) {
 		var buf bytes.Buffer
 		enc := wire.NewEncoder(&buf)
@@ -177,9 +243,6 @@ func benchWireCodec(b *testing.B, codec wire.Codec) {
 		}
 	})
 }
-
-func BenchmarkWireJSON(b *testing.B)   { benchWireCodec(b, wire.JSON) }
-func BenchmarkWireBinary(b *testing.B) { benchWireCodec(b, wire.Binary) }
 
 // BenchmarkJournalAppend measures the journal hot path in isolation: one
 // representative observation frame encoded (binary wire codec), CRC-framed
@@ -232,19 +295,23 @@ func BenchmarkJournalAppend(b *testing.B) {
 // baseline; the ctl=on variant additionally attaches ISSUE 4's recovery
 // controller (healthy traffic: its per-frame cost is the report fan-in
 // registration only, and the acceptance bar is staying within 10% of the
-// journal-on baseline).
+// journal-on baseline); the diag=on variant additionally attaches ISSUE 5's
+// diagnosis engine (same 10% bar against ctl=on: with no escalations the
+// engine never pulls, so healthy-path ingestion must not notice it).
 func BenchmarkFleetIngestion(b *testing.B) {
 	const conns = 32
 	for _, cfg := range []struct {
 		codec      string
 		journal    bool
 		controller bool
+		diagnosis  bool
 	}{
-		{wire.CodecJSON, false, false},
-		{wire.CodecBinary, false, false},
-		{wire.CodecJSON, true, false},
-		{wire.CodecBinary, true, false},
-		{wire.CodecBinary, true, true},
+		{wire.CodecJSON, false, false, false},
+		{wire.CodecBinary, false, false, false},
+		{wire.CodecJSON, true, false, false},
+		{wire.CodecBinary, true, false, false},
+		{wire.CodecBinary, true, true, false},
+		{wire.CodecBinary, true, true, true},
 	} {
 		codec := cfg.codec
 		name := fmt.Sprintf("codec=%s/journal=off", codec)
@@ -253,6 +320,9 @@ func BenchmarkFleetIngestion(b *testing.B) {
 		}
 		if cfg.controller {
 			name += "/ctl=on"
+		}
+		if cfg.diagnosis {
+			name += "/diag=on"
 		}
 		b.Run(name, func(b *testing.B) {
 			pool := fleet.NewPool(fleet.Options{})
@@ -266,9 +336,18 @@ func BenchmarkFleetIngestion(b *testing.B) {
 				}
 				defer jw.Close()
 				srv.Journal = jw
+				var eng *diagnose.Engine
+				if cfg.diagnosis {
+					eng = diagnose.Attach(pool, diagnose.Options{Requester: srv, Journal: jw})
+					defer eng.Close()
+					srv.OnSnapshot = eng.HandleSnapshot
+				}
 				if cfg.controller {
-					ctl := control.Attach(pool, control.Options{
-						Actuator: srv, Journal: jw, Policy: control.DefaultPolicy()})
+					opts := control.Options{Actuator: srv, Journal: jw, Policy: control.DefaultPolicy()}
+					if eng != nil {
+						opts.OnEscalate = eng.HandleAction
+					}
+					ctl := control.Attach(pool, opts)
 					defer ctl.Close()
 					srv.OnAck = ctl.HandleAck
 				}

@@ -24,13 +24,8 @@ func main() {
 	repeat := flag.Int("repeat", 1, "repetitions of the 27-press scenario")
 	flag.Parse()
 
-	var coeff spectrum.Coefficient
-	for _, c := range spectrum.AllCoefficients() {
-		if c.Name == *coeffName {
-			coeff = c
-		}
-	}
-	if coeff.F == nil {
+	coeff, ok := spectrum.CoefficientByName(*coeffName)
+	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown coefficient %q; available:", *coeffName)
 		for _, c := range spectrum.AllCoefficients() {
 			fmt.Fprintf(os.Stderr, " %s", c.Name)

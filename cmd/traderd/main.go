@@ -36,12 +36,20 @@
 // what the controller did. A periodic recovery rollup (actions, downtime,
 // FMEA criticality of the observed failure classes) joins the fleet stats.
 //
+// With -diagnose COEFF the fleet diagnosis plane (internal/diagnose) rides
+// on the controller: whenever a device escalates past tolerate, the daemon
+// pulls block-coverage snapshots from it and from a sampled healthy cohort,
+// labels them fail/pass, journals the labeled evidence write-ahead, and
+// folds it into a fleet-level program spectrum. Periodic rollups name the
+// top suspect code block and the FMEA-weighted component verdict; -replay
+// -diagnose reconstructs the identical ranking offline from the journal.
+//
 // Usage:
 //
 //	traderd [-socket /tmp/trader.sock] [-suo tv|mediaplayer] [-v]
-//	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-journal DIR] [-recover default] [-v]
+//	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-journal DIR] [-recover default] [-diagnose ochiai] [-v]
 //	traderd -fleet 1000 [-shards 8] [-fleet-seconds 5] [-v]
-//	traderd -replay DIR [-suo light] [-shards 8] [-v]
+//	traderd -replay DIR [-suo light] [-shards 8] [-diagnose ochiai] [-v]
 package main
 
 import (
@@ -59,11 +67,13 @@ import (
 
 	"trader/internal/control"
 	"trader/internal/core"
+	"trader/internal/diagnose"
 	"trader/internal/exper"
 	"trader/internal/fleet"
 	"trader/internal/journal"
 	"trader/internal/mediaplayer"
 	"trader/internal/sim"
+	"trader/internal/spectrum"
 	"trader/internal/statemachine"
 	"trader/internal/tvsim"
 	"trader/internal/wire"
@@ -82,6 +92,9 @@ func main() {
 	journalDir := flag.String("journal", "", "write-ahead journal directory for -listen mode: journal every accepted frame, auto-recover on boot")
 	replayDir := flag.String("replay", "", "replay a journal directory into a fresh pool, print the rollup, and exit")
 	recoverPol := flag.String("recover", "", "recovery controller policy for -listen mode: default, aggressive or patient (empty: monitoring only)")
+	diagCoeff := flag.String("diagnose", "", "fleet diagnosis coefficient for -listen mode (requires -recover; e.g. ochiai) or for -replay output; empty: off")
+	diagBlocks := flag.Int("diagnose-blocks", diagnose.DefaultBlocks, "instrumented block count of the fleet's spectral recorders (must match the clients)")
+	diagCohort := flag.Int("diagnose-cohort", diagnose.DefaultCohort, "healthy peers sampled per diagnosis episode")
 	flag.Parse()
 
 	if *journalDir != "" && *listen == "" {
@@ -91,7 +104,7 @@ func main() {
 		log.Fatalf("traderd: -journal requires -listen (only the ingestion daemon journals frames)")
 	}
 	if *replayDir != "" {
-		if err := runReplay(*replayDir, *suo, *shards, *verbose); err != nil {
+		if err := runReplay(*replayDir, *suo, *shards, *diagCoeff, *verbose); err != nil {
 			log.Fatalf("traderd: replay: %v", err)
 		}
 		return
@@ -105,8 +118,12 @@ func main() {
 	if *recoverPol != "" && *listen == "" {
 		log.Fatalf("traderd: -recover requires -listen (the controller actuates through the ingestion server)")
 	}
+	if *diagCoeff != "" && *recoverPol == "" {
+		log.Fatalf("traderd: -diagnose requires -recover (diagnosis pulls evidence when the controller escalates) or -replay (offline)")
+	}
 	if *listen != "" {
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *verbose); err != nil {
+		diag := diagConfig{Coeff: *diagCoeff, Blocks: *diagBlocks, Cohort: *diagCohort}
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, diag, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
@@ -182,10 +199,20 @@ func checkJournalProfile(dir, suo string) error {
 	return nil
 }
 
+// diagConfig carries the -diagnose knobs into ingest mode.
+type diagConfig struct {
+	Coeff  string
+	Blocks int
+	Cohort int
+}
+
 // runReplay is offline post-mortem mode: rebuild a fleet pool from a frame
 // journal — no listeners, no clients — print what the fleet had observed
-// and detected at the moment of the last durable frame, and exit.
-func runReplay(dir, suo string, shards int, verbose bool) error {
+// and detected at the moment of the last durable frame, and exit. With
+// -diagnose it additionally reconstructs the fleet diagnosis from the
+// journal's labeled evidence records: the exact ranking the live engine
+// held, byte for byte.
+func runReplay(dir, suo string, shards int, diagCoeff string, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -203,6 +230,27 @@ func runReplay(dir, suo string, shards int, verbose bool) error {
 	ro := pool.Rollup()
 	log.Printf("traderd: replay rollup: %d devices, %d dispatched, %d comparisons, %d deviations, %d error reports",
 		ro.Devices, ro.Dispatched, ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports)
+	if diagCoeff != "" {
+		coeff, ok := spectrum.CoefficientByName(diagCoeff)
+		if !ok {
+			return fmt.Errorf("unknown coefficient %q", diagCoeff)
+		}
+		r, err := journal.OpenReader(dir)
+		if err != nil {
+			return err
+		}
+		defer r.Close()
+		res, st, err := diagnose.Replay(r, coeff, 10)
+		if err != nil {
+			return err
+		}
+		if res == nil {
+			log.Printf("traderd: replay: journal holds no diagnosis evidence")
+			return nil
+		}
+		log.Printf("traderd: replayed diagnosis from %d evidence snapshots (%d windows, %d skipped):\n%s",
+			st.Snapshots, st.Windows, st.Skipped, res)
+	}
 	return nil
 }
 
@@ -241,8 +289,11 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 // journaled write-ahead from then on. With a -recover policy the awareness
 // loop is closed: a recovery controller escalates each device's error
 // reports (tolerate → reset → restart → quarantine), actuates through the
-// server's control pushes, and journals every action.
-func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, verbose bool) error {
+// server's control pushes, and journals every action. With -diagnose the
+// diagnosis plane additionally pulls coverage snapshots from escalated
+// devices and healthy cohorts, folds them into a fleet-level spectrum and
+// logs periodic top-suspect rollups.
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, diag diagConfig, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -285,6 +336,41 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			log.Printf("traderd: %s: %s", device, r)
 		})
 	}
+	var eng *diagnose.Engine
+	if diag.Coeff != "" {
+		coeff, ok := spectrum.CoefficientByName(diag.Coeff)
+		if !ok {
+			return fmt.Errorf("unknown coefficient %q", diag.Coeff)
+		}
+		opts := diagnose.Options{Requester: srv, Coeff: coeff, Blocks: diag.Blocks, Cohort: diag.Cohort}
+		if jw != nil {
+			opts.Journal = jw
+		}
+		if verbose {
+			opts.Logf = log.Printf
+		}
+		eng = diagnose.Attach(pool, opts)
+		defer eng.Close()
+		srv.OnSnapshot = eng.HandleSnapshot
+		log.Printf("traderd: fleet diagnosis on (%s over %d blocks, cohort %d)", coeff.Name, diag.Blocks, diag.Cohort)
+		if journalDir != "" {
+			// Warm-start from the journal's labeled evidence, so the live
+			// ranking resumes where the pre-restart engine stopped and a
+			// later -replay -diagnose still matches it byte for byte.
+			r, err := journal.OpenReader(journalDir)
+			if err != nil {
+				return err
+			}
+			n, err := eng.Recover(r)
+			r.Close()
+			if err != nil {
+				return err
+			}
+			if n > 0 {
+				log.Printf("traderd: recovered %d diagnosis evidence snapshots from %s", n, journalDir)
+			}
+		}
+	}
 	var ctl *control.Controller
 	if recoverPol != "" {
 		pol, err := control.PolicyByName(recoverPol)
@@ -297,6 +383,9 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		}
 		if verbose {
 			opts.Logf = log.Printf
+		}
+		if eng != nil {
+			opts.OnEscalate = eng.HandleAction
 		}
 		ctl = control.Attach(pool, opts)
 		defer ctl.Close()
@@ -347,6 +436,17 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 						crit[0].Component, crit[0].RPN)
 				}
 			}
+			if eng != nil {
+				dro := eng.Rollup()
+				log.Printf("traderd: diagnosis: %s", dro)
+				if dro.Failures > 0 {
+					if res := eng.Result(3); len(res.Ranking) > 0 && len(res.Verdict) > 0 {
+						top := res.Ranking[0]
+						log.Printf("traderd: diagnosis: top suspect block %d (%s, score %.4f); verdict %s",
+							top.Block, top.Component, top.Score, res.Verdict[0].Component)
+					}
+				}
+			}
 		case sig := <-sigc:
 			log.Printf("traderd: %v: draining fleet", sig)
 			srv.Close()
@@ -359,6 +459,12 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 				cs.Frames, ro.Monitor.Comparisons, ro.Reports, cs.Accepted)
 			if ctl != nil {
 				log.Printf("traderd: recovery final: %s", ctl.Rollup())
+			}
+			if eng != nil {
+				log.Printf("traderd: diagnosis final: %s", eng.Rollup())
+				if res := eng.Result(10); res.Failures > 0 {
+					log.Printf("traderd: diagnosis final ranking:\n%s", res)
+				}
 			}
 			if jw != nil {
 				js := jw.Stats()

@@ -12,6 +12,10 @@
 // the fleet misbehaves. Devices honor the recovery control plane of
 // `traderd -recover`: CtrlReset is acknowledged, CtrlRestart re-handshakes
 // and resumes streaming, CtrlQuarantine takes the device out of service.
+// Each device also carries a spectral flight recorder (internal/diagnose):
+// block coverage over the shared program layout, one window per heartbeat,
+// served back on the daemon's TypeSnapshotReq pulls so `traderd -diagnose`
+// can localize a faulty device's defective code block fleet-wide.
 //
 // Usage:
 //
@@ -19,6 +23,7 @@
 //	      [-faults video-crash,txt-sync,audio-skew]
 //	tvsim -connect unix:/tmp/trader-fleet.sock -n 100 [-codec binary]
 //	      [-duration 20] [-faults txt-sync] [-fault-every 10]
+//	      [-pace 5] [-blocks 60000]
 package main
 
 import (
@@ -33,6 +38,7 @@ import (
 	"time"
 
 	"trader/internal/core"
+	"trader/internal/diagnose"
 	"trader/internal/event"
 	"trader/internal/faults"
 	"trader/internal/sim"
@@ -73,6 +79,8 @@ func main() {
 	codec := flag.String("codec", wire.CodecBinary, "wire codec to request in -connect mode: json or binary")
 	faultEvery := flag.Int("fault-every", 10, "in -connect mode, run the fault schedule on every k'th device (0: none)")
 	faultList := flag.String("faults", "txt-sync", "comma-separated fault schedule; available: video-crash,txt-sync,audio-skew,overload,bad-input")
+	blocks := flag.Int("blocks", diagnose.DefaultBlocks, "in -connect mode, spectral-recorder block count (must match traderd -diagnose-blocks)")
+	pace := flag.Float64("pace", 0, "in -connect mode, virtual seconds per wall second (0: run as fast as possible); paced fleets behave like real-time devices")
 	flag.Parse()
 
 	schedule, err := parseFaults(*faultList)
@@ -81,7 +89,7 @@ func main() {
 	}
 
 	if *connect != "" {
-		if err := runFleet(*connect, *n, *codec, *seed, *duration, *faultEvery, schedule); err != nil {
+		if err := runFleet(*connect, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, schedule); err != nil {
 			log.Fatalf("tvsim: connect: %v", err)
 		}
 		return
@@ -113,6 +121,7 @@ type deviceStats struct {
 	keys, frames          int
 	reports, ctrls        uint64
 	restarts, quarantines uint64
+	snapshots             uint64
 }
 
 // errDeviceDown reports a frame dropped because the device is between
@@ -127,6 +136,10 @@ var errDeviceDown = errors.New("tvsim: device down")
 type fleetTV struct {
 	addr, id, codec string
 
+	// rec is the device's spectral flight recorder: block coverage per
+	// heartbeat window, served back on TypeSnapshotReq pulls.
+	rec *diagnose.Recorder
+
 	mu          sync.Mutex
 	wc          *wire.Conn
 	down        bool
@@ -140,8 +153,13 @@ type fleetTV struct {
 	lastAt                atomic.Int64
 	reports, ctrls        atomic.Uint64
 	restarts, quarantines atomic.Uint64
-	drained               chan struct{}
-	drainedOnce           sync.Once
+	snapshots             atomic.Uint64
+	// echoedAt is the highest virtual time the daemon has echoed back —
+	// the flush-barrier watermark. The daemon echoes heartbeats in order
+	// once every earlier frame on the connection has been monitored, so a
+	// device is drained exactly when echoedAt reaches its final
+	// heartbeat's time.
+	echoedAt atomic.Int64
 }
 
 func (d *fleetTV) at() sim.Time { return sim.Time(d.lastAt.Load()) }
@@ -189,7 +207,13 @@ func (d *fleetTV) read(wc *wire.Conn) {
 			// The daemon's heartbeat echo is a flush barrier: every
 			// observation sent before it has been monitored and its error
 			// frames already precede the echo on this stream.
-			d.drainedOnce.Do(func() { close(d.drained) })
+			if at := int64(msg.At); at > d.echoedAt.Load() {
+				d.echoedAt.Store(at)
+			}
+		case wire.TypeSnapshotReq:
+			// The diagnosis plane pulls this device's coverage evidence.
+			d.snapshots.Add(1)
+			_ = d.send(wire.Message{Type: wire.TypeSnapshot, SUO: d.id, At: d.at(), Snapshot: d.rec.Snapshot()})
 		case wire.TypeControl:
 			d.ctrls.Add(1)
 			switch msg.Control {
@@ -274,10 +298,21 @@ func (d *fleetTV) close() {
 
 // runOne connects one simulated TV to the ingestion daemon and plays the
 // scenario to the horizon, streaming every bus event over the wire and
-// honoring any recovery commands the daemon pushes back.
-func runOne(addr, id, codec string, seed int64, duration int, schedule []faults.Fault) (deviceStats, error) {
+// honoring any recovery commands the daemon pushes back. The device's
+// spectral recorder shadows the session: every bus event maps onto the
+// shared program layout, a heartbeat each virtual second closes the
+// coverage window, and a faulty device's schedule marks the targeted
+// feature's code as defective — so a traderd -diagnose pull can localize
+// the fault block across the fleet.
+func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float64, schedule []faults.Fault) (deviceStats, error) {
 	var st deviceStats
-	d := &fleetTV{addr: addr, id: id, codec: codec, drained: make(chan struct{})}
+	d := &fleetTV{addr: addr, id: id, codec: codec,
+		rec: diagnose.NewRecorder(diagnose.RecorderOptions{Blocks: blocks, Seed: seed})}
+	for _, f := range schedule {
+		if feat, ok := diagnose.FeatureOfComponent(f.Target); ok {
+			d.rec.InjectFault(feat)
+		}
+	}
 	wc, err := wire.Dial(addr, id, codec)
 	if err != nil {
 		return st, err
@@ -296,32 +331,59 @@ func runOne(addr, id, codec string, seed int64, duration int, schedule []faults.
 		if e.Kind == event.Err {
 			return
 		}
+		d.rec.Observe(e)
 		d.forward(e)
 	})
 	defer sub.Unsubscribe()
 
+	// A heartbeat every virtual second: the flush-barrier pacing for the
+	// daemon and the window boundary for the spectral recorder.
+	hb := k.Every(sim.Second, func() {
+		at := k.Now()
+		d.lastAt.Store(int64(at))
+		_ = d.send(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: at})
+		d.rec.Rotate(at)
+	})
+	defer hb.Stop()
+
+	// With pacing, virtual time tracks wall time (pace virtual seconds per
+	// wall second) instead of racing ahead as fast as the CPU allows — the
+	// cadence of a real device in the field. A paced fleet keeps the
+	// daemon's per-connection backlog near zero, so recovery pushes and
+	// diagnosis pulls interleave with the stream the way they would in
+	// production rather than racing a seconds-deep queue.
 	horizon := scenario(k, tv, duration)
+	if pace > 0 {
+		wallStep := time.Duration(float64(time.Second) / pace)
+		for t := k.Now() + sim.Second; t <= horizon; t += sim.Second {
+			k.Run(t)
+			time.Sleep(wallStep)
+		}
+	}
 	k.Run(horizon)
 
-	// Drain: heartbeat, wait for the echo, then tear the connection down.
-	// A device that ended the session down (restarting or quarantined) has
-	// nothing to drain.
+	// Drain: a final heartbeat at the horizon, then wait for the daemon to
+	// echo THAT time back — a stale echo of an earlier periodic heartbeat
+	// must not end the session while the daemon is still chewing through
+	// the stream's tail (closing early would discard it, snapshot replies
+	// included). A device that ended the session down (restarting or
+	// quarantined) has nothing to drain.
 	d.lastAt.Store(int64(horizon))
 	if err := d.send(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: horizon}); err == nil {
-		select {
-		case <-d.drained:
-		case <-time.After(10 * time.Second):
+		for waited := time.Duration(0); d.echoedAt.Load() < int64(horizon) && waited < 30*time.Second; waited += 10 * time.Millisecond {
+			time.Sleep(10 * time.Millisecond)
 		}
 	}
 	d.close()
 	st = deviceStats{keys: int(tv.KeysHandled), frames: frames,
 		reports: d.reports.Load(), ctrls: d.ctrls.Load(),
-		restarts: d.restarts.Load(), quarantines: d.quarantines.Load()}
+		restarts: d.restarts.Load(), quarantines: d.quarantines.Load(),
+		snapshots: d.snapshots.Load()}
 	return st, nil
 }
 
 // runFleet drives n concurrent remote TVs against the ingestion daemon.
-func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery int, schedule []faults.Fault) error {
+func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, schedule []faults.Fault) error {
 	log.Printf("tvsim: connecting %d TVs to %s (codec %s, faults on every %d'th)", n, addr, codec, faultEvery)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -336,13 +398,13 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 				sched = schedule
 			}
 			id := fmt.Sprintf("tvsim-%06d", i)
-			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, sched)
+			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, blocks, pace, sched)
 		}(i)
 	}
 	wg.Wait()
 
 	var ok, keys, frames int
-	var reports, ctrls, restarts, quarantines uint64
+	var reports, ctrls, restarts, quarantines, snapshots uint64
 	var firstErr error
 	for i := range stats {
 		if errs[i] != nil {
@@ -358,9 +420,10 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 		ctrls += stats[i].ctrls
 		restarts += stats[i].restarts
 		quarantines += stats[i].quarantines
+		snapshots += stats[i].snapshots
 	}
-	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received (%d restarts honored, %d quarantined)",
-		time.Since(start), ok, n, keys, frames, reports, ctrls, restarts, quarantines)
+	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received (%d restarts honored, %d quarantined), %d coverage snapshots served",
+		time.Since(start), ok, n, keys, frames, reports, ctrls, restarts, quarantines, snapshots)
 	if ok == 0 && firstErr != nil {
 		return firstErr
 	}

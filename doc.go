@@ -18,6 +18,12 @@
 // error reports are classified and escalated per device — tolerate, reset,
 // restart as a recoverable unit, quarantine — with every recovery action
 // actuated over the wire and journaled (traderd -recover).
+// internal/diagnose closes the observation pipeline the same way: devices
+// carry spectral flight recorders (per-heartbeat block-coverage windows),
+// escalations trigger snapshot pulls from the suspect and a healthy cohort,
+// and the fleet-folded program spectrum ranks the faulty code block with an
+// FMEA-weighted component verdict, reproducible byte-identically from the
+// journal (traderd -diagnose / -replay -diagnose).
 //
 // See ARCHITECTURE.md for the concept-to-package map and the full wire
 // protocol specification, README.md for the layout, DESIGN.md for the

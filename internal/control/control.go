@@ -54,6 +54,13 @@ type Options struct {
 	// runs on the controller goroutine and must not call back into the
 	// controller. Tests use it to capture the live action sequence.
 	OnAction func(Action)
+	// OnEscalate, when non-nil, observes every action past the tolerate
+	// rung — the moment a device has demonstrably not healed on its own.
+	// The fleet diagnosis plane (internal/diagnose) hooks here to pull
+	// coverage evidence from the escalated device and a healthy cohort.
+	// Same contract as OnAction: controller goroutine, must not block or
+	// call back into the controller.
+	OnEscalate func(Action)
 	// Inbox is the report queue length (default 4096). Reports beyond it
 	// are shed and counted in Rollup().Dropped.
 	Inbox int
@@ -397,6 +404,9 @@ func (c *Controller) apply(act Action, d *devState) {
 	c.logf("control: action [%s]", act)
 	if c.opts.OnAction != nil {
 		c.opts.OnAction(act)
+	}
+	if c.opts.OnEscalate != nil && act.Rung > RungTolerate {
+		c.opts.OnEscalate(act)
 	}
 }
 

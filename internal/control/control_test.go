@@ -174,6 +174,31 @@ func TestEscalationLadderTable(t *testing.T) {
 	}
 }
 
+// OnEscalate sees exactly the actions past tolerate — the diagnosis plane's
+// trigger — while OnAction sees the whole ladder.
+func TestOnEscalateFiresPastTolerate(t *testing.T) {
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	var all, escalated []Rung
+	c := newController(pool, Options{
+		Policy:     ladderPolicy(),
+		OnAction:   func(a Action) { all = append(all, a.Rung) },
+		OnEscalate: func(a Action) { escalated = append(escalated, a.Rung) },
+	})
+	// The fourth report arrives after the 50ms restart completed, so it
+	// climbs to quarantine instead of being absorbed by the restart.
+	for _, at := range []int64{100, 110, 120, 300} {
+		c.handleReport("dev", report(deviationAt(at)))
+	}
+	want := []Rung{RungTolerate, RungReset, RungRestart, RungQuarantine}
+	if fmt.Sprint(all) != fmt.Sprint(want) {
+		t.Fatalf("actions = %v, want %v", all, want)
+	}
+	if fmt.Sprint(escalated) != fmt.Sprint(want[1:]) {
+		t.Fatalf("escalations = %v, want %v (tolerate must not trigger diagnosis)", escalated, want[1:])
+	}
+}
+
 // Silence reports classify as silence; classification feeds the rollup and
 // the FMEA criticality ranking.
 func TestClassificationAndCriticality(t *testing.T) {

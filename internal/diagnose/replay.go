@@ -1,0 +1,73 @@
+package diagnose
+
+import (
+	"fmt"
+	"io"
+
+	"trader/internal/journal"
+	"trader/internal/spectrum"
+	"trader/internal/wire"
+)
+
+// ReplayStats summarises one evidence replay.
+type ReplayStats struct {
+	Snapshots int // labeled evidence records folded
+	Windows   int // coverage windows folded
+	Skipped   int // evidence with a foreign block count
+}
+
+// Replay reconstructs a fleet diagnosis offline from a journal: every
+// labeled evidence record (a TypeSnapshot frame whose Target is "fail" or
+// "pass" — only the diagnosis engine journals those) folds exactly as it
+// did live, through the same fold path, into a fresh accumulator. Because
+// folding is an order-independent counter sum and the ranking is a pure
+// function of the counters, the returned Result formats byte-identically
+// to the live engine's at the moment the journal closed.
+//
+// The block count is taken from the evidence itself (the engine only
+// journals snapshots matching its configured layout); records with a
+// different count than the first are counted in Skipped. coeff.F == nil
+// picks Ochiai. A journal with no evidence yields (nil, nil).
+func Replay(r *journal.Reader, coeff spectrum.Coefficient, topN int) (*Result, ReplayStats, error) {
+	if coeff.F == nil {
+		coeff = spectrum.Ochiai
+	}
+	var st ReplayStats
+	var spectra *spectrum.Spectra
+	var fold *folder
+	blocks := 0
+	for {
+		m, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, st, fmt.Errorf("diagnose: replay: %w", err)
+		}
+		if m.Type != wire.TypeSnapshot || m.Snapshot == nil {
+			continue
+		}
+		if m.Target != LabelFail && m.Target != LabelPass {
+			continue // an unlabeled snapshot is not engine evidence
+		}
+		if spectra == nil {
+			blocks = m.Snapshot.Blocks
+			if blocks <= 0 {
+				st.Skipped++
+				continue
+			}
+			spectra = spectrum.NewSpectra(blocks, 0)
+			fold = newFolder(spectra)
+		}
+		if m.Snapshot.Blocks != blocks {
+			st.Skipped++
+			continue
+		}
+		st.Windows += fold.fold(m.SUO, m.Snapshot, m.Target == LabelFail)
+		st.Snapshots++
+	}
+	if spectra == nil {
+		return nil, st, nil
+	}
+	return buildResult(spectra, NewLayout(blocks), coeff, topN), st, nil
+}

@@ -1,0 +1,206 @@
+package diagnose
+
+import (
+	"fmt"
+	"strings"
+
+	"trader/internal/fmea"
+	"trader/internal/spectrum"
+	"trader/internal/wire"
+)
+
+// Evidence labels carried in the Target field of journaled snapshot frames:
+// which side of the comparison a device's windows were folded into.
+const (
+	LabelFail = "fail"
+	LabelPass = "pass"
+)
+
+// EvidenceFrame builds the journal record for one labeled snapshot: the
+// TypeSnapshot frame as received, re-tagged with the handshaken device ID
+// and the engine's pass/fail label. Journaled write-ahead of folding, these
+// records are the complete input of the fleet ranking — Replay rebuilds a
+// byte-identical Result from them alone.
+func EvidenceFrame(id, label string, m wire.Message) wire.Message {
+	return wire.Message{Type: wire.TypeSnapshot, SUO: id, Target: label, At: m.At, Snapshot: m.Snapshot}
+}
+
+// folder folds labeled evidence into a Spectra under the shared acceptance
+// rules: only closed windows (At != 0 — the open window is still growing
+// and would double-count when a later pull re-captures it complete), each
+// device's windows fold at most once (a per-device Seq high-water mark, so
+// overlapping re-pulls of the same retained ring do not double-count
+// execution evidence), and windows with no coverage are skipped (absence of
+// evidence, not evidence of absence). Live folding, boot-time recovery and
+// journal replay all fold through one folder each, in the same per-device
+// order (the engine folds and journals on one goroutine; replay reads the
+// journal in order), so they cannot diverge.
+type folder struct {
+	spectra *spectrum.Spectra
+	next    map[string]uint64 // device → first not-yet-folded window Seq
+}
+
+func newFolder(s *spectrum.Spectra) *folder {
+	return &folder{spectra: s, next: make(map[string]uint64)}
+}
+
+// fold accumulates one device's labeled snapshot, returning how many of its
+// windows folded.
+func (f *folder) fold(device string, snap *wire.Snapshot, failed bool) int {
+	folded := 0
+	next := f.next[device]
+	for _, w := range snap.Windows {
+		if w.At == 0 {
+			continue // still-open window: not yet evidence
+		}
+		if w.Seq < next {
+			continue // already folded by an earlier pull of this device
+		}
+		next = w.Seq + 1
+		covered := false
+		for _, word := range w.Words {
+			if word != 0 {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			continue
+		}
+		f.spectra.FoldWords(w.Words, failed)
+		folded++
+	}
+	f.next[device] = next
+	return folded
+}
+
+// Layout is the fleet-shared block→feature mapping: the synthetic program's
+// structure for a given block count (seed-independent), inverted for
+// verdict aggregation. Block ranges that belong to no feature are the
+// common core.
+type Layout struct {
+	blocks    int
+	features  []string
+	featureOf []int16 // index into features; -1 = common core
+}
+
+// NewLayout derives the layout for the given block count.
+func NewLayout(blocks int) *Layout {
+	prog := spectrum.GenerateTVProgram(0, blocks)
+	l := &Layout{blocks: blocks, featureOf: make([]int16, blocks)}
+	for i := range l.featureOf {
+		l.featureOf[i] = -1
+	}
+	for fi, f := range prog.Features {
+		l.features = append(l.features, f.Name)
+		for _, b := range f.Blocks {
+			l.featureOf[b] = int16(fi)
+		}
+	}
+	return l
+}
+
+// FeatureOf names the component a block belongs to ("common" for the core).
+func (l *Layout) FeatureOf(block int) string {
+	if fi := l.featureOf[block]; fi >= 0 {
+		return l.features[fi]
+	}
+	return "common"
+}
+
+// Result is one fleet diagnosis: the SBFL ranking over the folded evidence
+// plus the FMEA-weighted component verdict. Its String form is the
+// replay-invariant artifact — the same evidence always formats to the same
+// bytes, live or replayed.
+type Result struct {
+	// Coeff is the similarity coefficient the ranking used.
+	Coeff string
+	// Blocks is the instrumented block count of the folded spectra.
+	Blocks int
+	// Transactions and Failures count the folded coverage windows.
+	Transactions, Failures int
+	// Ranking is the top of the suspiciousness ranking, most suspicious
+	// first, annotated with each block's component.
+	Ranking []RankedBlock
+	// Verdict is the FMEA worksheet over components: runtime occurrence
+	// from the spectra (each component's share of peak suspiciousness),
+	// design-time severity and detectability per component class, sorted
+	// by risk priority. The top entry is the component verdict.
+	Verdict []fmea.Entry
+}
+
+// RankedBlock is one ranking entry with its component attribution.
+type RankedBlock struct {
+	Block     int
+	Score     float64
+	Component string
+}
+
+// buildResult derives the ranking and verdict from folded spectra. The
+// verdict follows control.Criticality's pattern: runtime occurrence
+// (here: normalized per-component peak suspiciousness) under design-time
+// severity/detectability — the common core is severe but well understood
+// (high detectability), feature modules are where interaction faults hide.
+func buildResult(s *spectrum.Spectra, layout *Layout, coeff spectrum.Coefficient, topN int) *Result {
+	r := &Result{
+		Coeff:        coeff.Name,
+		Blocks:       s.Blocks(),
+		Transactions: s.Transactions(),
+		Failures:     s.Failures(),
+	}
+	for _, rb := range s.TopN(coeff, topN) {
+		r.Ranking = append(r.Ranking, RankedBlock{
+			Block: rb.Block, Score: rb.Score, Component: layout.FeatureOf(rb.Block),
+		})
+	}
+	if s.Transactions() == 0 {
+		return r
+	}
+	// Per-component peak suspiciousness over every block.
+	peak := make(map[string]float64)
+	total := 0.0
+	for b := 0; b < s.Blocks(); b++ {
+		score := coeff.F(s.CountsFor(b))
+		comp := layout.FeatureOf(b)
+		if score > peak[comp] {
+			peak[comp] = score
+		}
+	}
+	for _, v := range peak {
+		total += v
+	}
+	if total == 0 {
+		return r
+	}
+	arch := fmea.NewArchitecture()
+	add := func(name string, severity, detectability float64) {
+		arch.AddComponent(fmea.Component{Name: name, UserFacing: true, Modes: []fmea.FailureMode{
+			{Name: "suspect-code", Occurrence: peak[name] / total,
+				LocalSeverity: severity, Detectability: detectability},
+		}})
+	}
+	add("common", 0.9, 0.9)
+	for _, f := range layout.features {
+		add(f, 0.7, 0.6)
+	}
+	r.Verdict = arch.Analyze()
+	return r
+}
+
+// String formats the result deterministically: the byte-identical artifact
+// the replay invariant is stated over.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "diagnosis[%s]: %d blocks, %d windows (%d failing)\n",
+		r.Coeff, r.Blocks, r.Transactions, r.Failures)
+	for i, e := range r.Ranking {
+		fmt.Fprintf(&b, "  %2d. block %6d  score %.6f  (%s)\n", i+1, e.Block, e.Score, e.Component)
+	}
+	for i, v := range r.Verdict {
+		if i >= 3 {
+			break
+		}
+		fmt.Fprintf(&b, "verdict %d: %s (RPN %.6f, occurrence %.6f)\n", i+1, v.Component, v.RPN, v.Occurrence)
+	}
+	return b.String()
+}

@@ -1,0 +1,79 @@
+package diagnose
+
+import "fmt"
+
+// Rollup is the diagnosis plane's accounting: what escalated, what was
+// pulled, what evidence arrived and how it folded.
+type Rollup struct {
+	// Escalations observed; Episodes opened (pull rounds); Coalesced
+	// escalations were absorbed by an episode already in flight.
+	Escalations uint64
+	Episodes    uint64
+	Coalesced   uint64
+	// Requests pushed; RequestFailures could not be delivered; Pending
+	// pulls still await their snapshot.
+	Requests        uint64
+	RequestFailures uint64
+	Pending         int
+	// Snapshots folded, split into fail/pass coverage windows; Skipped
+	// windows were not folded (no coverage, still open, or already folded
+	// by an earlier pull of the same device).
+	Snapshots      uint64
+	FailWindows    uint64
+	PassWindows    uint64
+	SkippedWindows uint64
+	// Unsolicited snapshots came from devices never asked; Malformed ones
+	// carried a foreign block count; Expired pulls were written off
+	// unanswered; JournalErrors count evidence whose write-ahead record
+	// failed; Dropped items were shed on inbox overflow.
+	Unsolicited   uint64
+	Malformed     uint64
+	Expired       uint64
+	JournalErrors uint64
+	Dropped       uint64
+	// Transactions and Failures are the folded spectra totals.
+	Transactions int
+	Failures     int
+}
+
+func (ro Rollup) String() string {
+	return fmt.Sprintf(
+		"%d escalations → %d episodes (%d coalesced), %d pulls (%d failed, %d pending, %d expired) → %d snapshots: %d fail + %d pass windows (%d skipped, %d unsolicited, %d malformed, %d dropped, %d journal errors)",
+		ro.Escalations, ro.Episodes, ro.Coalesced, ro.Requests, ro.RequestFailures, ro.Pending, ro.Expired,
+		ro.Snapshots, ro.FailWindows, ro.PassWindows, ro.SkippedWindows, ro.Unsolicited, ro.Malformed,
+		ro.Dropped, ro.JournalErrors)
+}
+
+// Rollup snapshots the engine's accounting. It is a barrier: items enqueued
+// before it are reflected; on a closed engine it reads the frozen state.
+func (e *Engine) Rollup() Rollup {
+	reply := make(chan Rollup, 1)
+	if e.put(item{kind: itemRollup, rollup: reply}, true) {
+		return <-reply
+	}
+	<-e.done
+	return e.rollup()
+}
+
+// rollup builds the Rollup. Engine-goroutine only (or post-Close).
+func (e *Engine) rollup() Rollup {
+	return Rollup{
+		Escalations:     e.tally.Escalations,
+		Episodes:        e.tally.Episodes,
+		Coalesced:       e.tally.Coalesced,
+		Requests:        e.tally.Requests,
+		RequestFailures: e.tally.RequestFailures,
+		Pending:         len(e.pending),
+		Snapshots:       e.tally.Snapshots,
+		FailWindows:     e.tally.FailWindows,
+		PassWindows:     e.tally.PassWindows,
+		SkippedWindows:  e.tally.SkippedWindows,
+		Unsolicited:     e.tally.Unsolicited,
+		Malformed:       e.tally.Malformed,
+		Expired:         e.tally.Expired,
+		JournalErrors:   e.tally.JournalErrors,
+		Dropped:         e.dropped.Load(),
+		Transactions:    e.spectra.Transactions(),
+		Failures:        e.spectra.Failures(),
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -530,6 +531,28 @@ func (p *Pool) Rollup() Stats {
 	}
 	st.Reports = p.reports.Load()
 	return st
+}
+
+// HealthyDevices snapshots the IDs of every non-quarantined device, sorted.
+// It is a barrier like Rollup, so it must not be called from shard
+// goroutines (pool report handlers). The diagnosis plane samples its
+// comparison cohorts from this list.
+func (p *Pool) HealthyDevices() []string {
+	var mu sync.Mutex
+	var out []string
+	_ = p.barrier(func(s *shard) {
+		part := make([]string, 0, len(s.devices))
+		for id, d := range s.devices {
+			if !d.quarantined {
+				part = append(part, id)
+			}
+		}
+		mu.Lock()
+		out = append(out, part...)
+		mu.Unlock()
+	})
+	sort.Strings(out)
+	return out
 }
 
 // DeviceStats snapshots per-device monitor counters keyed by device ID.

@@ -130,6 +130,14 @@ type Server struct {
 	// learn that its pushes were actuated. It runs on the connection's read
 	// goroutine and must not block.
 	OnAck func(id string, m wire.Message)
+	// OnSnapshot, when non-nil, receives every TypeSnapshot frame a device
+	// sends — its coverage evidence answering a RequestSnapshot pull —
+	// tagged with the handshaken device ID. The fleet diagnosis plane
+	// (internal/diagnose) hooks here. Like OnAck it runs on the
+	// connection's read goroutine and must not block; snapshot frames are
+	// not journaled by the server — the diagnosis engine journals the
+	// evidence it accepts, labeled, write-ahead of folding it.
+	OnSnapshot func(id string, m wire.Message)
 	// Journal, when non-nil, receives every accepted frame — observations
 	// and heartbeats, after validation and the MaxAdvance vetting — tagged
 	// with the registered device ID and the frame's virtual time.
@@ -314,6 +322,21 @@ func (s *Server) Control(id string, cmd wire.ControlCommand) error {
 		return fmt.Errorf("fleet: no connected device %q", id)
 	}
 	return c.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: cmd})
+}
+
+// RequestSnapshot asks one registered device for its coverage spectrum: a
+// TypeSnapshotReq push down the device's connection. The device answers
+// with a TypeSnapshot frame, delivered through OnSnapshot. Like any control
+// push, delivery is not guaranteed — the diagnosis plane tolerates devices
+// that never answer.
+func (s *Server) RequestSnapshot(id string) error {
+	s.mu.Lock()
+	c := s.conns[id]
+	s.mu.Unlock()
+	if c == nil || !c.ready.Load() {
+		return fmt.Errorf("fleet: no connected device %q", id)
+	}
+	return c.send(wire.Message{Type: wire.TypeSnapshotReq, SUO: id})
 }
 
 // Disconnect closes one registered device's connection — the quarantine
@@ -624,7 +647,18 @@ func (s *Server) handle(conn net.Conn) {
 			if s.OnAck != nil {
 				s.OnAck(id, msg)
 			}
-		case wire.TypeHello, wire.TypeControl, wire.TypeError, wire.TypeSpecInfo:
+		case wire.TypeSnapshot:
+			// Coverage evidence answering a RequestSnapshot pull. Its At is
+			// client time, vetted like any other; the payload is handed to
+			// the diagnosis plane under the handshaken ID, never the
+			// spoofable SUO field.
+			if !advance(msg.At) {
+				return
+			}
+			if s.OnSnapshot != nil {
+				s.OnSnapshot(id, msg)
+			}
+		case wire.TypeHello, wire.TypeControl, wire.TypeError, wire.TypeSpecInfo, wire.TypeSnapshotReq:
 			// Identification repeats and client-side chatter are ignored.
 		}
 	}

@@ -575,3 +575,86 @@ func TestServerRoutesAcks(t *testing.T) {
 	default:
 	}
 }
+
+// The diagnosis pull path: RequestSnapshot pushes a TypeSnapshotReq down
+// the device's connection; the answering TypeSnapshot routes to OnSnapshot
+// under the handshaken ID (never the spoofable SUO field), with its client
+// timestamp vetted by the advance window like every other frame.
+func TestServerSnapshotPullAndRouting(t *testing.T) {
+	type evidence struct {
+		id   string
+		snap *wire.Snapshot
+		at   sim.Time
+	}
+	snaps := make(chan evidence, 4)
+	srv, addr := startServer(t, func(s *Server) {
+		s.MaxAdvance = sim.Second
+		s.OnSnapshot = func(id string, m wire.Message) {
+			snaps <- evidence{id: id, snap: m.Snapshot, at: m.At}
+		}
+	})
+	if err := srv.RequestSnapshot("nobody"); err == nil {
+		t.Fatal("pulling an unknown device should fail")
+	}
+	wc, err := wire.Dial(addr, "spectral", wire.CodecBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer wc.Close()
+	eventually(t, "registered", func() bool { return srv.Pool.Size() == 1 })
+	if err := srv.RequestSnapshot("spectral"); err != nil {
+		t.Fatal(err)
+	}
+	req, err := wc.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Type != wire.TypeSnapshotReq || req.SUO != "spectral" {
+		t.Fatalf("client received %+v, want a snapshot_req", req)
+	}
+	answer := &wire.Snapshot{Blocks: 128, Events: 3,
+		Windows: []wire.SpectrumWindow{{Seq: 1, At: 5 * sim.Millisecond, Words: []uint64{9, 0}}}}
+	if err := wc.Encode(wire.Message{Type: wire.TypeSnapshot, SUO: "spoofed",
+		At: 7 * sim.Millisecond, Snapshot: answer}); err != nil {
+		t.Fatal(err)
+	}
+	got := <-snaps
+	if got.id != "spectral" || got.at != 7*sim.Millisecond {
+		t.Fatalf("snapshot routed as %q at %s, want handshaken ID spectral at 7ms", got.id, got.at)
+	}
+	if got.snap == nil || got.snap.Blocks != 128 || len(got.snap.Windows) != 1 || got.snap.Windows[0].Words[0] != 9 {
+		t.Fatalf("snapshot payload mangled: %+v", got.snap)
+	}
+	// A runaway snapshot timestamp is a protocol violation like any other.
+	if err := wc.Encode(wire.Message{Type: wire.TypeSnapshot, SUO: "spectral",
+		At: 5 * sim.Second, Snapshot: answer}); err != nil {
+		t.Fatal(err)
+	}
+	eventually(t, "offender removed", func() bool { return srv.Pool.Size() == 0 })
+	select {
+	case s := <-snaps:
+		t.Fatalf("out-of-window snapshot was still routed: %+v", s)
+	default:
+	}
+}
+
+// HealthyDevices lists exactly the non-quarantined fleet, sorted — the
+// diagnosis engine's cohort source.
+func TestHealthyDevices(t *testing.T) {
+	pool := NewPool(Options{Shards: 2})
+	defer pool.Stop()
+	for _, id := range []string{"c", "a", "b"} {
+		if err := pool.AddDevice(id, 1, LightFactory(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := pool.HealthyDevices(); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("healthy = %v", got)
+	}
+	if _, err := pool.QuarantineDevice("b"); err != nil {
+		t.Fatal(err)
+	}
+	if got := pool.HealthyDevices(); len(got) != 2 || got[0] != "a" || got[1] != "c" {
+		t.Fatalf("healthy after quarantine = %v", got)
+	}
+}

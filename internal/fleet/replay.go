@@ -20,13 +20,14 @@ type ReplayStats struct {
 	Frames     int // observation frames re-dispatched
 	Heartbeats int // heartbeat records re-applied as clock advances
 	Actions    int // recovery-action records re-applied (controller decisions)
+	Evidence   int // labeled diagnosis-evidence records (snapshot frames)
 	Devices    int // devices rebuilt through the factory
 	Skipped    int // records with nothing to replay (no ID, no event, foreign type)
 }
 
 func (st ReplayStats) String() string {
-	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions into %d devices (%d skipped)",
-		st.Frames, st.Heartbeats, st.Actions, st.Devices, st.Skipped)
+	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions + %d evidence records into %d devices (%d skipped)",
+		st.Frames, st.Heartbeats, st.Actions, st.Evidence, st.Devices, st.Skipped)
 }
 
 // Replay rebuilds fleet state from a journal written by Server.Journal: the
@@ -68,6 +69,13 @@ func (p *Pool) Replay(r *journal.Reader, factory MonitorFactory) (ReplayStats, e
 			// record is a recovery action the controller journaled
 			// write-ahead (see internal/control), so replay reconstructs
 			// what the controller *did*, not just what it saw.
+		case wire.TypeSnapshot:
+			// Labeled diagnosis evidence the engine journaled write-ahead of
+			// folding it. It carries no monitor state — diagnose.Replay
+			// reconstructs the fleet ranking from these records — so the
+			// pool replay only counts it.
+			st.Evidence++
+			continue
 		default:
 			st.Skipped++ // meta records (e.g. traderd's profile marker)
 			continue

@@ -1,6 +1,8 @@
 package hwmon
 
 import (
+	"sync"
+
 	"trader/internal/event"
 )
 
@@ -9,10 +11,17 @@ import (
 // buffer so that, when a detector fires, the events *leading up to* the
 // error are available for diagnosis — the observation data program-spectra
 // and log-based analyses start from.
+//
+// A FlightRecorder is safe for concurrent use: fleet buses deliver events
+// on whichever goroutine publishes, and the diagnosis plane captures
+// snapshots on demand while recording continues, so Record and Capture may
+// race freely without tearing the window.
 type FlightRecorder struct {
+	mu  sync.Mutex
 	log *event.Log
 	sub *event.Subscription
-	// Captures counts snapshots taken.
+	// Captures counts snapshots taken. Guarded by the recorder's lock;
+	// read it after capturing stops (or via a captured snapshot's count).
 	Captures uint64
 }
 
@@ -23,32 +32,58 @@ func NewFlightRecorder(capacity int) *FlightRecorder {
 
 // AttachBus starts recording every event on the bus.
 func (fr *FlightRecorder) AttachBus(bus *event.Bus) {
-	fr.sub = bus.Subscribe("", func(e event.Event) { fr.log.Append(e) })
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	fr.sub = bus.Subscribe("", fr.Record)
 }
 
 // Detach stops recording (the retained window stays readable).
 func (fr *FlightRecorder) Detach() {
-	if fr.sub != nil {
-		fr.sub.Unsubscribe()
-		fr.sub = nil
+	fr.mu.Lock()
+	sub := fr.sub
+	fr.sub = nil
+	fr.mu.Unlock()
+	if sub != nil {
+		sub.Unsubscribe()
 	}
+}
+
+// Record appends one event to the window — the bus handler AttachBus
+// registers, exported so recorders can be fed directly (e.g. by a device
+// client that sits between its bus and the wire).
+func (fr *FlightRecorder) Record(e event.Event) {
+	fr.mu.Lock()
+	fr.log.Append(e)
+	fr.mu.Unlock()
 }
 
 // Capture returns the retained window oldest-first — call it from an error
 // handler to preserve the pre-error context.
 func (fr *FlightRecorder) Capture() []event.Event {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
 	fr.Captures++
 	return fr.log.Snapshot()
 }
 
 // CaptureMatching returns only the retained events satisfying pred.
 func (fr *FlightRecorder) CaptureMatching(pred func(event.Event) bool) []event.Event {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
 	fr.Captures++
 	return fr.log.Filter(pred)
 }
 
 // Dropped reports how many events fell off the back of the window.
-func (fr *FlightRecorder) Dropped() uint64 { return fr.log.Dropped }
+func (fr *FlightRecorder) Dropped() uint64 {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.log.Dropped
+}
 
 // Len reports the number of retained events.
-func (fr *FlightRecorder) Len() int { return fr.log.Len() }
+func (fr *FlightRecorder) Len() int {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return fr.log.Len()
+}

@@ -51,6 +51,33 @@ func (b *BitSet) Clone() *BitSet {
 	return c
 }
 
+// Or unions o into b. Both bitsets must have the same capacity.
+func (b *BitSet) Or(o *BitSet) {
+	if b.n != o.n {
+		panic("spectrum: or of bitsets with different capacities")
+	}
+	for w := range b.words {
+		b.words[w] |= o.words[w]
+	}
+}
+
+// Clear resets every bit.
+func (b *BitSet) Clear() {
+	for w := range b.words {
+		b.words[w] = 0
+	}
+}
+
+// Words returns a copy of the packed 64-bit words (bit i of the set lives in
+// word i/64, bit i%64). This is the spectrum's wire representation: a
+// device's coverage window travels as its packed words and is folded back
+// into a fleet Spectra with FoldWords.
+func (b *BitSet) Words() []uint64 {
+	out := make([]uint64, len(b.words))
+	copy(out, b.words)
+	return out
+}
+
 func popcount(x uint64) int {
 	// Hacker's Delight bit-twiddling popcount.
 	x -= (x >> 1) & 0x5555555555555555

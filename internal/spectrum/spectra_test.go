@@ -1,0 +1,141 @@
+package spectrum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomRun fills a Matrix and a set of Spectra (at several stripe counts)
+// with the same random transactions and returns them.
+func randomRun(t *testing.T, blocks, txns int, seed int64, stripes []int) (*Matrix, []*Spectra) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(blocks)
+	specs := make([]*Spectra, len(stripes))
+	for i, n := range stripes {
+		specs[i] = NewSpectra(blocks, n)
+	}
+	for i := 0; i < txns; i++ {
+		hits := NewBitSet(blocks)
+		for b := 0; b < blocks; b++ {
+			if rng.Float64() < 0.2 {
+				hits.Set(b)
+			}
+		}
+		failed := rng.Float64() < 0.3
+		m.AddTransaction(hits, failed)
+		for _, s := range specs {
+			s.Fold(hits, failed)
+		}
+	}
+	return m, specs
+}
+
+// Folding into counters must agree with the row-retaining Matrix on every
+// block's SFL counts, at any stripe count (including capacities that do not
+// fall on word boundaries).
+func TestSpectraMatchesMatrix(t *testing.T) {
+	const blocks, txns = 301, 40
+	m, specs := randomRun(t, blocks, txns, 7, []int{1, 3, 8})
+	for _, s := range specs {
+		if s.Transactions() != m.Transactions() || s.Failures() != m.Failures() {
+			t.Fatalf("totals: spectra %d/%d, matrix %d/%d",
+				s.Transactions(), s.Failures(), m.Transactions(), m.Failures())
+		}
+		for b := 0; b < blocks; b++ {
+			if got, want := s.CountsFor(b), m.CountsFor(b); got != want {
+				t.Fatalf("stripes=%d block %d: counts %+v, want %+v", s.Stripes(), b, got, want)
+			}
+		}
+	}
+}
+
+// The parallel TopN must equal the head of the Matrix's full ranking, and
+// must be identical across stripe counts — rankings are a pure function of
+// the folded counters.
+func TestSpectraTopNDeterministic(t *testing.T) {
+	const blocks, txns, n = 301, 40, 25
+	m, specs := randomRun(t, blocks, txns, 11, []int{1, 3, 8})
+	want := m.Rank(Ochiai)[:n]
+	for _, s := range specs {
+		got := s.TopN(Ochiai, n)
+		if len(got) != n {
+			t.Fatalf("stripes=%d: TopN returned %d entries", s.Stripes(), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("stripes=%d entry %d: %+v, want %+v", s.Stripes(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Fold order must not matter: evidence arriving in any interleaving yields
+// the same counters, ranking and rank-of — the property journal replay
+// relies on for byte-identical reconstruction.
+func TestSpectraFoldOrderIndependent(t *testing.T) {
+	const blocks, txns = 200, 30
+	rng := rand.New(rand.NewSource(3))
+	type row struct {
+		words  []uint64
+		failed bool
+	}
+	rows := make([]row, txns)
+	for i := range rows {
+		hits := NewBitSet(blocks)
+		for b := 0; b < blocks; b++ {
+			if rng.Float64() < 0.3 {
+				hits.Set(b)
+			}
+		}
+		rows[i] = row{words: hits.Words(), failed: i%4 == 0}
+	}
+	fwd, rev := NewSpectra(blocks, 4), NewSpectra(blocks, 4)
+	for i := range rows {
+		fwd.FoldWords(rows[i].words, rows[i].failed)
+		r := rows[len(rows)-1-i]
+		rev.FoldWords(r.words, r.failed)
+	}
+	a, b := fwd.TopN(Ochiai, blocks), rev.TopN(Ochiai, blocks)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("entry %d differs by fold order: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	fr, ft := fwd.RankOf(5, Ochiai)
+	rr, rt := rev.RankOf(5, Ochiai)
+	if fr != rr || ft != rt {
+		t.Fatalf("RankOf differs by fold order: %d/%d vs %d/%d", fr, ft, rr, rt)
+	}
+}
+
+// Hostile window shapes must be absorbed: short word slices fold as
+// zero-padded, and bits beyond the block capacity are ignored rather than
+// corrupting counters.
+func TestSpectraFoldWordsBounds(t *testing.T) {
+	s := NewSpectra(70, 2) // 70 blocks → 2 words, capacity padding in word 1
+	s.FoldWords([]uint64{1}, true)
+	if got := s.CountsFor(0); got.Aef != 1 {
+		t.Fatalf("short window: counts %+v", got)
+	}
+	if got := s.CountsFor(69); got.Aef != 0 || got.Anf != 1 {
+		t.Fatalf("short window block 69: counts %+v", got)
+	}
+	// All-ones words: bits 70..127 are beyond capacity and must be dropped.
+	s.FoldWords([]uint64{^uint64(0), ^uint64(0), ^uint64(0)}, false)
+	if got := s.CountsFor(69); got.Aep != 1 {
+		t.Fatalf("padded window: counts %+v", got)
+	}
+}
+
+func TestCoefficientByName(t *testing.T) {
+	for _, c := range AllCoefficients() {
+		got, ok := CoefficientByName(c.Name)
+		if !ok || got.Name != c.Name {
+			t.Fatalf("CoefficientByName(%q) = %q, %v", c.Name, got.Name, ok)
+		}
+	}
+	if _, ok := CoefficientByName("no-such-coefficient"); ok {
+		t.Fatal("unknown name resolved")
+	}
+}

@@ -203,6 +203,17 @@ func AllCoefficients() []Coefficient {
 	return []Coefficient{Ochiai, Tarantula, Jaccard, AMPLE, Dice, SimpleMatching, DStar, Op2}
 }
 
+// CoefficientByName resolves a coefficient by its wire/flag name ("ochiai",
+// "tarantula", ...), reporting whether the name is known.
+func CoefficientByName(name string) (Coefficient, bool) {
+	for _, c := range AllCoefficients() {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Coefficient{}, false
+}
+
 // Ranked is one entry of a diagnosis ranking.
 type Ranked struct {
 	Block int

@@ -97,6 +97,9 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //	-- if flags bit1, the error report:
 //	str detector; str observable; 8B expected; 8B actual
 //	uvar consecutive; var at; str detail
+//	-- if flags bit2, the coverage snapshot:
+//	uvar blocks; uvar events; uvar dropped
+//	uvar n; n × (uvar seq, var at, uvar nwords, nwords × 8-byte LE word)
 //
 // Strings are length-checked against the remaining payload before any
 // allocation, so a hostile length cannot force a large allocation beyond
@@ -106,20 +109,23 @@ type binaryCodec struct{}
 func (binaryCodec) Name() string { return CodecBinary }
 
 const (
-	flagEvent = 1 << 0
-	flagError = 1 << 1
+	flagEvent    = 1 << 0
+	flagError    = 1 << 1
+	flagSnapshot = 1 << 2
 )
 
 var tagOfType = map[MsgType]byte{
-	TypeHello:     1,
-	TypeInput:     2,
-	TypeOutput:    3,
-	TypeState:     4,
-	TypeControl:   5,
-	TypeError:     6,
-	TypeHeartbeat: 7,
-	TypeSpecInfo:  8,
-	TypeAck:       9,
+	TypeHello:       1,
+	TypeInput:       2,
+	TypeOutput:      3,
+	TypeState:       4,
+	TypeControl:     5,
+	TypeError:       6,
+	TypeHeartbeat:   7,
+	TypeSpecInfo:    8,
+	TypeAck:         9,
+	TypeSnapshotReq: 10,
+	TypeSnapshot:    11,
 }
 
 var typeOfTag = func() map[byte]MsgType {
@@ -151,6 +157,9 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	if m.Error != nil {
 		flags |= flagError
 	}
+	if m.Snapshot != nil {
+		flags |= flagSnapshot
+	}
 	dst = append(dst, tag, flags)
 	dst = appendStr(dst, m.SUO)
 	dst = binary.AppendVarint(dst, int64(m.At))
@@ -177,6 +186,20 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, uint64(r.Consecutive))
 		dst = binary.AppendVarint(dst, int64(r.At))
 		dst = appendStr(dst, r.Detail)
+	}
+	if s := m.Snapshot; s != nil {
+		dst = binary.AppendUvarint(dst, uint64(s.Blocks))
+		dst = binary.AppendUvarint(dst, s.Events)
+		dst = binary.AppendUvarint(dst, s.Dropped)
+		dst = binary.AppendUvarint(dst, uint64(len(s.Windows)))
+		for _, w := range s.Windows {
+			dst = binary.AppendUvarint(dst, w.Seq)
+			dst = binary.AppendVarint(dst, int64(w.At))
+			dst = binary.AppendUvarint(dst, uint64(len(w.Words)))
+			for _, word := range w.Words {
+				dst = binary.LittleEndian.AppendUint64(dst, word)
+			}
+		}
 	}
 	return dst, nil
 }
@@ -306,6 +329,48 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 		rep.At = sim.Time(r.varint("error at"))
 		rep.Detail = r.str("error detail")
 		m.Error = rep
+	}
+	if flags&flagSnapshot != 0 {
+		s := &Snapshot{}
+		s.Blocks = int(r.uvar("snapshot blocks"))
+		s.Events = r.uvar("snapshot events")
+		s.Dropped = r.uvar("snapshot dropped")
+		n := r.uvar("snapshot window count")
+		// A window takes ≥ 3 bytes; reject counts the payload cannot hold
+		// before allocating.
+		if r.err == nil && n > uint64(len(r.b))/3 {
+			r.fail("snapshot window count")
+		}
+		if r.err == nil && n > 0 {
+			s.Windows = make([]SpectrumWindow, n)
+			for i := range s.Windows {
+				w := &s.Windows[i]
+				w.Seq = r.uvar("window seq")
+				w.At = sim.Time(r.varint("window at"))
+				nw := r.uvar("window word count")
+				// 8 bytes per word; length-check before allocation.
+				if r.err == nil && nw > uint64(len(r.b))/8 {
+					r.fail("window word count")
+				}
+				if r.err != nil {
+					break
+				}
+				if nw > 0 {
+					w.Words = make([]uint64, nw)
+					for j := range w.Words {
+						if len(r.b) < 8 {
+							r.fail("window words")
+							break
+						}
+						w.Words[j] = binary.LittleEndian.Uint64(r.b)
+						r.b = r.b[8:]
+					}
+				}
+			}
+		}
+		if r.err == nil {
+			m.Snapshot = s
+		}
 	}
 	if r.err != nil {
 		return r.err

@@ -19,6 +19,11 @@ func sampleMessages() []Message {
 	ev = ev.With("quality", 0.87).With("fps", 50)
 	rep := ErrorReport{Detector: "comparator", Observable: "volume", Expected: 10,
 		Actual: 3, Consecutive: 4, At: 99, Detail: "drift"}
+	snap := Snapshot{Blocks: 130, Events: 12, Dropped: 3, Windows: []SpectrumWindow{
+		{Seq: 1, At: 100, Words: []uint64{0x1, 0xffffffffffffffff, 0x3}},
+		{Seq: 2, At: 200, Words: []uint64{0, 0x80, 0}},
+		{Seq: 3}, // open window, no coverage yet
+	}}
 	return []Message{
 		{Type: TypeHello, SUO: "tv-0001", Codec: CodecBinary},
 		{Type: TypeInput, SUO: "tv", Event: &event.Event{Kind: event.Input, Name: "key", At: -5}, At: -5},
@@ -30,6 +35,10 @@ func sampleMessages() []Message {
 		{Type: TypeHeartbeat, At: 1000},
 		{Type: TypeSpecInfo},
 		Ack("tv-0001", CtrlRestart, 1234),
+		{Type: TypeSnapshotReq, SUO: "tv-0001", At: 500},
+		{Type: TypeSnapshot, SUO: "tv-0001", At: 600, Snapshot: &snap},
+		{Type: TypeSnapshot, SUO: "tv-0001", Target: "fail", At: 700,
+			Snapshot: &Snapshot{Blocks: 64, Windows: []SpectrumWindow{{Seq: 9, At: 650, Words: []uint64{42}}}}},
 	}
 }
 
@@ -117,6 +126,33 @@ func TestBinaryRejectsHostileValueCount(t *testing.T) {
 	var m Message
 	if err := Binary.Unmarshal(payload, &m); err == nil {
 		t.Fatal("hostile value count should be rejected")
+	}
+}
+
+func TestBinaryRejectsHostileSnapshotCounts(t *testing.T) {
+	// A snapshot frame claiming 2^40 windows (or words) must be rejected
+	// before any allocation happens.
+	base := Message{Type: TypeSnapshot, SUO: "s", Snapshot: &Snapshot{Blocks: 64}}
+	payload, err := Binary.Append(nil, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the trailing window-count uvarint (0 → huge).
+	hostile := append(payload[:len(payload)-1:len(payload)-1], 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	var m Message
+	if err := Binary.Unmarshal(hostile, &m); err == nil {
+		t.Fatal("hostile window count should be rejected")
+	}
+	withWin := Message{Type: TypeSnapshot, SUO: "s",
+		Snapshot: &Snapshot{Blocks: 64, Windows: []SpectrumWindow{{Seq: 1, At: 2}}}}
+	payload, err = Binary.Append(nil, withWin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the trailing word-count uvarint (0 → huge).
+	hostile = append(payload[:len(payload)-1:len(payload)-1], 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01)
+	if err := Binary.Unmarshal(hostile, &m); err == nil {
+		t.Fatal("hostile word count should be rejected")
 	}
 }
 

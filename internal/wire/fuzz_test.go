@@ -68,6 +68,10 @@ func FuzzDecode(f *testing.F) {
 	ev := event.Event{Kind: event.Output, Name: "out", Source: "suo", At: 42, Seq: 7}.
 		With("x", 1.5).With("q", 0.25)
 	rep := ErrorReport{Detector: "cmp", Observable: "x", Expected: 1, Actual: 2, Consecutive: 3, At: 42}
+	snap := Snapshot{Blocks: 130, Events: 9, Dropped: 1, Windows: []SpectrumWindow{
+		{Seq: 1, At: 50, Words: []uint64{0xdeadbeef, 0, 0x8000000000000000}},
+		{Seq: 2},
+	}}
 	msgs := []Message{
 		{Type: TypeHello, SUO: "fuzz-dev", Codec: CodecBinary},
 		{Type: TypeOutput, SUO: "fuzz-dev", Event: &ev, At: 42},
@@ -75,6 +79,8 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeHeartbeat, SUO: "fuzz-dev", At: 99},
 		{Type: TypeControl, SUO: "fuzz-dev", Control: CtrlRestart, Target: "restart", At: 99},
 		Ack("fuzz-dev", CtrlRestart, 100),
+		{Type: TypeSnapshotReq, SUO: "fuzz-dev", At: 101},
+		{Type: TypeSnapshot, SUO: "fuzz-dev", Target: "fail", At: 102, Snapshot: &snap},
 	}
 	for _, codec := range []Codec{JSON, Binary} {
 		var buf bytes.Buffer

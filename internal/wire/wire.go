@@ -35,6 +35,12 @@ const (
 	TypeHeartbeat MsgType = "heartbeat" // liveness probe, both directions
 	TypeSpecInfo  MsgType = "spec_info" // monitor internal: ISpecInfo snapshot
 	TypeAck       MsgType = "ack"       // SUO → monitor: control command honored
+	// TypeSnapshotReq (monitor → SUO) asks the device to capture its
+	// flight-recorder coverage spectrum; TypeSnapshot (SUO → monitor)
+	// answers with the captured windows. The fleet diagnosis plane
+	// (internal/diagnose) pulls these as localization evidence.
+	TypeSnapshotReq MsgType = "snapshot_req"
+	TypeSnapshot    MsgType = "snapshot"
 )
 
 // ControlCommand is carried by TypeControl frames.
@@ -81,6 +87,32 @@ func (r ErrorReport) String() string {
 		r.At, r.Detector, r.Observable, r.Expected, r.Actual, r.Consecutive, r.Detail)
 }
 
+// SpectrumWindow is one heartbeat-delimited block-coverage window of a
+// device's spectral flight recorder: which instrumented blocks executed
+// between two heartbeats, as the packed 64-bit words of a
+// spectrum.BitSet (bit i of the program lives in word i/64). Seq numbers
+// windows monotonically per device; At is the device's virtual time when
+// the window closed (0 for the still-open window).
+type SpectrumWindow struct {
+	Seq   uint64   `json:"seq"`
+	At    sim.Time `json:"at,omitempty"`
+	Words []uint64 `json:"words,omitempty"`
+}
+
+// Snapshot is the payload of a TypeSnapshot frame: the device's retained
+// coverage windows plus flight-recorder context. Blocks is the instrumented
+// block count the windows are sized for — fleet-level folding only accepts
+// snapshots whose Blocks matches the fleet's program layout.
+type Snapshot struct {
+	Blocks int `json:"blocks"`
+	// Events and Dropped describe the event flight recorder at capture
+	// time: how many raw events the ring retains and how many fell off.
+	Events  uint64 `json:"events,omitempty"`
+	Dropped uint64 `json:"dropped,omitempty"`
+	// Windows are the retained coverage windows, oldest first.
+	Windows []SpectrumWindow `json:"windows,omitempty"`
+}
+
 // Message is one frame.
 type Message struct {
 	Type MsgType `json:"type"`
@@ -99,6 +131,9 @@ type Message struct {
 	// Codec is carried by Hello frames only: the client's requested payload
 	// codec, and the server's accepted one in the reply. Empty means JSON.
 	Codec string `json:"codec,omitempty"`
+	// Snapshot carries a device's coverage evidence (TypeSnapshot frames;
+	// in journals the Target field labels it "fail" or "pass").
+	Snapshot *Snapshot `json:"snapshot,omitempty"`
 }
 
 // MaxFrame bounds a frame's payload size; oversized frames indicate protocol
