@@ -34,15 +34,16 @@ test-race:
 # bench runs the full benchmark suite — the per-experiment benchmarks
 # (E1-E14), the wire codec pairs (BenchmarkWireJSON / BenchmarkWireBinary
 # and the snapshot-frame pair BenchmarkSnapshotJSON / BenchmarkSnapshotBinary),
-# the networked fleet-ingestion benchmark (journal off/on, recovery
-# controller and diagnosis engine attached), BenchmarkJournalAppend,
-# BenchmarkControllerReport and BenchmarkFleetDiagnosis (evidence fold +
-# parallel ranking at the paper's 60 000-block scale) — and additionally
-# emits machine-readable results to $(BENCHJSON) via cmd/benchjson
-# (frames/s, ns/op, allocs/op, reports/s, ...), so the perf trajectory is
-# tracked across PRs. $(BENCHJSON) is committed once per PR; the raw
-# transcript is kept in bench.out.
-BENCHJSON ?= BENCH_5.json
+# the networked fleet-ingestion benchmark (journal off/flat/sharded, the
+# relaxed ack-on-dispatch durability tier, recovery controller and diagnosis
+# engine attached), BenchmarkJournalAppend, BenchmarkCheckpointReplay (cold
+# boot with and without a checkpoint resume point), BenchmarkControllerReport
+# and BenchmarkFleetDiagnosis (evidence fold + parallel ranking at the
+# paper's 60 000-block scale) — and additionally emits machine-readable
+# results to $(BENCHJSON) via cmd/benchjson (frames/s, ns/op, allocs/op,
+# reports/s, ...), so the perf trajectory is tracked across PRs. $(BENCHJSON)
+# is committed once per PR; the raw transcript is kept in bench.out.
+BENCHJSON ?= BENCH_6.json
 bench:
 	@$(GO) test -bench . -benchmem ./... > bench.out; status=$$?; \
 	cat bench.out; \

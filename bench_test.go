@@ -297,26 +297,42 @@ func BenchmarkJournalAppend(b *testing.B) {
 // registration only, and the acceptance bar is staying within 10% of the
 // journal-on baseline); the diag=on variant additionally attaches ISSUE 5's
 // diagnosis engine (same 10% bar against ctl=on: with no escalations the
-// engine never pulls, so healthy-path ingestion must not notice it).
+// engine never pulls, so healthy-path ingestion must not notice it). The
+// journal=sharded variants run ISSUE 6's per-shard segment streams — one
+// group-commit fsync pipeline per pool shard instead of one for the whole
+// fleet (acceptance bar: within ~3x of journal=off, against ~13x for the
+// flat journal on a many-core host) — and durability=dispatch additionally
+// has every connection negotiate the relaxed ack-on-dispatch tier, taking
+// the fsync wait off the ack path entirely.
 func BenchmarkFleetIngestion(b *testing.B) {
 	const conns = 32
 	for _, cfg := range []struct {
 		codec      string
 		journal    bool
+		sharded    bool
+		relaxed    bool
 		controller bool
 		diagnosis  bool
 	}{
-		{wire.CodecJSON, false, false, false},
-		{wire.CodecBinary, false, false, false},
-		{wire.CodecJSON, true, false, false},
-		{wire.CodecBinary, true, false, false},
-		{wire.CodecBinary, true, true, false},
-		{wire.CodecBinary, true, true, true},
+		{codec: wire.CodecJSON},
+		{codec: wire.CodecBinary},
+		{codec: wire.CodecJSON, journal: true},
+		{codec: wire.CodecBinary, journal: true},
+		{codec: wire.CodecBinary, journal: true, sharded: true},
+		{codec: wire.CodecBinary, journal: true, sharded: true, relaxed: true},
+		{codec: wire.CodecBinary, journal: true, controller: true},
+		{codec: wire.CodecBinary, journal: true, controller: true, diagnosis: true},
 	} {
 		codec := cfg.codec
 		name := fmt.Sprintf("codec=%s/journal=off", codec)
 		if cfg.journal {
 			name = fmt.Sprintf("codec=%s/journal=on", codec)
+		}
+		if cfg.sharded {
+			name = fmt.Sprintf("codec=%s/journal=sharded", codec)
+		}
+		if cfg.relaxed {
+			name += "/durability=dispatch"
 		}
 		if cfg.controller {
 			name += "/ctl=on"
@@ -330,11 +346,22 @@ func BenchmarkFleetIngestion(b *testing.B) {
 			srv := &fleet.Server{Pool: pool, Factory: fleet.LightMonitorFactory()}
 			defer srv.Close()
 			if cfg.journal {
-				jw, err := journal.Create(b.TempDir(), journal.Options{})
-				if err != nil {
-					b.Fatal(err)
+				var jw fleet.FrameJournal
+				if cfg.sharded {
+					sj, err := journal.CreateSharded(b.TempDir(), pool.Shards(), journal.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer sj.Close()
+					jw = sj
+				} else {
+					fj, err := journal.Create(b.TempDir(), journal.Options{})
+					if err != nil {
+						b.Fatal(err)
+					}
+					defer fj.Close()
+					jw = fj
 				}
-				defer jw.Close()
 				srv.Journal = jw
 				var eng *diagnose.Engine
 				if cfg.diagnosis {
@@ -363,7 +390,13 @@ func BenchmarkFleetIngestion(b *testing.B) {
 			echo := make([]chan struct{}, conns)
 			addr := ln.Addr().String()
 			for i := range clients {
-				wc, err := wire.Dial("unix:"+addr, fmt.Sprintf("bench-%03d", i), codec)
+				var wc *wire.Conn
+				var err error
+				if cfg.relaxed {
+					wc, _, err = wire.DialTiered("unix:"+addr, fmt.Sprintf("bench-%03d", i), codec, wire.DurDispatch)
+				} else {
+					wc, err = wire.Dial("unix:"+addr, fmt.Sprintf("bench-%03d", i), codec)
+				}
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -462,6 +495,102 @@ func BenchmarkE14Fleet(b *testing.B) {
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(devices*b.N)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
+// BenchmarkCheckpointReplay measures boot-time journal recovery with and
+// without a checkpoint resume point (ISSUE 6). Both journals hold the same
+// session — history frames, then a short post-checkpoint delta — but in
+// mode=checkpoint the history is summarised by per-stream checkpoint
+// batches, so Replay restores monitor state from the records and
+// re-dispatches only the delta, while mode=full re-dispatches everything.
+// One op is one cold boot: fresh pool, open, replay, settle.
+func BenchmarkCheckpointReplay(b *testing.B) {
+	const (
+		devices = 64
+		shards  = 4
+		history = 50 // frames per device before the checkpoint
+		delta   = 5  // frames per device after it
+	)
+	discard := func(wire.Message) error { return nil }
+	build := func(dir string, checkpoint bool) {
+		pool := fleet.NewPool(fleet.Options{Shards: shards})
+		defer pool.Stop()
+		jw, err := journal.CreateSharded(dir, shards, journal.Options{NoSync: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids := make([]string, devices)
+		for i := range ids {
+			ids[i] = fmt.Sprintf("boot-%03d", i)
+			if err := pool.AddRemoteDevice(ids[i], fleet.LightMonitorFactory(), discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+		// Journal and dispatch in lock-step, the way the ingestion server
+		// does, so the checkpoint captures exactly the journaled prefix.
+		phase := func(n int, fromMs int64) {
+			for _, id := range ids {
+				for j := 0; j < n; j++ {
+					at := sim.Time(fromMs+int64(j)*10) * sim.Millisecond
+					ev := event.Event{Kind: event.Output, Name: "out", Source: id, At: at}.With("x", 0)
+					m := wire.Message{Type: wire.TypeOutput, SUO: id, At: at, Event: &ev}
+					if err := jw.Append(m); err != nil {
+						b.Fatal(err)
+					}
+					if err := pool.Dispatch(id, ev); err != nil {
+						b.Fatal(err)
+					}
+				}
+				hbAt := sim.Time(fromMs+int64(n)*10) * sim.Millisecond
+				if err := jw.Append(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: hbAt}); err != nil {
+					b.Fatal(err)
+				}
+				if err := pool.AdvanceDevice(id, hbAt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := pool.Sync(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		phase(history, 10)
+		if checkpoint {
+			cper := &fleet.Checkpointer{Pool: pool, Journal: jw, Profile: "light"}
+			if err := cper.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		phase(delta, 10+int64(history)*10+10)
+		if err := jw.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, mode := range []struct {
+		name       string
+		checkpoint bool
+	}{{"full", false}, {"checkpoint", true}} {
+		b.Run("mode="+mode.name, func(b *testing.B) {
+			dir := b.TempDir()
+			build(dir, mode.checkpoint)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				pool := fleet.NewPool(fleet.Options{Shards: shards})
+				jr, err := journal.OpenReader(dir)
+				if err != nil {
+					b.Fatal(err)
+				}
+				st, err := pool.Replay(jr, fleet.LightMonitorFactory())
+				jr.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(st.Frames), "frames/boot")
+				}
+				pool.Stop()
+			}
 		})
 	}
 }

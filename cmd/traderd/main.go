@@ -95,6 +95,7 @@ func main() {
 	diagCoeff := flag.String("diagnose", "", "fleet diagnosis coefficient for -listen mode (requires -recover; e.g. ochiai) or for -replay output; empty: off")
 	diagBlocks := flag.Int("diagnose-blocks", diagnose.DefaultBlocks, "instrumented block count of the fleet's spectral recorders (must match the clients)")
 	diagCohort := flag.Int("diagnose-cohort", diagnose.DefaultCohort, "healthy peers sampled per diagnosis episode")
+	cpSecs := flag.Int("checkpoint-seconds", 0, "write a global journal checkpoint every N seconds in -listen -journal mode, truncating covered segments (0: off)")
 	flag.Parse()
 
 	if *journalDir != "" && *listen == "" {
@@ -121,9 +122,12 @@ func main() {
 	if *diagCoeff != "" && *recoverPol == "" {
 		log.Fatalf("traderd: -diagnose requires -recover (diagnosis pulls evidence when the controller escalates) or -replay (offline)")
 	}
+	if *cpSecs > 0 && *journalDir == "" {
+		log.Fatalf("traderd: -checkpoint-seconds requires -journal (checkpoints are journal resume points)")
+	}
 	if *listen != "" {
 		diag := diagConfig{Coeff: *diagCoeff, Blocks: *diagBlocks, Cohort: *diagCohort}
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, diag, *verbose); err != nil {
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
@@ -177,26 +181,46 @@ func profileMarker(suo string) wire.Message {
 	return wire.Message{Type: wire.TypeHello, SUO: "traderd", Target: suo}
 }
 
-// checkJournalProfile compares the journal's profile marker (if any — the
+// checkJournalProfile compares the journal's recorded profile (if any — the
 // journal may be empty, torn at the first record, or from a build without
-// markers) against the -suo profile about to monitor its frames. Journal
-// corruption is deliberately not reported here: the replay that follows
-// reports it with full position information.
+// markers) against the -suo profile about to monitor its frames. The
+// profile reaches the journal two ways: the Hello marker traderd appends on
+// every boot, and — once a checkpoint has truncated the marker away — the
+// Profile tag riding on each Final shard-plane checkpoint record. The scan
+// walks the journal head past checkpoint records and stops at the first
+// frame. Journal corruption is deliberately not reported here: the replay
+// that follows reports it with full position information.
 func checkJournalProfile(dir, suo string) error {
 	r, err := journal.OpenReader(dir)
 	if err != nil {
 		return err
 	}
 	defer r.Close()
-	m, err := r.Next()
-	if err != nil || m.Type != wire.TypeHello || m.SUO != "traderd" || m.Target == "" {
-		return nil
-	}
-	if m.Target != suo {
+	mismatch := func(written string) error {
 		return fmt.Errorf("journal %s was written under -suo %s, but -suo %s is in effect; pass -suo %s to replay it faithfully",
-			dir, m.Target, suo, m.Target)
+			dir, written, suo, written)
 	}
-	return nil
+	for {
+		m, err := r.Next()
+		if err != nil {
+			return nil
+		}
+		switch {
+		case m.Type == wire.TypeCheckpoint:
+			if cp := m.Checkpoint; cp != nil && cp.Profile != "" && cp.Profile != suo {
+				return mismatch(cp.Profile)
+			}
+		case m.Type == wire.TypeHello && m.SUO == "traderd" && m.Target != "":
+			if m.Target != suo {
+				return mismatch(m.Target)
+			}
+			return nil
+		default:
+			// First real frame with no marker before it: a markerless
+			// journal from an old build. Nothing to check.
+			return nil
+		}
+	}
 }
 
 // diagConfig carries the -diagnose knobs into ingest mode.
@@ -272,12 +296,15 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 	if st, err = pool.Replay(r, factory); err != nil {
 		return st, err
 	}
-	if st.Frames+st.Heartbeats > 0 {
-		torn := ""
+	if st.Frames+st.Heartbeats+st.Checkpoints > 0 {
+		note := ""
 		if r.Torn() {
-			torn = " (torn tail record discarded — crash mid-append)"
+			note = " (torn tail record discarded — crash mid-append)"
 		}
-		log.Printf("traderd: replayed %s from %s in %v%s", st, dir, time.Since(start), torn)
+		if n := r.SegmentsSkipped(); n > 0 {
+			note += fmt.Sprintf(" (%d fully-checkpointed segments skipped)", n)
+		}
+		log.Printf("traderd: replayed %s from %s in %v%s", st, dir, time.Since(start), note)
 	}
 	return st, nil
 }
@@ -293,7 +320,7 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 // diagnosis plane additionally pulls coverage snapshots from escalated
 // devices and healthy cohorts, folds them into a fleet-level spectrum and
 // logs periodic top-suspect rollups.
-func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, diag diagConfig, verbose bool) error {
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, cpSecs int, diag diagConfig, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -313,22 +340,26 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		HelloTimeout: 10 * time.Second,
 		MaxAdvance:   adv,
 	}
-	var jw *journal.Writer
+	var jw *journal.Sharded
 	if journalDir != "" {
 		// Recover before listening: devices must carry their pre-crash
 		// monitor state before their connections come back.
 		if _, err := recoverJournal(journalDir, suo, pool, factory); err != nil {
 			return fmt.Errorf("recovering journal %s: %w", journalDir, err)
 		}
-		if jw, err = journal.Create(journalDir, journal.Options{}); err != nil {
+		// One journal stream per pool shard: each stream group-commits on
+		// its own fsync pipeline, so the fleet's append traffic no longer
+		// serialises behind a single queue. Any flat pre-sharding segments
+		// in the directory root were replayed above and stay readable.
+		if jw, err = journal.CreateSharded(journalDir, pool.Shards(), journal.Options{}); err != nil {
 			return err
 		}
 		defer jw.Close()
-		if err := jw.Append(profileMarker(suo)); err != nil {
+		if err := jw.AppendShard(0, profileMarker(suo)); err != nil {
 			return err
 		}
 		srv.Journal = jw
-		log.Printf("traderd: journaling accepted frames to %s (write-ahead, group-commit fsync)", journalDir)
+		log.Printf("traderd: journaling accepted frames to %s (%d streams, write-ahead, group-commit fsync)", journalDir, jw.Shards())
 	}
 	if verbose {
 		srv.Logf = log.Printf
@@ -392,6 +423,38 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		srv.OnAck = ctl.HandleAck
 		log.Printf("traderd: recovery controller on (policy %s: tolerate %d, resets %d, restarts %d, restart latency %s)",
 			pol.Name, pol.Tolerate, pol.Resets, pol.Restarts, pol.RestartLatency)
+		if journalDir != "" {
+			// Resume the ladder from the journal's newest control-plane
+			// checkpoint, so escalation history survives the restart.
+			r, err := journal.OpenReader(journalDir)
+			if err != nil {
+				return err
+			}
+			found, err := ctl.Recover(r)
+			r.Close()
+			if err != nil {
+				return err
+			}
+			if found {
+				log.Printf("traderd: recovered recovery-controller checkpoint from %s: %s", journalDir, ctl.Rollup())
+			}
+		}
+	}
+	if cpSecs > 0 && jw != nil {
+		cper := &fleet.Checkpointer{Pool: pool, Journal: jw, Profile: suo}
+		if ctl != nil {
+			cper.Planes = append(cper.Planes, ctl.Checkpoint)
+		}
+		if eng != nil {
+			cper.Planes = append(cper.Planes, eng.Checkpoint)
+		}
+		if verbose {
+			cper.Logf = log.Printf
+		}
+		cpDone := make(chan struct{})
+		defer close(cpDone)
+		go cper.Run(time.Duration(cpSecs)*time.Second, cpDone)
+		log.Printf("traderd: checkpointing fleet state every %ds (journal truncates to the newest checkpoint)", cpSecs)
 	}
 
 	errc := make(chan error, 8)

@@ -81,15 +81,20 @@ func main() {
 	faultList := flag.String("faults", "txt-sync", "comma-separated fault schedule; available: video-crash,txt-sync,audio-skew,overload,bad-input")
 	blocks := flag.Int("blocks", diagnose.DefaultBlocks, "in -connect mode, spectral-recorder block count (must match traderd -diagnose-blocks)")
 	pace := flag.Float64("pace", 0, "in -connect mode, virtual seconds per wall second (0: run as fast as possible); paced fleets behave like real-time devices")
+	durability := flag.String("durability", string(wire.DurFsync), "in -connect mode, durability class to request in the Hello handshake: fsync (ack = journaled) or dispatch (ack = monitored; long-tail devices)")
 	flag.Parse()
 
 	schedule, err := parseFaults(*faultList)
 	if err != nil {
 		log.Fatalf("tvsim: %v", err)
 	}
+	dur, ok := wire.DurabilityByName(*durability)
+	if !ok {
+		log.Fatalf("tvsim: unknown -durability %q (want %s or %s)", *durability, wire.DurFsync, wire.DurDispatch)
+	}
 
 	if *connect != "" {
-		if err := runFleet(*connect, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, schedule); err != nil {
+		if err := runFleet(*connect, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, dur, schedule); err != nil {
 			log.Fatalf("tvsim: connect: %v", err)
 		}
 		return
@@ -135,6 +140,9 @@ var errDeviceDown = errors.New("tvsim: device down")
 // CtrlQuarantine stops the device for good.
 type fleetTV struct {
 	addr, id, codec string
+	// durability is the class requested in every Hello (initial dial and
+	// restart re-handshakes); the daemon's grant may be stronger.
+	durability wire.Durability
 
 	// rec is the device's spectral flight recorder: block coverage per
 	// heartbeat window, served back on TypeSnapshotReq pulls.
@@ -262,7 +270,7 @@ func (d *fleetTV) restart() {
 	for try := 0; try < 40; try++ {
 		// The daemon may still be tearing the old registration down; the
 		// ID frees up within a removal round-trip.
-		if wc, err = wire.Dial(d.addr, d.id, d.codec); err == nil {
+		if wc, _, err = wire.DialTiered(d.addr, d.id, d.codec, d.durability); err == nil {
 			break
 		}
 		time.Sleep(25 * time.Millisecond)
@@ -304,16 +312,16 @@ func (d *fleetTV) close() {
 // coverage window, and a faulty device's schedule marks the targeted
 // feature's code as defective — so a traderd -diagnose pull can localize
 // the fault block across the fleet.
-func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float64, schedule []faults.Fault) (deviceStats, error) {
+func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float64, dur wire.Durability, schedule []faults.Fault) (deviceStats, error) {
 	var st deviceStats
-	d := &fleetTV{addr: addr, id: id, codec: codec,
+	d := &fleetTV{addr: addr, id: id, codec: codec, durability: dur,
 		rec: diagnose.NewRecorder(diagnose.RecorderOptions{Blocks: blocks, Seed: seed})}
 	for _, f := range schedule {
 		if feat, ok := diagnose.FeatureOfComponent(f.Target); ok {
 			d.rec.InjectFault(feat)
 		}
 	}
-	wc, err := wire.Dial(addr, id, codec)
+	wc, _, err := wire.DialTiered(addr, id, codec, dur)
 	if err != nil {
 		return st, err
 	}
@@ -354,10 +362,17 @@ func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float
 	// production rather than racing a seconds-deep queue.
 	horizon := scenario(k, tv, duration)
 	if pace > 0 {
+		// Pace against absolute deadlines on the monotonic clock, not a
+		// fixed sleep per burst: sleeping wallStep AFTER each k.Run adds the
+		// burst's own processing time to every period, so the cadence
+		// drifted late by the accumulated work — minutes over a long paced
+		// session. Sleeping until start+i*wallStep absorbs the work time
+		// instead of stacking it.
 		wallStep := time.Duration(float64(time.Second) / pace)
-		for t := k.Now() + sim.Second; t <= horizon; t += sim.Second {
+		start := time.Now()
+		for i, t := 1, k.Now()+sim.Second; t <= horizon; i, t = i+1, t+sim.Second {
 			k.Run(t)
-			time.Sleep(wallStep)
+			time.Sleep(time.Until(start.Add(time.Duration(i) * wallStep)))
 		}
 	}
 	k.Run(horizon)
@@ -383,8 +398,8 @@ func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float
 }
 
 // runFleet drives n concurrent remote TVs against the ingestion daemon.
-func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, schedule []faults.Fault) error {
-	log.Printf("tvsim: connecting %d TVs to %s (codec %s, faults on every %d'th)", n, addr, codec, faultEvery)
+func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, dur wire.Durability, schedule []faults.Fault) error {
+	log.Printf("tvsim: connecting %d TVs to %s (codec %s, durability %s, faults on every %d'th)", n, addr, codec, dur, faultEvery)
 	start := time.Now()
 	var wg sync.WaitGroup
 	stats := make([]deviceStats, n)
@@ -398,7 +413,7 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 				sched = schedule
 			}
 			id := fmt.Sprintf("tvsim-%06d", i)
-			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, blocks, pace, sched)
+			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, blocks, pace, dur, sched)
 		}(i)
 	}
 	wg.Wait()

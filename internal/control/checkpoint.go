@@ -1,0 +1,216 @@
+package control
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"trader/internal/journal"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+// Checkpoint capture/restore for the control plane: the escalation tally,
+// every device's ladder position, and the recovery manager's restart
+// accounting, flattened into one PlaneControl record. The fleet
+// Checkpointer calls Checkpoint for each global checkpoint (the record
+// rides in shard 0's batch); Recover finds the newest such record in a
+// journal and plays it back on boot.
+//
+// Capture happens through the controller's own loop — NOT under the
+// journal's stream locks, since this loop appends to that journal — so a
+// report can slip between the control-plane snapshot and the fleet freeze.
+// That divergence is bounded by one inbox drain and self-heals at the next
+// checkpoint; the ladder tolerates re-seen evidence by design.
+
+// ctlCounters fixes the Counters layout of a PlaneControl record.
+var ctlCounters = [...]string{
+	"Reports", "Dropped",
+	"class.deviation", "class.silence", "class.runaway",
+	"rung.tolerate", "rung.reset", "rung.restart", "rung.quarantine",
+	"Absorbed", "AfterQuarantine", "Deescalations",
+	"Acks", "PushFailures", "JournalErrors",
+	"RestartsCompleted",
+}
+
+// Checkpoint snapshots the controller into a PlaneControl checkpoint
+// record. It round-trips through the controller goroutine (a barrier:
+// reports enqueued before it are reflected); on a closed controller it
+// reads the frozen state directly.
+func (c *Controller) Checkpoint() wire.Message {
+	reply := make(chan wire.Message, 1)
+	if c.put(item{kind: itemCheckpoint, cpReply: reply}, true) {
+		return <-reply
+	}
+	<-c.done
+	return c.checkpoint()
+}
+
+// checkpoint builds the record. Controller-goroutine only (or post-Close).
+func (c *Controller) checkpoint() wire.Message {
+	cp := &wire.Checkpoint{Plane: wire.PlaneControl, At: c.kernel.Now()}
+	val := func(name string) uint64 {
+		switch name {
+		case "Reports":
+			return c.tally.Reports
+		case "Dropped":
+			return c.dropped.Load()
+		case "class.deviation":
+			return c.tally.Classes[ClassDeviation]
+		case "class.silence":
+			return c.tally.Classes[ClassSilence]
+		case "class.runaway":
+			return c.tally.Classes[ClassRunaway]
+		case "rung.tolerate":
+			return c.tally.Rungs[RungTolerate]
+		case "rung.reset":
+			return c.tally.Rungs[RungReset]
+		case "rung.restart":
+			return c.tally.Rungs[RungRestart]
+		case "rung.quarantine":
+			return c.tally.Rungs[RungQuarantine]
+		case "Absorbed":
+			return c.tally.Absorbed
+		case "AfterQuarantine":
+			return c.tally.AfterQuarantine
+		case "Deescalations":
+			return c.tally.Deescalations
+		case "Acks":
+			return c.tally.Acks
+		case "PushFailures":
+			return c.tally.PushFailures
+		case "JournalErrors":
+			return c.tally.JournalErrors
+		case "RestartsCompleted":
+			return c.mgr.RecoveriesCompleted
+		}
+		return 0
+	}
+	for _, name := range ctlCounters {
+		cp.Counters = append(cp.Counters, wire.CheckpointCounter{Name: name, V: val(name)})
+	}
+	ids := make([]string, 0, len(c.devs))
+	for id := range c.devs {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		d := c.devs[id]
+		var q uint64
+		if d.quarantined {
+			q = 1
+		}
+		var down uint64
+		if u := c.mgr.Unit(id); u != nil {
+			down = uint64(u.Downtime)
+		}
+		cp.Devices = append(cp.Devices, wire.CheckpointDevice{
+			ID: id, At: d.lastAt,
+			Stats: []uint64{uint64(d.rung), uint64(d.used), d.seen, uint64(d.burst), q, down},
+		})
+	}
+	return wire.Message{Type: wire.TypeCheckpoint, At: cp.At, Checkpoint: cp}
+}
+
+// Restore places the controller at the state cp captured. Restore is
+// absolute — counters, ladder positions and restart accounting are
+// assigned, not accumulated — so restoring a second, newer checkpoint
+// simply wins. Devices regain their recovery units (in the Running state:
+// an in-flight restart at capture time is cut short, which only makes the
+// ladder gentler).
+func (c *Controller) Restore(cp *wire.Checkpoint) error {
+	if cp == nil || cp.Plane != wire.PlaneControl {
+		return fmt.Errorf("control: restore needs a %s checkpoint", wire.PlaneControl)
+	}
+	errc := make(chan error, 1)
+	if c.put(item{kind: itemRestore, restore: cp, errc: errc}, true) {
+		return <-errc
+	}
+	return fmt.Errorf("control: restore on closed controller")
+}
+
+// restore plays cp back. Controller-goroutine only.
+func (c *Controller) restore(cp *wire.Checkpoint) error {
+	for _, ct := range cp.Counters {
+		switch ct.Name {
+		case "Reports":
+			c.tally.Reports = ct.V
+		case "Dropped":
+			c.dropped.Store(ct.V)
+		case "class.deviation":
+			c.tally.Classes[ClassDeviation] = ct.V
+		case "class.silence":
+			c.tally.Classes[ClassSilence] = ct.V
+		case "class.runaway":
+			c.tally.Classes[ClassRunaway] = ct.V
+		case "rung.tolerate":
+			c.tally.Rungs[RungTolerate] = ct.V
+		case "rung.reset":
+			c.tally.Rungs[RungReset] = ct.V
+		case "rung.restart":
+			c.tally.Rungs[RungRestart] = ct.V
+		case "rung.quarantine":
+			c.tally.Rungs[RungQuarantine] = ct.V
+		case "Absorbed":
+			c.tally.Absorbed = ct.V
+		case "AfterQuarantine":
+			c.tally.AfterQuarantine = ct.V
+		case "Deescalations":
+			c.tally.Deescalations = ct.V
+		case "Acks":
+			c.tally.Acks = ct.V
+		case "PushFailures":
+			c.tally.PushFailures = ct.V
+		case "JournalErrors":
+			c.tally.JournalErrors = ct.V
+		case "RestartsCompleted":
+			c.mgr.RecoveriesCompleted = ct.V
+			c.mgr.RecoveriesStarted = ct.V
+		default:
+			return fmt.Errorf("control: unknown checkpoint counter %q", ct.Name)
+		}
+	}
+	for _, dev := range cp.Devices {
+		if len(dev.Stats) != 6 {
+			return fmt.Errorf("control: device %q checkpoint has %d stats, want 6", dev.ID, len(dev.Stats))
+		}
+		d := c.ensureDevice(dev.ID)
+		d.rung = Rung(dev.Stats[0])
+		d.used = int(dev.Stats[1])
+		d.seen = dev.Stats[2]
+		d.burst = int(dev.Stats[3])
+		d.quarantined = dev.Stats[4] != 0
+		d.lastAt = dev.At
+		c.mgr.Unit(dev.ID).Downtime = sim.Time(dev.Stats[5])
+	}
+	c.advanceTo(cp.At)
+	return nil
+}
+
+// Recover scans a journal for control-plane checkpoints and restores the
+// newest one, reporting whether one was found. Call it on boot, after (or
+// instead of) the pool replay — the reader already resumes each stream at
+// its checkpoint batch, so the scan reads only the delta. Post-checkpoint
+// TypeControl action records are not re-applied to the ladder (their
+// pool-side effects replay through fleet.Pool.Replay); the ladder resumes
+// from the snapshot and climbs again on fresh evidence.
+func (c *Controller) Recover(r *journal.Reader) (bool, error) {
+	var last *wire.Checkpoint
+	for {
+		m, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return false, fmt.Errorf("control: recover: %w", err)
+		}
+		if m.Type == wire.TypeCheckpoint && m.Checkpoint != nil && m.Checkpoint.Plane == wire.PlaneControl {
+			cp := *m.Checkpoint
+			last = &cp
+		}
+	}
+	if last == nil {
+		return false, nil
+	}
+	return true, c.Restore(last)
+}

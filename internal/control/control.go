@@ -75,18 +75,23 @@ const (
 	itemAdvance
 	itemRollup
 	itemSync
+	itemCheckpoint
+	itemRestore
 	itemStop
 )
 
 // item is one unit of inbox work.
 type item struct {
-	kind   itemKind
-	device string
-	report wire.ErrorReport
-	ack    wire.Message
-	at     sim.Time
-	reply  chan Rollup
-	sync   chan struct{}
+	kind    itemKind
+	device  string
+	report  wire.ErrorReport
+	ack     wire.Message
+	at      sim.Time
+	reply   chan Rollup
+	sync    chan struct{}
+	cpReply chan wire.Message
+	restore *wire.Checkpoint
+	errc    chan error
 }
 
 // devState is one device's position on the escalation ladder. Owned by the
@@ -262,6 +267,10 @@ func (c *Controller) loop() {
 			close(it.sync)
 		case itemRollup:
 			it.reply <- c.rollup()
+		case itemCheckpoint:
+			it.cpReply <- c.checkpoint()
+		case itemRestore:
+			it.errc <- c.restore(it.restore)
 		case itemAck:
 			c.handleAck(it.device, it.ack)
 		case itemReport:
@@ -309,10 +318,9 @@ func (c *Controller) classify(d *devState, r wire.ErrorReport) Class {
 	return ClassOf(r)
 }
 
-// handleReport is the escalation ladder. One report → at most one action.
-func (c *Controller) handleReport(device string, r wire.ErrorReport) {
-	c.tally.Reports++
-	c.advanceTo(r.At)
+// ensureDevice returns the device's ladder state, creating it — and its
+// recovery unit — on first sight. Controller-goroutine only.
+func (c *Controller) ensureDevice(device string) *devState {
 	d := c.devs[device]
 	if d == nil {
 		d = &devState{}
@@ -325,6 +333,14 @@ func (c *Controller) handleReport(device string, r wire.ErrorReport) {
 		}
 		c.mgr.AddUnit(u)
 	}
+	return d
+}
+
+// handleReport is the escalation ladder. One report → at most one action.
+func (c *Controller) handleReport(device string, r wire.ErrorReport) {
+	c.tally.Reports++
+	c.advanceTo(r.At)
+	d := c.ensureDevice(device)
 	if d.quarantined {
 		// The device is out of service; its monitor may still sweep
 		// silence, but there is no further rung to climb.

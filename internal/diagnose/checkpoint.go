@@ -1,0 +1,151 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"trader/internal/spectrum"
+	"trader/internal/wire"
+)
+
+// Checkpoint capture/restore for the diagnosis plane: the fleet spectrum's
+// per-block counters, the per-device fold high-water marks (so re-seen
+// evidence still folds exactly once) and the engine tally, flattened into
+// one PlaneDiagnose record riding in shard 0's checkpoint batch. Like the
+// control plane's, capture goes through the engine's own loop rather than
+// under the journal locks — this loop appends evidence to that journal — so
+// a snapshot accepted between the plane capture and the fleet freeze folds
+// twice as far as the tally is concerned but never into the spectrum (the
+// high-water marks gate it); the next checkpoint squares the books.
+
+// diagCounters fixes the Counters layout of a PlaneDiagnose record.
+var diagCounters = [...]string{
+	"Escalations", "Episodes", "Coalesced",
+	"Requests", "RequestFailures",
+	"Snapshots", "FailWindows", "PassWindows", "SkippedWindows",
+	"Unsolicited", "Malformed", "Expired", "JournalErrors", "Dropped",
+}
+
+// Checkpoint snapshots the engine into a PlaneDiagnose checkpoint record.
+// It is a barrier like Result; on a closed engine it reads the frozen
+// state directly.
+func (e *Engine) Checkpoint() wire.Message {
+	reply := make(chan wire.Message, 1)
+	if e.put(item{kind: itemCheckpoint, cpReply: reply}, true) {
+		return <-reply
+	}
+	<-e.done
+	return e.checkpoint()
+}
+
+// checkpoint builds the record. Engine-goroutine only (or post-Close).
+func (e *Engine) checkpoint() wire.Message {
+	cp := &wire.Checkpoint{Plane: wire.PlaneDiagnose, Blocks: e.opts.Blocks}
+	cells, nFail, nPass := e.spectra.Export()
+	cp.NFail, cp.NPass = nFail, nPass
+	for _, c := range cells {
+		cp.Cells = append(cp.Cells, wire.CheckpointCell{Block: c.Block, Fail: c.Fail, Pass: c.Pass})
+	}
+	val := func(name string) uint64 {
+		switch name {
+		case "Escalations":
+			return e.tally.Escalations
+		case "Episodes":
+			return e.tally.Episodes
+		case "Coalesced":
+			return e.tally.Coalesced
+		case "Requests":
+			return e.tally.Requests
+		case "RequestFailures":
+			return e.tally.RequestFailures
+		case "Snapshots":
+			return e.tally.Snapshots
+		case "FailWindows":
+			return e.tally.FailWindows
+		case "PassWindows":
+			return e.tally.PassWindows
+		case "SkippedWindows":
+			return e.tally.SkippedWindows
+		case "Unsolicited":
+			return e.tally.Unsolicited
+		case "Malformed":
+			return e.tally.Malformed
+		case "Expired":
+			return e.tally.Expired
+		case "JournalErrors":
+			return e.tally.JournalErrors
+		case "Dropped":
+			return e.dropped.Load()
+		}
+		return 0
+	}
+	for _, name := range diagCounters {
+		cp.Counters = append(cp.Counters, wire.CheckpointCounter{Name: name, V: val(name)})
+	}
+	ids := make([]string, 0, len(e.fold.next))
+	for id := range e.fold.next {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		cp.Devices = append(cp.Devices, wire.CheckpointDevice{ID: id, Stats: []uint64{e.fold.next[id]}})
+	}
+	return wire.Message{Type: wire.TypeCheckpoint, Checkpoint: cp}
+}
+
+// restoreCheckpoint plays a PlaneDiagnose record back: spectrum cells, fold
+// high-water marks and tally are assigned absolutely, so evidence replayed
+// before the record (older streams) is simply superseded and restoring a
+// newer record wins. Engine-goroutine only.
+func (e *Engine) restoreCheckpoint(cp *wire.Checkpoint) error {
+	if cp.Blocks != e.opts.Blocks {
+		return fmt.Errorf("diagnose: checkpoint layout has %d blocks, engine %d", cp.Blocks, e.opts.Blocks)
+	}
+	cells := make([]spectrum.Cell, len(cp.Cells))
+	for i, c := range cp.Cells {
+		cells[i] = spectrum.Cell{Block: c.Block, Fail: c.Fail, Pass: c.Pass}
+	}
+	e.spectra.Import(cells, cp.NFail, cp.NPass)
+	e.fold.next = make(map[string]uint64, len(cp.Devices))
+	for _, d := range cp.Devices {
+		if len(d.Stats) != 1 {
+			return fmt.Errorf("diagnose: device %q checkpoint has %d stats, want 1", d.ID, len(d.Stats))
+		}
+		e.fold.next[d.ID] = d.Stats[0]
+	}
+	for _, ct := range cp.Counters {
+		switch ct.Name {
+		case "Escalations":
+			e.tally.Escalations = ct.V
+		case "Episodes":
+			e.tally.Episodes = ct.V
+		case "Coalesced":
+			e.tally.Coalesced = ct.V
+		case "Requests":
+			e.tally.Requests = ct.V
+		case "RequestFailures":
+			e.tally.RequestFailures = ct.V
+		case "Snapshots":
+			e.tally.Snapshots = ct.V
+		case "FailWindows":
+			e.tally.FailWindows = ct.V
+		case "PassWindows":
+			e.tally.PassWindows = ct.V
+		case "SkippedWindows":
+			e.tally.SkippedWindows = ct.V
+		case "Unsolicited":
+			e.tally.Unsolicited = ct.V
+		case "Malformed":
+			e.tally.Malformed = ct.V
+		case "Expired":
+			e.tally.Expired = ct.V
+		case "JournalErrors":
+			e.tally.JournalErrors = ct.V
+		case "Dropped":
+			e.dropped.Store(ct.V)
+		default:
+			return fmt.Errorf("diagnose: unknown checkpoint counter %q", ct.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package diagnose
+
+import (
+	"testing"
+
+	"trader/internal/control"
+	"trader/internal/fleet"
+	"trader/internal/journal"
+	"trader/internal/sim"
+	"trader/internal/wire"
+)
+
+// TestCheckpointSupersedesReplayedEvidence is the diagnosis-plane resume
+// property: a journal holding [episode-1 evidence, checkpoint, episode-2
+// evidence] recovers to exactly the live engine's final state — the
+// checkpoint restores absolutely (superseding the pre-checkpoint records a
+// real resume would not even read), and the restored fold high-water marks
+// keep episode 2's re-sent windows from double-folding.
+func TestCheckpointSupersedesReplayedEvidence(t *testing.T) {
+	dir := t.TempDir()
+	jw, err := journal.Create(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	for i := 0; i < 4; i++ {
+		if err := pool.AddDevice(fleet.DeviceID(i), 1, fleet.LightFactory(0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := Attach(pool, Options{Journal: jw, Blocks: testBlocks, Cohort: 3, Requery: -1})
+	recorders := make([]*Recorder, 4)
+	for i := range recorders {
+		recorders[i] = testRecorder(i)
+	}
+	recorders[0].InjectFault("menu")
+
+	episode := func(n int, upto sim.Time) {
+		live.HandleAction(control.Action{Device: fleet.DeviceID(0), Rung: control.RungReset, At: upto})
+		live.Sync()
+		for i, r := range recorders {
+			live.HandleSnapshot(fleet.DeviceID(i), wire.Message{Type: wire.TypeSnapshot, At: upto, Snapshot: r.Snapshot()})
+		}
+		live.Sync()
+	}
+	for i, r := range recorders {
+		_ = i
+		r.Press("menu")
+		r.Rotate(1 * sim.Second)
+	}
+	episode(1, 1*sim.Second)
+
+	// Snapshot the plane mid-journal, exactly where a Checkpointer would.
+	cpMsg := live.Checkpoint()
+	if cp := cpMsg.Checkpoint; cp == nil || cp.Plane != wire.PlaneDiagnose || cp.NFail == 0 {
+		t.Fatalf("checkpoint record malformed: %+v", cpMsg.Checkpoint)
+	}
+	if err := jw.Append(cpMsg); err != nil {
+		t.Fatal(err)
+	}
+
+	// Episode 2: every recorder re-sends its old windows plus one new one.
+	for _, r := range recorders {
+		r.Press("zapping")
+		r.Press("menu")
+		r.Rotate(2 * sim.Second)
+	}
+	episode(2, 2*sim.Second)
+	want := live.Result(8)
+	wantRo := live.Rollup()
+	live.Close()
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	second := Attach(pool, Options{Blocks: testBlocks})
+	defer second.Close()
+	jr, err := journal.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := second.Recover(jr)
+	jr.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("recovered %d evidence records, want 8", n)
+	}
+	if got, want := second.Result(8).String(), want.String(); got != want {
+		t.Fatalf("recovered ranking diverged:\nlive:\n%s\nrecovered:\n%s", want, got)
+	}
+	ro := second.Rollup()
+	if ro.Snapshots != wantRo.Snapshots || ro.FailWindows != wantRo.FailWindows ||
+		ro.PassWindows != wantRo.PassWindows || ro.SkippedWindows != wantRo.SkippedWindows {
+		t.Fatalf("recovered tallies diverged:\nlive:      %s\nrecovered: %s", wantRo, ro)
+	}
+}
+
+// TestRestoreRefusesForeignLayout pins the layout guard on restore.
+func TestRestoreRefusesForeignLayout(t *testing.T) {
+	pool := fleet.NewPool(fleet.Options{Shards: 1})
+	defer pool.Stop()
+	e := Attach(pool, Options{Blocks: testBlocks})
+	defer e.Close()
+	dir := t.TempDir()
+	jw, err := journal.Create(dir, journal.Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = jw.Append(wire.Message{Type: wire.TypeCheckpoint, Checkpoint: &wire.Checkpoint{
+		Plane: wire.PlaneDiagnose, Blocks: testBlocks + 1,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw.Close()
+	jr, err := journal.OpenReader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jr.Close()
+	if _, err := e.Recover(jr); err == nil {
+		t.Fatal("recover accepted a checkpoint with a foreign block count")
+	}
+}

@@ -91,19 +91,24 @@ const (
 	itemResult
 	itemRollup
 	itemSync
+	itemCheckpoint
+	itemRestore
 	itemStop
 )
 
 // item is one unit of inbox work.
 type item struct {
-	kind   itemKind
-	device string
-	action control.Action
-	msg    wire.Message
-	topN   int
-	result chan *Result
-	rollup chan Rollup
-	sync   chan struct{}
+	kind    itemKind
+	device  string
+	action  control.Action
+	msg     wire.Message
+	topN    int
+	result  chan *Result
+	rollup  chan Rollup
+	sync    chan struct{}
+	cpReply chan wire.Message
+	restore *wire.Checkpoint
+	errc    chan error
 }
 
 // tally is the engine's accounting. Owned by the engine goroutine.
@@ -276,6 +281,10 @@ func (e *Engine) loop() {
 			it.result <- buildResult(e.spectra, e.layout, e.coeff, it.topN)
 		case itemRollup:
 			it.rollup <- e.rollup()
+		case itemCheckpoint:
+			it.cpReply <- e.checkpoint()
+		case itemRestore:
+			it.errc <- e.restoreCheckpoint(it.restore)
 		case itemAction:
 			e.handleAction(it.action)
 		case itemSnapshot:
@@ -430,6 +439,13 @@ func (e *Engine) foldEvidence(m wire.Message) int {
 // matches the live engine byte for byte. Call it before serving traffic;
 // recovered evidence is not re-journaled. It returns the number of
 // evidence records folded.
+//
+// A PlaneDiagnose checkpoint record restores the engine absolutely —
+// spectrum, fold marks and tally — superseding evidence replayed before it
+// (the pre-checkpoint history of older streams); the records after it are
+// exactly the delta the checkpoint does not cover. A checkpoint with a
+// foreign block count is an error, mirroring the live engine's layout
+// guard.
 func (e *Engine) Recover(r *journal.Reader) (int, error) {
 	n := 0
 	for {
@@ -439,6 +455,17 @@ func (e *Engine) Recover(r *journal.Reader) (int, error) {
 		}
 		if err != nil {
 			return n, fmt.Errorf("diagnose: recover: %w", err)
+		}
+		if m.Type == wire.TypeCheckpoint && m.Checkpoint != nil && m.Checkpoint.Plane == wire.PlaneDiagnose {
+			cp := *m.Checkpoint
+			errc := make(chan error, 1)
+			if !e.put(item{kind: itemRestore, restore: &cp, errc: errc}, true) {
+				return n, ErrClosed
+			}
+			if err := <-errc; err != nil {
+				return n, err
+			}
+			continue
 		}
 		if m.Type != wire.TypeSnapshot || m.Snapshot == nil {
 			continue

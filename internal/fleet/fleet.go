@@ -95,8 +95,13 @@ type Pool struct {
 	started  bool
 	handlers []func(device string, r wire.ErrorReport)
 
-	reports atomic.Uint64
 	devices atomic.Int64
+
+	// baseMu guards baselines: per-shard counter values restored from
+	// checkpoint records (see checkpoint.go). Rollup adds them to the live
+	// shard counters, which restart from zero after a crash.
+	baseMu    sync.Mutex
+	baselines map[int]shardBaseline
 
 	// term is closed once every shard worker has exited; receiving from it
 	// orders reads of the shards' final counters after their last writes.
@@ -115,6 +120,7 @@ type shard struct {
 	dispatched  atomic.Uint64
 	dropped     atomic.Uint64
 	quarantined atomic.Uint64
+	reports     atomic.Uint64
 	// final is the shard's monitor-counter sum at shutdown, written by the
 	// worker just before it exits and published to readers by Pool.term.
 	final core.MonitorStats
@@ -257,7 +263,7 @@ func (p *Pool) AddDevice(id string, seed int64, f Factory) error {
 			return
 		}
 		if d.Monitor != nil {
-			d.Monitor.OnError(func(r wire.ErrorReport) { p.report(id, r) })
+			d.Monitor.OnError(func(r wire.ErrorReport) { p.report(s, id, r) })
 		}
 		s.devices[id] = d
 		p.devices.Add(1)
@@ -415,9 +421,10 @@ func (p *Pool) Advance(d sim.Time) error {
 	})
 }
 
-// report fans one device's error report into the pool handlers.
-func (p *Pool) report(device string, r wire.ErrorReport) {
-	p.reports.Add(1)
+// report fans one device's error report into the pool handlers. The count
+// lives on the device's shard so checkpoints can snapshot it per stream.
+func (p *Pool) report(s *shard, device string, r wire.ErrorReport) {
+	s.reports.Add(1)
 	p.mu.Lock()
 	hs := p.handlers
 	p.mu.Unlock()
@@ -528,8 +535,16 @@ func (p *Pool) Rollup() Stats {
 		st.Dispatched += s.dispatched.Load()
 		st.Dropped += s.dropped.Load()
 		st.Quarantined += s.quarantined.Load()
+		st.Reports += s.reports.Load()
 	}
-	st.Reports = p.reports.Load()
+	p.baseMu.Lock()
+	for _, b := range p.baselines {
+		st.Dispatched += b.Dispatched
+		st.Dropped += b.Dropped
+		st.Quarantined += b.Quarantined
+		st.Reports += b.Reports
+	}
+	p.baseMu.Unlock()
 	return st
 }
 

@@ -152,6 +152,13 @@ type Server struct {
 	// records, and the next connection for the ID adopts it.
 	// *journal.Writer implements this interface.
 	Journal FrameJournal
+	// GrantDurability, when non-nil, vets each connection's requested ack
+	// class (hello.Durability, already normalised) and returns the class to
+	// grant — e.g. fsync for critical device classes, dispatch for the long
+	// tail. Nil grants whatever the client asked for. A granted dispatch
+	// class only changes behaviour when Journal implements TieredJournal;
+	// otherwise every accepted frame is synced as before.
+	GrantDurability func(hello wire.Message) wire.Durability
 	// Logf, when non-nil, receives connection lifecycle log lines.
 	Logf func(format string, args ...any)
 
@@ -174,6 +181,19 @@ var ErrServerClosed = errors.New("fleet: server closed")
 // not retain the message. journal.Writer is the production implementation.
 type FrameJournal interface {
 	Append(wire.Message) error
+}
+
+// TieredJournal is the journal surface tiered durability and checkpointing
+// need on top of FrameJournal: AppendThen accepts a record without waiting
+// for its fsync when sync is false (the ack-on-dispatch class), and runs
+// then() under the record's stream lock — the server enqueues the frame's
+// pool effect there, so a checkpoint freezing the stream observes either
+// both the record and its effect or neither, never a truncated record whose
+// effect is missing from the snapshot. Both *journal.Writer and
+// *journal.Sharded implement it.
+type TieredJournal interface {
+	FrameJournal
+	AppendThen(m wire.Message, sync bool, then func()) error
 }
 
 // DefaultMaxAdvance is the per-frame virtual-time advance window when
@@ -447,6 +467,18 @@ func (s *Server) handle(conn net.Conn) {
 		reject(err.Error())
 		return
 	}
+	// Durability negotiation: normalise the request (unknown classes vet
+	// back to fsync), let the operator's policy override it, and echo the
+	// granted class in the Hello reply so the client knows what a heartbeat
+	// echo will mean on this connection.
+	granted, _ := wire.DurabilityByName(string(hello.Durability))
+	if s.GrantDurability != nil {
+		hello.Durability = granted
+		granted, _ = wire.DurabilityByName(string(s.GrantDurability(hello)))
+	}
+	hello.Durability = granted
+	tiered, _ := s.Journal.(TieredJournal)
+	relaxed := granted == wire.DurDispatch && tiered != nil
 	_ = conn.SetWriteDeadline(time.Now().Add(rc.timeout))
 	codec, err := wc.ReplyHello(hello)
 	if err != nil {
@@ -514,8 +546,8 @@ func (s *Server) handle(conn net.Conn) {
 	if adopted {
 		how = "reconnected to recovered device"
 	}
-	s.logf("fleet: %s: device %q %s (codec %s), fleet size %d",
-		conn.RemoteAddr(), id, how, codec.Name(), s.Pool.Size())
+	s.logf("fleet: %s: device %q %s (codec %s, durability %s), fleet size %d",
+		conn.RemoteAddr(), id, how, codec.Name(), granted, s.Pool.Size())
 	defer func() {
 		// Latch closed before teardown so a controller push racing the
 		// unwind fails fast instead of writing into the dying socket.
@@ -589,19 +621,35 @@ func (s *Server) handle(conn net.Conn) {
 			if !advance(msg.Event.At) {
 				return
 			}
-			// Write-ahead: the frame must be durable before the pool sees
-			// it, tagged with the handshaken ID (not the spoofable SUO
-			// field) so replay routes it exactly as live dispatch did.
+			// Write-ahead: the frame must be in the journal before the pool
+			// sees it, tagged with the handshaken ID (not the spoofable SUO
+			// field) so replay routes it exactly as live dispatch did. On a
+			// tiered journal the dispatch is enqueued under the stream lock
+			// (see TieredJournal) and a dispatch-class connection does not
+			// wait for the fsync; on a plain journal the append is durable
+			// before the dispatch, as before.
+			var dispatchErr error
+			dispatch := func() { dispatchErr = s.Pool.Dispatch(id, *msg.Event) }
 			if s.Journal != nil {
 				jm := wire.Message{Type: msg.Type, SUO: id, Event: msg.Event, At: msg.Event.At}
-				if err := s.Journal.Append(jm); err != nil {
+				var err error
+				if tiered != nil {
+					err = tiered.AppendThen(jm, !relaxed, dispatch)
+				} else {
+					if err = s.Journal.Append(jm); err == nil {
+						dispatch()
+					}
+				}
+				if err != nil {
 					s.logf("fleet: device %q: journal: %v", id, err)
 					return
 				}
+			} else {
+				// The connection's device is fixed at registration: frames
+				// route by the handshaken ID, not a spoofable per-frame field.
+				dispatch()
 			}
-			// The connection's device is fixed at registration: frames route
-			// by the handshaken ID, not a spoofable per-frame field.
-			if err := s.Pool.Dispatch(id, *msg.Event); err != nil {
+			if dispatchErr != nil {
 				return // pool stopped — nothing left to ingest into
 			}
 			s.frames.Add(1)
@@ -610,14 +658,30 @@ func (s *Server) handle(conn net.Conn) {
 				return
 			}
 			// Heartbeats are journaled too: replay must re-run the same
-			// silence sweeps and comparison windows the live pool ran, and
-			// a journaled heartbeat marks every frame before it durable —
-			// so the echo below also acknowledges durability to the client.
+			// silence sweeps and comparison windows the live pool ran. On a
+			// fsync-class connection the journaled heartbeat marks every
+			// frame before it durable, so the echo below also acknowledges
+			// durability; on a dispatch-class connection the echo promises
+			// monitoring only — the unsynced tail can be lost to a crash,
+			// which is exactly the class the client asked for.
+			var advErr error
+			adv := func() { advErr = s.Pool.AdvanceDevice(id, msg.At) }
 			if s.Journal != nil {
-				if err := s.Journal.Append(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: msg.At}); err != nil {
+				hb := wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: msg.At}
+				var err error
+				if tiered != nil {
+					err = tiered.AppendThen(hb, !relaxed, adv)
+				} else {
+					if err = s.Journal.Append(hb); err == nil {
+						adv()
+					}
+				}
+				if err != nil {
 					s.logf("fleet: device %q: journal: %v", id, err)
 					return
 				}
+			} else {
+				adv()
 			}
 			// Heartbeats carry time and act as a flush barrier. The carried
 			// At advances the device's virtual clock, so a quiet-but-alive
@@ -628,7 +692,7 @@ func (s *Server) handle(conn net.Conn) {
 			// drain by heartbeating before close. If the pool refuses the
 			// barrier (daemon draining), no echo must be sent — a false
 			// echo would tell the client its frames were monitored.
-			if err := s.Pool.AdvanceDevice(id, msg.At); err != nil {
+			if advErr != nil {
 				return
 			}
 			if err := s.Pool.FlushDevice(id); err != nil {

@@ -17,17 +17,18 @@ import (
 
 // ReplayStats summarises one journal replay.
 type ReplayStats struct {
-	Frames     int // observation frames re-dispatched
-	Heartbeats int // heartbeat records re-applied as clock advances
-	Actions    int // recovery-action records re-applied (controller decisions)
-	Evidence   int // labeled diagnosis-evidence records (snapshot frames)
-	Devices    int // devices rebuilt through the factory
-	Skipped    int // records with nothing to replay (no ID, no event, foreign type)
+	Frames      int // observation frames re-dispatched
+	Heartbeats  int // heartbeat records re-applied as clock advances
+	Actions     int // recovery-action records re-applied (controller decisions)
+	Evidence    int // labeled diagnosis-evidence records (snapshot frames)
+	Checkpoints int // checkpoint records restored (all planes)
+	Devices     int // devices rebuilt through the factory
+	Skipped     int // records with nothing to replay (no ID, no event, foreign type)
 }
 
 func (st ReplayStats) String() string {
-	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions + %d evidence records into %d devices (%d skipped)",
-		st.Frames, st.Heartbeats, st.Actions, st.Evidence, st.Devices, st.Skipped)
+	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions + %d evidence + %d checkpoint records into %d devices (%d skipped)",
+		st.Frames, st.Heartbeats, st.Actions, st.Evidence, st.Checkpoints, st.Devices, st.Skipped)
 }
 
 // Replay rebuilds fleet state from a journal written by Server.Journal: the
@@ -75,6 +76,44 @@ func (p *Pool) Replay(r *journal.Reader, factory MonitorFactory) (ReplayStats, e
 			// reconstructs the fleet ranking from these records — so the
 			// pool replay only counts it.
 			st.Evidence++
+			continue
+		case wire.TypeCheckpoint:
+			if m.Checkpoint == nil {
+				st.Skipped++
+				continue
+			}
+			switch m.Checkpoint.Plane {
+			case wire.PlaneDevice:
+				// A device snapshot: build the device if the checkpoint is
+				// the first record naming it (the usual case — the records
+				// that built it live in the truncated prefix), then assign
+				// its state absolutely.
+				if id == "" {
+					st.Skipped++
+					continue
+				}
+				if !seen[id] {
+					err := p.AddRemoteDevice(id, factory, discard)
+					switch {
+					case err == nil:
+						st.Devices++
+					case errors.Is(err, ErrDuplicateDevice):
+					default:
+						return st, fmt.Errorf("fleet: replay device %q: %w", id, err)
+					}
+					seen[id] = true
+				}
+				if err := p.RestoreDeviceCheckpoint(id, m.Checkpoint); err != nil {
+					return st, err
+				}
+			case wire.PlaneShard:
+				p.RestoreShardBaseline(m.Checkpoint)
+			default:
+				// Control- and diagnosis-plane snapshots are restored by
+				// their own planes' Recover passes; the pool only counts
+				// them.
+			}
+			st.Checkpoints++
 			continue
 		default:
 			st.Skipped++ // meta records (e.g. traderd's profile marker)

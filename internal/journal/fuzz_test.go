@@ -41,6 +41,29 @@ func fuzzSegment(tb testing.TB) []byte {
 	return seg
 }
 
+// fuzzCheckpointSegment is a segment opening with a complete checkpoint
+// batch — a device-plane record and a Final shard-plane record — followed by
+// one post-checkpoint frame: the resume-point shape the reader's
+// opensWithCheckpoint scan classifies.
+func fuzzCheckpointSegment(tb testing.TB) []byte {
+	ev := event.Event{Kind: event.Output, Name: "out", Source: "dev", At: 42, Seq: 7}.With("x", 1.5)
+	var seg []byte
+	for _, m := range []wire.Message{
+		{Type: wire.TypeCheckpoint, SUO: "dev", At: 40, Checkpoint: &wire.Checkpoint{
+			Plane: wire.PlaneDevice, Shard: 0, Seq: 3, At: 40,
+			Counters: []wire.CheckpointCounter{{Name: "Comparisons", V: 4}},
+		}},
+		{Type: wire.TypeCheckpoint, Checkpoint: &wire.Checkpoint{
+			Plane: wire.PlaneShard, Shard: 0, Seq: 3, Final: true, Profile: "light",
+			Counters: []wire.CheckpointCounter{{Name: "dispatched", V: 4}},
+		}},
+		{Type: wire.TypeOutput, SUO: "dev", Event: &ev, At: 42},
+	} {
+		seg = append(seg, fuzzRecord(tb, m)...)
+	}
+	return seg
+}
+
 // readAll drains a journal directory, requiring every failure to be the
 // torn-tail io.EOF or a position-carrying *CorruptError — never a panic,
 // never an unclassified error.
@@ -90,6 +113,15 @@ func FuzzJournalReader(f *testing.F) {
 	badcrc := append([]byte(nil), valid...)
 	badcrc[5] ^= 0x01 // stored CRC bit flip
 	f.Add(badcrc)
+	// Checkpoint-record seeds: a complete resume-point batch, the same batch
+	// torn inside its Final record (an interrupted checkpoint — must fall
+	// back, never panic), and one with the Final record's payload flipped.
+	cpseg := fuzzCheckpointSegment(f)
+	f.Add(cpseg)
+	f.Add(cpseg[:2*len(cpseg)/3]) // torn inside the batch
+	cpflip := append([]byte(nil), cpseg...)
+	cpflip[len(cpseg)/2] ^= 0x10
+	f.Add(cpflip)
 
 	f.Fuzz(func(t *testing.T, raw []byte) {
 		// As the final segment: a truncated tail is a torn write; any

@@ -49,12 +49,14 @@
 package journal
 
 import (
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // recordHeader is the fixed per-record framing: u32 length + u32 CRC-32C.
@@ -120,15 +122,28 @@ func segments(dir string) ([]string, error) {
 	return names, nil
 }
 
-// syncDir fsyncs the directory itself, making freshly created segment
-// entries durable. Best-effort: not every filesystem supports it.
-func syncDir(dir string) {
+// syncDir fsyncs the directory itself, making freshly created (or removed)
+// segment entries durable. Filesystems that genuinely cannot sync a
+// directory (ENOTSUP and friends) degrade to best-effort; every other
+// failure is a real durability loss — a freshly rotated segment whose
+// directory entry never reaches the platter vanishes wholesale on power
+// loss — and is propagated, not swallowed.
+func syncDir(dir string) error {
 	d, err := os.Open(dir)
 	if err != nil {
-		return
+		return fmt.Errorf("journal: sync dir: %w", err)
 	}
-	_ = d.Sync()
-	_ = d.Close()
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		if errors.Is(err, syscall.ENOTSUP) || errors.Is(err, syscall.EINVAL) {
+			return nil // directory fsync unsupported here; best-effort only
+		}
+		return fmt.Errorf("journal: sync dir: %w", err)
+	}
+	return nil
 }
 
 // CorruptError reports unrecoverable journal damage with enough position

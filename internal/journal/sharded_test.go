@@ -1,0 +1,310 @@
+package journal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trader/internal/wire"
+)
+
+// cpRecord builds a checkpoint record for batch-construction in tests.
+func cpRecord(shard int, final bool) wire.Message {
+	return wire.Message{Type: wire.TypeCheckpoint, Checkpoint: &wire.Checkpoint{
+		Plane: wire.PlaneShard, Shard: shard, Seq: 1, Final: final, Profile: "test",
+	}}
+}
+
+// testBatches builds one minimal complete checkpoint batch per shard.
+func testBatches(shards int) [][]wire.Message {
+	batches := make([][]wire.Message, shards)
+	for i := range batches {
+		batches[i] = []wire.Message{
+			{Type: wire.TypeCheckpoint, Checkpoint: &wire.Checkpoint{Plane: wire.PlaneDevice, Shard: i, Seq: 1}},
+			cpRecord(i, true),
+		}
+	}
+	return batches
+}
+
+func TestShardedRoundTripPreservesPerDeviceOrder(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, 4, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 140
+	for i := 0; i < n; i++ {
+		if err := s.Append(frame(i)); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	msgs, r := readAll(t, dir)
+	if len(msgs) != n {
+		t.Fatalf("read %d records, want %d", len(msgs), n)
+	}
+	if r.Torn() {
+		t.Fatal("clean close read as torn")
+	}
+	// Per-device order: frame(i) carries Seq=i, and frames of one SUO must
+	// come back in ascending Seq even though streams interleave devices.
+	lastSeq := map[string]uint64{}
+	for _, m := range msgs {
+		if last, ok := lastSeq[m.SUO]; ok && m.Event.Seq <= last {
+			t.Fatalf("device %s: seq %d after %d — per-device order broken", m.SUO, m.Event.Seq, last)
+		}
+		lastSeq[m.SUO] = m.Event.Seq
+	}
+	// Routing parity: every record must live in the stream ShardOf names.
+	for i := 0; i < 4; i++ {
+		segs, err := segments(filepath.Join(dir, shardDirName(i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(segs) == 0 {
+			t.Fatalf("shard %d has no segments", i)
+		}
+	}
+}
+
+func TestShardedReopenWithDifferentCountRefused(t *testing.T) {
+	dir := t.TempDir()
+	s, err := CreateSharded(dir, 3, Options{NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if _, err := CreateSharded(dir, 5, Options{NoSync: true}); err == nil {
+		t.Fatal("reopening 3-shard journal with 5 shards must be refused")
+	}
+	if _, err := CreateSharded(dir, 3, Options{NoSync: true}); err != nil {
+		t.Fatalf("reopening with matching count: %v", err)
+	}
+}
+
+func TestShardedCheckpointTruncatesAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	// Seed flat pre-sharding history in the root: the checkpoint must
+	// reclaim it too.
+	writeFrames(t, dir, Options{SegmentBytes: 512, NoSync: true}, 0, 20)
+	const shards = 3
+	s, err := CreateSharded(dir, shards, Options{SegmentBytes: 512, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 20; i < 70; i++ {
+		if err := s.Append(frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Checkpoint(func() ([][]wire.Message, error) { return testBatches(shards), nil }); err != nil {
+		t.Fatal(err)
+	}
+	for i := 70; i < 100; i++ {
+		if err := s.Append(frame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// All pre-checkpoint segments are gone: the root holds none, and every
+	// shard stream now opens with its checkpoint batch.
+	if rootSegs, _ := segments(dir); len(rootSegs) != 0 {
+		t.Fatalf("flat root segments survived the checkpoint: %v", rootSegs)
+	}
+	for i := 0; i < shards; i++ {
+		sd := filepath.Join(dir, shardDirName(i))
+		segs, err := segments(sd)
+		if err != nil || len(segs) == 0 {
+			t.Fatalf("shard %d: %v %v", i, segs, err)
+		}
+		ok, err := opensWithCheckpoint(filepath.Join(sd, segs[0]))
+		if err != nil || !ok {
+			t.Fatalf("shard %d first segment must open with a complete checkpoint batch (ok=%v err=%v)", i, ok, err)
+		}
+	}
+	msgs, _ := readAll(t, dir)
+	var cps, frames int
+	for _, m := range msgs {
+		if m.Type == wire.TypeCheckpoint {
+			cps++
+			continue
+		}
+		frames++
+		if m.Event.Seq < 70 {
+			t.Fatalf("pre-checkpoint frame %d replayed", m.Event.Seq)
+		}
+	}
+	if cps != 2*shards {
+		t.Fatalf("replayed %d checkpoint records, want %d", cps, 2*shards)
+	}
+	if frames != 30 {
+		t.Fatalf("replayed %d post-checkpoint frames, want 30", frames)
+	}
+}
+
+func TestIncompleteCheckpointBatchIsNotAResumePoint(t *testing.T) {
+	dir := t.TempDir()
+	sd := filepath.Join(dir, shardDirName(0))
+	writeFrames(t, sd, Options{NoSync: true}, 0, 10)
+	// Hand-craft the crash window: a fresh segment whose checkpoint batch
+	// never reached its Final record (and whose predecessors were therefore
+	// never truncated), torn mid-record for good measure.
+	segs, err := segments(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, _ := segIndex(segs[len(segs)-1])
+	buf, err := encodeRecord(nil, cpRecord(0, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf = append(buf, 0, 0, 2, 0) // torn header fragment
+	if err := os.WriteFile(filepath.Join(sd, segName(last+1)), buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	msgs, r := readAll(t, dir)
+	if !r.Torn() {
+		t.Fatal("torn checkpoint batch not reported")
+	}
+	if r.SegmentsSkipped() != 0 {
+		t.Fatalf("incomplete batch used as resume point (skipped %d)", r.SegmentsSkipped())
+	}
+	var frames int
+	for _, m := range msgs {
+		if m.Type != wire.TypeCheckpoint {
+			frames++
+		}
+	}
+	if frames != 10 {
+		t.Fatalf("replayed %d frames, want all 10 (resume must fall back)", frames)
+	}
+}
+
+// TestAppendsCountOnFailedSync pins the satellite-2 fix: Appends means
+// "accepted into the log", so a record whose fsync later fails still
+// counts. Before the fix the counter was bumped after the lock was
+// released, unordered with respect to both durability and Stats readers.
+func TestAppendsCountOnFailedSync(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(frame(0)); err != nil {
+		t.Fatal(err)
+	}
+	// Sabotage the segment handle so the next group commit's flush fails.
+	w.mu.Lock()
+	w.f.Close()
+	w.mu.Unlock()
+	if err := w.Append(frame(1)); err == nil {
+		t.Fatal("append with a dead segment handle must fail")
+	}
+	if got := w.Stats().Appends; got != 2 {
+		t.Fatalf("Appends = %d after a failed sync, want 2 (accepted into the log)", got)
+	}
+}
+
+// TestCrashDuringRotation covers the two rotation-window crash shapes, flat
+// and sharded (satellite 4): an empty trailing segment (killed between
+// creating the new segment and the first append into it) and a torn tail in
+// the PENULTIMATE segment — torn at crash, then a restart appended a fresh
+// segment after it. Create's repair must cut the tear before the restart
+// appends, or the tear would read as mid-journal corruption.
+func TestCrashDuringRotation(t *testing.T) {
+	t.Run("flat", func(t *testing.T) {
+		dir := t.TempDir()
+		writeFrames(t, dir, Options{NoSync: true}, 0, 12)
+
+		// Crash shape 1: new segment created, nothing appended yet.
+		segs, _ := segments(dir)
+		last, _ := segIndex(segs[len(segs)-1])
+		empty := filepath.Join(dir, segName(last+1))
+		if err := os.WriteFile(empty, nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		msgs, r := readAll(t, dir)
+		if len(msgs) != 12 || r.Torn() {
+			t.Fatalf("empty trailing segment: read %d records torn=%v, want 12 clean", len(msgs), r.Torn())
+		}
+
+		// Crash shape 2: tear the tail, then restart and append — the torn
+		// segment becomes penultimate.
+		f, err := os.OpenFile(lastSegment(t, dir), os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0, 0, 2, 0, 0xde, 0xad}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		writeFrames(t, dir, Options{NoSync: true}, 12, 5)
+		msgs, r = readAll(t, dir)
+		if len(msgs) != 17 || r.Torn() {
+			t.Fatalf("torn penultimate after restart: read %d records torn=%v, want 17 clean", len(msgs), r.Torn())
+		}
+	})
+
+	t.Run("sharded", func(t *testing.T) {
+		dir := t.TempDir()
+		const shards = 2
+		s, err := CreateSharded(dir, shards, Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 24; i++ {
+			if err := s.Append(frame(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Shard 0 crashed mid-rotation (empty trailing segment); shard 1
+		// crashed mid-append (torn tail).
+		sd0 := filepath.Join(dir, shardDirName(0))
+		segs0, _ := segments(sd0)
+		last0, _ := segIndex(segs0[len(segs0)-1])
+		if err := os.WriteFile(filepath.Join(sd0, segName(last0+1)), nil, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sd1 := filepath.Join(dir, shardDirName(1))
+		f, err := os.OpenFile(lastSegment(t, sd1), os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Write([]byte{0, 0, 9, 9, 0xbe}); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+
+		msgs, r := readAll(t, dir)
+		if len(msgs) != 24 || !r.Torn() {
+			t.Fatalf("after per-shard crashes: read %d records torn=%v, want 24 torn", len(msgs), r.Torn())
+		}
+
+		// Restart: CreateSharded repairs each stream's tail, appends land in
+		// fresh segments, and the whole history reads back clean.
+		s, err = CreateSharded(dir, shards, Options{NoSync: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 24; i < 30; i++ {
+			if err := s.Append(frame(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		msgs, r = readAll(t, dir)
+		if len(msgs) != 30 || r.Torn() {
+			t.Fatalf("after restart: read %d records torn=%v, want 30 clean", len(msgs), r.Torn())
+		}
+	})
+}

@@ -32,7 +32,10 @@ type Options struct {
 // WriterStats counts a writer's work; Syncs/Appends is the group-commit
 // batching ratio (1.0 = one fsync per frame, i.e. no batching won).
 type WriterStats struct {
-	Appends  uint64 // records appended
+	// Appends counts records accepted into the log: buffered and sequenced
+	// under the writer lock, whether or not they have reached stable storage
+	// yet (a record whose later fsync fails was still appended).
+	Appends  uint64
 	Syncs    uint64 // fsync batches issued
 	Segments int    // segment files this writer has opened
 }
@@ -49,20 +52,28 @@ type Writer struct {
 	mu    sync.Mutex
 	f     *os.File
 	bw    *bufio.Writer
-	seg   int    // current segment index
-	size  int64  // bytes appended to the current segment
-	seq   uint64 // records appended (monotonic)
+	seg   int   // current segment index
+	size  int64 // bytes appended to the current segment
 	nsegs int
 	err   error // sticky: a failed write or sync poisons the writer
 
-	// syncMu is held by the group-commit leader for the duration of its
-	// fsync; durable is the highest seq known to have reached stable
-	// storage. Appenders whose record is already ≤ durable return without
-	// touching the disk.
-	syncMu  sync.Mutex
-	durable atomic.Uint64
-	syncs   atomic.Uint64
-	appends atomic.Uint64
+	// seq counts records accepted into the log. Written only under w.mu;
+	// read lock-free by the commit window, which polls it to see whether
+	// appenders are still actively landing records into the open batch.
+	seq atomic.Uint64
+
+	// commitMu guards committing and is the condition lock followers wait
+	// on; it is held only for bookkeeping, never across the fsync itself,
+	// so a parked follower blocks nobody — in particular not the appenders
+	// racing to land records into the batch being committed. durable is
+	// the highest seq known to have reached stable storage; appenders
+	// whose record is already ≤ durable return without touching the disk.
+	commitMu   sync.Mutex
+	commitDone *sync.Cond // broadcast when a group commit finishes
+	committing bool
+	durable    atomic.Uint64
+	syncs      atomic.Uint64
+	appends    atomic.Uint64
 }
 
 // Create opens dir for appending (creating it if needed), repairs a torn
@@ -91,6 +102,7 @@ func Create(dir string, opts Options) (*Writer, error) {
 		}
 	}
 	w := &Writer{dir: dir, opts: opts, seg: next - 1}
+	w.commitDone = sync.NewCond(&w.commitMu)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.rotateLocked(); err != nil {
@@ -157,7 +169,7 @@ func (w *Writer) rotateLocked() error {
 			}
 			w.syncs.Add(1)
 		}
-		raise(&w.durable, w.seq) // everything in the sealed segment is down
+		raise(&w.durable, w.seq.Load()) // everything in the sealed segment is down
 		if err := w.f.Close(); err != nil {
 			return fmt.Errorf("journal: %w", err)
 		}
@@ -170,7 +182,12 @@ func (w *Writer) rotateLocked() error {
 	w.f, w.bw, w.size = f, bufio.NewWriterSize(f, 64<<10), 0
 	w.nsegs++
 	if !w.opts.NoSync {
-		syncDir(w.dir) // the new segment's directory entry must survive too
+		// The new segment's directory entry must survive too: a record
+		// fsynced into a file whose entry was lost is as gone as one never
+		// written, so a failed directory sync fails the rotation.
+		if err := syncDir(w.dir); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -189,27 +206,56 @@ const recRetain = 64 << 10
 // hdrZero reserves record-header space at the front of an encode buffer.
 var hdrZero [recordHeader]byte
 
+// encodeRecord appends the CRC-framed record for m (binary wire codec) to
+// buf, which must start with recordHeader reserved bytes at the offset the
+// record begins.
+func encodeRecord(buf []byte, m wire.Message) ([]byte, error) {
+	start := len(buf)
+	buf = append(buf, hdrZero[:]...)
+	buf, err := wire.Binary.Append(buf, m)
+	if err != nil {
+		return buf, fmt.Errorf("journal: encode: %w", err)
+	}
+	n := len(buf) - start - recordHeader
+	if n > wire.MaxFrame {
+		return buf, fmt.Errorf("journal: record too large: %d bytes", n)
+	}
+	hdr := buf[start : start+recordHeader]
+	binary.BigEndian.PutUint32(hdr[:4], uint32(n))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.Checksum(buf[start+recordHeader:], castagnoli))
+	return buf, nil
+}
+
 // Append encodes m (binary wire codec), appends the CRC-framed record to
 // the current segment, and — unless Options.NoSync — returns once the
 // record is durable. Concurrent appends coalesce into shared fsyncs.
 func (w *Writer) Append(m wire.Message) error {
+	return w.AppendThen(m, true, nil)
+}
+
+// AppendThen is Append with two refinements the ingestion server needs.
+//
+// When sync is false the call returns as soon as the record is accepted
+// into the log (buffered write + sequence bump) without waiting for an
+// fsync — the ack-on-dispatch durability tier. The record still reaches
+// stable storage with the next group commit, rotation or Close; relaxed
+// records free-ride on the fsyncs the strict tier keeps issuing.
+//
+// When then is non-nil it runs while the record's position in the log is
+// still exclusively held (under w.mu, after the record is accepted):
+// anything then does is guaranteed to be observed by every later record in
+// this stream — in particular by a checkpoint capture, which takes the same
+// lock. then must be brief and must not append to this journal.
+func (w *Writer) AppendThen(m wire.Message, sync bool, then func()) error {
 	// Encode and checksum before taking the lock: the CPU-bound half of an
 	// append parallelises across connections; w.mu covers only the
 	// buffered write and the sequence bump.
 	rec := recPool.Get().(*[]byte)
-	buf := append((*rec)[:0], hdrZero[:]...)
-	buf, err := wire.Binary.Append(buf, m)
+	buf, err := encodeRecord((*rec)[:0], m)
 	if err != nil {
 		recPool.Put(rec)
-		return fmt.Errorf("journal: encode: %w", err)
+		return err
 	}
-	n := len(buf) - recordHeader
-	if n > wire.MaxFrame {
-		recPool.Put(rec)
-		return fmt.Errorf("journal: record too large: %d bytes", n)
-	}
-	binary.BigEndian.PutUint32(buf[:4], uint32(n))
-	binary.BigEndian.PutUint32(buf[4:recordHeader], crc32.Checksum(buf[recordHeader:], castagnoli))
 
 	w.mu.Lock()
 	if w.err != nil {
@@ -226,8 +272,14 @@ func (w *Writer) Append(m wire.Message) error {
 		return err
 	}
 	w.size += int64(len(buf))
-	w.seq++
-	seq := w.seq
+	seq := w.seq.Add(1)
+	// Count the append next to the sequence bump, under the same lock:
+	// Appends means "accepted into the log", whether or not the record is
+	// durable yet (a failed sync still appended; see WriterStats).
+	w.appends.Add(1)
+	if then != nil {
+		then()
+	}
 	if w.size >= w.opts.SegmentBytes {
 		if err := w.rotateLocked(); err != nil {
 			w.err = err
@@ -241,38 +293,87 @@ func (w *Writer) Append(m wire.Message) error {
 		*rec = buf[:0]
 		recPool.Put(rec)
 	}
-	w.appends.Add(1)
-	if w.opts.NoSync {
+	if w.opts.NoSync || !sync {
 		return nil
 	}
 	return w.syncTo(seq)
 }
 
-// syncTo blocks until record seq is durable. Group commit: the first caller
-// through syncMu flushes and fsyncs once on behalf of every record appended
-// so far; callers that queued behind it find their record already covered
-// and return without issuing another syscall.
+// syncTo blocks until record seq is durable. Group commit, leader/follower:
+// the first appender to arrive while no commit is in flight becomes the
+// leader and commits once on behalf of every record landed so far; the
+// rest park as followers on a condition variable — crucially NOT on a lock
+// the leader holds. A parked follower has already landed its record, so
+// nothing it blocks can matter; meanwhile the goroutines feeding the
+// writer (on the ingestion server, every other connection) keep appending
+// freely into the batch being formed. An earlier design queued followers
+// on the commit lock itself, which froze each one's whole pipeline for a
+// full fsync and capped batches near the handful of connections that
+// happened to drain between commits — the difference between ~5 and a
+// full fleet of records per fsync on a loaded host.
 func (w *Writer) syncTo(seq uint64) error {
-	if w.durable.Load() >= seq {
-		return nil
+	for {
+		if w.durable.Load() >= seq {
+			return nil
+		}
+		w.commitMu.Lock()
+		if w.durable.Load() >= seq {
+			w.commitMu.Unlock()
+			return nil // a commit covered us while we queued
+		}
+		if w.committing {
+			// Follower: a leader is on the disk right now; its snapshot may
+			// or may not include our record. Wait for it to finish and
+			// re-check — the first uncovered waiter becomes the next leader.
+			w.commitDone.Wait()
+			w.commitMu.Unlock()
+			continue
+		}
+		w.committing = true
+		w.commitMu.Unlock()
+
+		err := w.commitOnce()
+
+		w.commitMu.Lock()
+		w.committing = false
+		w.commitDone.Broadcast()
+		w.commitMu.Unlock()
+		if err != nil {
+			return err
+		}
+		// The snapshot was taken after our own record landed, so a
+		// successful commit always covers seq; loop to the durable check.
 	}
-	w.syncMu.Lock()
-	defer w.syncMu.Unlock()
-	if w.durable.Load() >= seq {
-		return nil // the previous leader's fsync covered us while we waited
+}
+
+// commitOnce flushes and fsyncs one group-commit batch: every record landed
+// by the time the sequence quiesces. Runs with w.committing held true but
+// no mutex held across the fsync.
+func (w *Writer) commitOnce() error {
+	// Commit window: while appenders are still actively landing records,
+	// give them scheduler passes to finish — each record that lands now
+	// rides this fsync instead of forcing its own. A solo appender finds
+	// the sequence already quiescent and pays a single yield; the bound
+	// caps the window under a continuous arrival stream.
+	prev := w.seq.Load()
+	for i, quiet := 0, 0; i < 64 && quiet < 2; i++ {
+		runtime.Gosched()
+		cur := w.seq.Load()
+		if cur == prev {
+			// One quiet pass can be a lull (an appender mid-decode on its
+			// frame); two in a row means the arrival stream has drained.
+			quiet++
+			continue
+		}
+		prev, quiet = cur, 0
 	}
-	// Widen the commit window: yield once so appenders that are already
-	// runnable land their records before the batch is snapshotted. On a
-	// loaded single-core host this is the difference between one fsync per
-	// frame and one per batch; elsewhere it is one cheap scheduler call.
-	runtime.Gosched()
 	w.mu.Lock()
 	if w.err != nil {
 		err := w.err
 		w.mu.Unlock()
 		return err
 	}
-	cur := w.seq
+	cur := w.seq.Load()
 	err := w.bw.Flush()
 	f := w.f
 	if err != nil {
@@ -305,6 +406,66 @@ func (w *Writer) syncTo(seq uint64) error {
 	return nil
 }
 
+// checkpointLocked writes a checkpoint batch as the opening records of a
+// fresh segment and reclaims every older segment: rotate, append each
+// record, flush + fsync, then delete the predecessors — their entire
+// history is summarised by the batch. Caller holds w.mu. Ordering is what
+// makes a crash at any instant safe: the old segments are only removed
+// after the batch is durable, and the reader resumes at the newest segment
+// that opens with a COMPLETE batch, so a torn batch or an interrupted
+// removal merely means replaying more history than strictly necessary.
+func (w *Writer) checkpointLocked(msgs []wire.Message) error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.rotateLocked(); err != nil {
+		w.err = err
+		return err
+	}
+	for _, m := range msgs {
+		buf, err := encodeRecord(nil, m)
+		if err != nil {
+			return err // encode failure: nothing written, writer still clean
+		}
+		if _, err := w.bw.Write(buf); err != nil {
+			w.err = fmt.Errorf("journal: write: %w", err)
+			return w.err
+		}
+		w.size += int64(len(buf))
+		w.seq.Add(1)
+		w.appends.Add(1)
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.err = fmt.Errorf("journal: flush: %w", err)
+		return w.err
+	}
+	if !w.opts.NoSync {
+		if err := w.f.Sync(); err != nil {
+			w.err = fmt.Errorf("journal: fsync: %w", err)
+			return w.err
+		}
+		w.syncs.Add(1)
+	}
+	raise(&w.durable, w.seq.Load())
+	// Reclamation: everything before the checkpoint segment is covered by
+	// it. A failure here loses no data — replay just starts earlier.
+	names, err := segments(w.dir)
+	if err != nil {
+		return err
+	}
+	for _, name := range names {
+		if idx, ok := segIndex(name); ok && idx < w.seg {
+			if err := os.Remove(filepath.Join(w.dir, name)); err != nil {
+				return fmt.Errorf("journal: truncate: %w", err)
+			}
+		}
+	}
+	if !w.opts.NoSync {
+		return syncDir(w.dir)
+	}
+	return nil
+}
+
 // raise lifts a monotonically to at least v.
 func raise(a *atomic.Uint64, v uint64) {
 	for {
@@ -318,8 +479,14 @@ func raise(a *atomic.Uint64, v uint64) {
 // Close flushes and fsyncs outstanding records and closes the segment.
 // Further Appends return ErrClosed.
 func (w *Writer) Close() error {
-	w.syncMu.Lock()
-	defer w.syncMu.Unlock()
+	// Wait out any in-flight group commit, then hold commitMu so no new
+	// leader starts while the segment is being sealed; a would-be leader
+	// blocked here finds the writer poisoned with ErrClosed afterwards.
+	w.commitMu.Lock()
+	for w.committing {
+		w.commitDone.Wait()
+	}
+	defer w.commitMu.Unlock()
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
@@ -338,7 +505,7 @@ func (w *Writer) Close() error {
 		// Only a successful flush+sync may raise the watermark: an Append
 		// still waiting in syncTo must not read its record as durable when
 		// Close failed to get it down — it reports the close error instead.
-		raise(&w.durable, w.seq)
+		raise(&w.durable, w.seq.Load())
 	}
 	w.f = nil
 	if w.err == nil {

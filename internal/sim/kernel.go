@@ -190,6 +190,25 @@ func (k *Kernel) Run(until Time) Time {
 	return k.now
 }
 
+// Jump re-anchors the kernel at absolute virtual time at without firing
+// anything: every pending event is shifted forward by the same delta, so
+// relative phases (repeater periods, armed timers) are preserved. Jumping
+// backwards or to the current instant is a no-op. Checkpoint restore uses
+// this to place a freshly built kernel at the capture time before replaying
+// the post-checkpoint delta.
+func (k *Kernel) Jump(at Time) {
+	if at <= k.now {
+		return
+	}
+	d := at - k.now
+	k.now = at
+	// A uniform shift preserves the (at, seq) heap order, so the slice can
+	// be rewritten in place without re-heapifying.
+	for _, e := range k.pq {
+		e.at += d
+	}
+}
+
 // RunAll executes events until the queue is empty or the kernel is stopped.
 func (k *Kernel) RunAll() Time {
 	for k.Step() {

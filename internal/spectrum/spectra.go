@@ -193,6 +193,63 @@ func (s *Spectra) TopN(c Coefficient, n int) []Ranked {
 	return merged
 }
 
+// Cell is one nonzero counter pair in a sparse export: block index plus its
+// failed/passed execution counts. Blocks never touched by any transaction
+// are omitted — for typical fault densities the export is a small fraction
+// of the block range, which is what keeps checkpoint records well under the
+// wire frame bound.
+type Cell struct {
+	Block uint32
+	Fail  uint32
+	Pass  uint32
+}
+
+// Export returns the accumulator as a sparse cell list (nonzero counters
+// only, ascending block order) plus the fold totals. Export and Import are
+// the checkpoint representation of a Spectra.
+func (s *Spectra) Export() (cells []Cell, nFail, nPass int) {
+	for si := range s.stripes {
+		st := &s.stripes[si]
+		for b := 0; b < st.n; b++ {
+			if st.aef[b] == 0 && st.aep[b] == 0 {
+				continue
+			}
+			cells = append(cells, Cell{
+				Block: uint32(st.lo + b), Fail: st.aef[b], Pass: st.aep[b],
+			})
+		}
+	}
+	return cells, s.nFail, s.nPass
+}
+
+// Import resets the accumulator and loads a sparse export: counters for the
+// listed cells, zero everywhere else, and the given fold totals. Cells whose
+// block index exceeds the capacity are ignored (same out-of-range posture as
+// FoldWords). Import is absolute, not accumulating, so importing the same
+// checkpoint twice converges.
+func (s *Spectra) Import(cells []Cell, nFail, nPass int) {
+	for si := range s.stripes {
+		st := &s.stripes[si]
+		clear(st.aef)
+		clear(st.aep)
+	}
+	s.nFail, s.nPass = nFail, nPass
+	for _, c := range cells {
+		b := int(c.Block)
+		if b < 0 || b >= s.blocks {
+			continue
+		}
+		for si := range s.stripes {
+			st := &s.stripes[si]
+			if b < st.lo+st.n {
+				st.aef[b-st.lo] = c.Fail
+				st.aep[b-st.lo] = c.Pass
+				break
+			}
+		}
+	}
+}
+
 // RankOf returns the 1-based pessimistic rank of the block (ties counted
 // against it) and the size of its tie group, like Matrix.RankOf.
 func (s *Spectra) RankOf(block int, c Coefficient) (rank, ties int) {

@@ -52,60 +52,71 @@ type ExploreResult struct {
 	Unreachable []string
 }
 
-// snapshot captures the mutable model state, including per-region shallow
-// history (which determines future entry targets and is therefore part of
-// the explored state space).
-type snapshot struct {
-	current map[string]string
-	hist    map[string]map[string]string
-	vars    map[string]float64
+// Snapshot captures the mutable model state: per-region current leaf,
+// per-region shallow history (which determines future entry targets and is
+// therefore part of the explored state space), and the shared variable
+// scope. Exploration uses it to walk the state graph; checkpoint restore
+// (internal/core) uses it to place a freshly built model back at a captured
+// configuration.
+type Snapshot struct {
+	Current map[string]string
+	History map[string]map[string]string
+	Vars    map[string]float64
 }
 
-func (m *Model) snap() snapshot {
-	s := snapshot{
-		current: make(map[string]string, len(m.regions)),
-		hist:    make(map[string]map[string]string, len(m.regions)),
-		vars:    make(map[string]float64, len(m.vars)),
+// CaptureState copies the model's mutable state into a Snapshot.
+func (m *Model) CaptureState() Snapshot {
+	s := Snapshot{
+		Current: make(map[string]string, len(m.regions)),
+		History: make(map[string]map[string]string, len(m.regions)),
+		Vars:    make(map[string]float64, len(m.vars)),
 	}
 	for _, r := range m.regions {
-		s.current[r.Name] = r.current
+		s.Current[r.Name] = r.current
 		h := make(map[string]string, len(r.lastChild))
 		for k, v := range r.lastChild {
 			h[k] = v
 		}
-		s.hist[r.Name] = h
+		s.History[r.Name] = h
 	}
 	for k, v := range m.vars {
-		s.vars[k] = v
+		s.Vars[k] = v
 	}
 	return s
 }
 
-func (m *Model) restore(s snapshot) {
+// RestoreState writes a Snapshot back into the model: current leaves,
+// shallow history and variables, without running entry/exit actions (the
+// snapshot already reflects their effects). Timers armed for states that
+// are no longer current self-suppress when they fire (they check the active
+// configuration); timers the restored states would have armed are not
+// re-created, so restore fidelity for timed transitions is limited to the
+// uniform re-anchoring of already-armed timers.
+func (m *Model) RestoreState(s Snapshot) {
 	for _, r := range m.regions {
-		r.current = s.current[r.Name]
-		r.lastChild = make(map[string]string, len(s.hist[r.Name]))
-		for k, v := range s.hist[r.Name] {
+		r.current = s.Current[r.Name]
+		r.lastChild = make(map[string]string, len(s.History[r.Name]))
+		for k, v := range s.History[r.Name] {
 			r.lastChild[k] = v
 		}
 	}
-	m.vars = make(map[string]float64, len(s.vars))
-	for k, v := range s.vars {
+	m.vars = make(map[string]float64, len(s.Vars))
+	for k, v := range s.Vars {
 		m.vars[k] = v
 	}
 }
 
-func (s snapshot) key() string {
+func (s Snapshot) key() string {
 	var b strings.Builder
-	regs := make([]string, 0, len(s.current))
-	for r := range s.current {
+	regs := make([]string, 0, len(s.Current))
+	for r := range s.Current {
 		regs = append(regs, r)
 	}
 	sort.Strings(regs)
 	for _, r := range regs {
-		fmt.Fprintf(&b, "%s=%s;", r, s.current[r])
-		hs := make([]string, 0, len(s.hist[r]))
-		for p, c := range s.hist[r] {
+		fmt.Fprintf(&b, "%s=%s;", r, s.Current[r])
+		hs := make([]string, 0, len(s.History[r]))
+		for p, c := range s.History[r] {
 			hs = append(hs, p+">"+c)
 		}
 		sort.Strings(hs)
@@ -113,13 +124,13 @@ func (s snapshot) key() string {
 			fmt.Fprintf(&b, "h:%s;", h)
 		}
 	}
-	vars := make([]string, 0, len(s.vars))
-	for v := range s.vars {
+	vars := make([]string, 0, len(s.Vars))
+	for v := range s.Vars {
 		vars = append(vars, v)
 	}
 	sort.Strings(vars)
 	for _, v := range vars {
-		fmt.Fprintf(&b, "%s=%g;", v, s.vars[v])
+		fmt.Fprintf(&b, "%s=%g;", v, s.Vars[v])
 	}
 	return b.String()
 }
@@ -217,19 +228,19 @@ func (m *Model) Explore(opts ExploreOptions) ExploreResult {
 	if opts.MaxStates == 0 {
 		opts.MaxStates = 100000
 	}
-	origin := m.snap()
-	defer m.restore(origin)
+	origin := m.CaptureState()
+	defer m.RestoreState(origin)
 
 	res := ExploreResult{}
 	type node struct {
-		s     snapshot
+		s     Snapshot
 		trace []string
 		depth int
 	}
 	visited := map[string]bool{origin.key(): true}
 	visitedConfigs := map[string]bool{}
-	markConfig := func(s snapshot) {
-		for reg, leaf := range s.current {
+	markConfig := func(s Snapshot) {
+		for reg, leaf := range s.Current {
 			r := m.Region(reg)
 			for _, st := range r.path(leaf) {
 				visitedConfigs[reg+"/"+st] = true
@@ -257,7 +268,7 @@ func (m *Model) Explore(opts ExploreOptions) ExploreResult {
 			apply func() error
 		}
 		var succs []succ
-		m.restore(n.s)
+		m.RestoreState(n.s)
 		for _, evName := range opts.Alphabet {
 			evName := evName
 			// Nondeterminism check in this configuration.
@@ -292,10 +303,10 @@ func (m *Model) Explore(opts ExploreOptions) ExploreResult {
 
 		progressed := false
 		for _, sc := range succs {
-			m.restore(n.s)
+			m.RestoreState(n.s)
 			err := sc.apply()
 			res.Transitions++
-			next := m.snap()
+			next := m.CaptureState()
 			trace := append(append([]string{}, n.trace...), sc.label)
 			if err != nil {
 				res.Violations = append(res.Violations, Violation{
@@ -321,7 +332,7 @@ func (m *Model) Explore(opts ExploreOptions) ExploreResult {
 		}
 		if !progressed && len(succs) > 0 {
 			res.Violations = append(res.Violations, Violation{
-				Kind: "deadlock", Detail: fmt.Sprintf("no event changes state in config %v", n.s.current), Trace: n.trace,
+				Kind: "deadlock", Detail: fmt.Sprintf("no event changes state in config %v", n.s.Current), Trace: n.trace,
 			})
 		}
 	}

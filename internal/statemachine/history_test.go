@@ -81,10 +81,10 @@ func TestHistorySurvivesSnapshotRestore(t *testing.T) {
 	send := func(name string) { _ = m.Dispatch(event.Event{Name: name}) }
 	send("menu")
 	send("next") // in sound
-	snap := m.snap()
+	snap := m.CaptureState()
 	send("next") // in network
 	send("menu") // close (history = network)
-	m.restore(snap)
+	m.RestoreState(snap)
 	send("menu") // close from restored "sound"
 	send("menu") // reopen: must resume sound, not network
 	if cur := m.Region("ui").Current(); cur != "sound" {

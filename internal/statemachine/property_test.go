@@ -78,7 +78,7 @@ func TestPropertySnapshotRestore(t *testing.T) {
 		if err := m.Start(); err != nil {
 			return false
 		}
-		before := m.snap()
+		before := m.CaptureState()
 		beforeKey := before.key()
 		for i, in := range inputs {
 			if i >= 50 {
@@ -86,8 +86,8 @@ func TestPropertySnapshotRestore(t *testing.T) {
 			}
 			_ = m.Dispatch(event.Event{Name: []string{"e0", "e1", "e2"}[int(in)%3]})
 		}
-		m.restore(before)
-		return m.snap().key() == beforeKey
+		m.RestoreState(before)
+		return m.CaptureState().key() == beforeKey
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)

@@ -85,12 +85,14 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 // Binary payload layout (after the codec-independent 4-byte length prefix):
 //
 //	u8   message type tag (see typeTag)
-//	u8   flags: bit0 = event present, bit1 = error present
+//	u8   flags: bit0 = event present, bit1 = error present,
+//	     bit2 = snapshot present, bit3 = checkpoint present
 //	str  SUO                        (str = uvarint length + raw bytes)
 //	var  At                         (var = zig-zag varint, sim.Time ticks)
 //	str  Control
 //	str  Target
 //	str  Codec
+//	str  Durability
 //	-- if flags bit0, the event record:
 //	u8   kind; str name; str source; var at; uvar seq
 //	uvar n; n × (str name, 8-byte little-endian IEEE 754 value)
@@ -100,6 +102,16 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //	-- if flags bit2, the coverage snapshot:
 //	uvar blocks; uvar events; uvar dropped
 //	uvar n; n × (uvar seq, var at, uvar nwords, nwords × 8-byte LE word)
+//	-- if flags bit3, the checkpoint record:
+//	str plane; uvar shard; uvar seq; u8 final; str profile; var at
+//	uvar n; n × (str name, uvar v)            counters
+//	uvar n; n × (str name, 8B LE IEEE 754)    vars
+//	uvar n; n × (str name, str v)             states
+//	uvar n; n × (str name, uvar consecutive,  observables
+//	             u8 bits(inError|everSeen|silenced), 8B value, var lastSeen)
+//	uvar blocks; uvar nfail; uvar npass
+//	uvar n; n × (uvar block, uvar fail, uvar pass)   spectrum cells
+//	uvar n; n × (str id, var at, uvar k, k × uvar)   devices
 //
 // Strings are length-checked against the remaining payload before any
 // allocation, so a hostile length cannot force a large allocation beyond
@@ -109,9 +121,10 @@ type binaryCodec struct{}
 func (binaryCodec) Name() string { return CodecBinary }
 
 const (
-	flagEvent    = 1 << 0
-	flagError    = 1 << 1
-	flagSnapshot = 1 << 2
+	flagEvent      = 1 << 0
+	flagError      = 1 << 1
+	flagSnapshot   = 1 << 2
+	flagCheckpoint = 1 << 3
 )
 
 var tagOfType = map[MsgType]byte{
@@ -126,6 +139,7 @@ var tagOfType = map[MsgType]byte{
 	TypeAck:         9,
 	TypeSnapshotReq: 10,
 	TypeSnapshot:    11,
+	TypeCheckpoint:  12,
 }
 
 var typeOfTag = func() map[byte]MsgType {
@@ -160,12 +174,16 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	if m.Snapshot != nil {
 		flags |= flagSnapshot
 	}
+	if m.Checkpoint != nil {
+		flags |= flagCheckpoint
+	}
 	dst = append(dst, tag, flags)
 	dst = appendStr(dst, m.SUO)
 	dst = binary.AppendVarint(dst, int64(m.At))
 	dst = appendStr(dst, string(m.Control))
 	dst = appendStr(dst, m.Target)
 	dst = appendStr(dst, m.Codec)
+	dst = appendStr(dst, string(m.Durability))
 	if e := m.Event; e != nil {
 		dst = append(dst, byte(e.Kind))
 		dst = appendStr(dst, e.Name)
@@ -198,6 +216,69 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 			dst = binary.AppendUvarint(dst, uint64(len(w.Words)))
 			for _, word := range w.Words {
 				dst = binary.LittleEndian.AppendUint64(dst, word)
+			}
+		}
+	}
+	if cp := m.Checkpoint; cp != nil {
+		dst = appendStr(dst, cp.Plane)
+		dst = binary.AppendUvarint(dst, uint64(cp.Shard))
+		dst = binary.AppendUvarint(dst, cp.Seq)
+		var fin byte
+		if cp.Final {
+			fin = 1
+		}
+		dst = append(dst, fin)
+		dst = appendStr(dst, cp.Profile)
+		dst = binary.AppendVarint(dst, int64(cp.At))
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Counters)))
+		for _, c := range cp.Counters {
+			dst = appendStr(dst, c.Name)
+			dst = binary.AppendUvarint(dst, c.V)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Vars)))
+		for _, v := range cp.Vars {
+			dst = appendStr(dst, v.Name)
+			dst = appendF64(dst, v.V)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(cp.States)))
+		for _, s := range cp.States {
+			dst = appendStr(dst, s.Name)
+			dst = appendStr(dst, s.V)
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Obs)))
+		for _, o := range cp.Obs {
+			dst = appendStr(dst, o.Name)
+			dst = binary.AppendUvarint(dst, uint64(o.Consecutive))
+			var bits byte
+			if o.InError {
+				bits |= 1
+			}
+			if o.EverSeen {
+				bits |= 2
+			}
+			if o.Silenced {
+				bits |= 4
+			}
+			dst = append(dst, bits)
+			dst = appendF64(dst, o.LastValue)
+			dst = binary.AppendVarint(dst, int64(o.LastSeen))
+		}
+		dst = binary.AppendUvarint(dst, uint64(cp.Blocks))
+		dst = binary.AppendUvarint(dst, uint64(cp.NFail))
+		dst = binary.AppendUvarint(dst, uint64(cp.NPass))
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Cells)))
+		for _, c := range cp.Cells {
+			dst = binary.AppendUvarint(dst, uint64(c.Block))
+			dst = binary.AppendUvarint(dst, uint64(c.Fail))
+			dst = binary.AppendUvarint(dst, uint64(c.Pass))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Devices)))
+		for _, d := range cp.Devices {
+			dst = appendStr(dst, d.ID)
+			dst = binary.AppendVarint(dst, int64(d.At))
+			dst = binary.AppendUvarint(dst, uint64(len(d.Stats)))
+			for _, s := range d.Stats {
+				dst = binary.AppendUvarint(dst, s)
 			}
 		}
 	}
@@ -297,6 +378,7 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 	m.Control = ControlCommand(r.str("control"))
 	m.Target = r.str("target")
 	m.Codec = r.str("codec")
+	m.Durability = Durability(r.str("durability"))
 	if flags&flagEvent != 0 {
 		e := &event.Event{}
 		e.Kind = event.Kind(r.u8("event kind"))
@@ -370,6 +452,113 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 		}
 		if r.err == nil {
 			m.Snapshot = s
+		}
+	}
+	if flags&flagCheckpoint != 0 {
+		cp := &Checkpoint{}
+		cp.Plane = r.str("checkpoint plane")
+		cp.Shard = int(r.uvar("checkpoint shard"))
+		cp.Seq = r.uvar("checkpoint seq")
+		cp.Final = r.u8("checkpoint final") != 0
+		cp.Profile = r.str("checkpoint profile")
+		cp.At = sim.Time(r.varint("checkpoint at"))
+		n := r.uvar("checkpoint counter count")
+		// A counter takes ≥ 2 bytes; length-check before allocation, and so
+		// on for every variable-count list below.
+		if r.err == nil && n > uint64(len(r.b))/2 {
+			r.fail("checkpoint counter count")
+		}
+		if r.err == nil && n > 0 {
+			cp.Counters = make([]CheckpointCounter, n)
+			for i := range cp.Counters {
+				cp.Counters[i].Name = r.str("counter name")
+				cp.Counters[i].V = r.uvar("counter value")
+			}
+		}
+		n = r.uvar("checkpoint var count")
+		if r.err == nil && n > uint64(len(r.b))/9 {
+			r.fail("checkpoint var count")
+		}
+		if r.err == nil && n > 0 {
+			cp.Vars = make([]CheckpointVar, n)
+			for i := range cp.Vars {
+				cp.Vars[i].Name = r.str("var name")
+				cp.Vars[i].V = r.f64("var value")
+			}
+		}
+		n = r.uvar("checkpoint state count")
+		if r.err == nil && n > uint64(len(r.b))/2 {
+			r.fail("checkpoint state count")
+		}
+		if r.err == nil && n > 0 {
+			cp.States = make([]CheckpointState, n)
+			for i := range cp.States {
+				cp.States[i].Name = r.str("state name")
+				cp.States[i].V = r.str("state value")
+			}
+		}
+		n = r.uvar("checkpoint obs count")
+		// An observable takes ≥ 12 bytes (name len, consecutive, bits, value,
+		// lastSeen).
+		if r.err == nil && n > uint64(len(r.b))/12 {
+			r.fail("checkpoint obs count")
+		}
+		if r.err == nil && n > 0 {
+			cp.Obs = make([]CheckpointObs, n)
+			for i := range cp.Obs {
+				o := &cp.Obs[i]
+				o.Name = r.str("obs name")
+				o.Consecutive = int(r.uvar("obs consecutive"))
+				bits := r.u8("obs bits")
+				o.InError = bits&1 != 0
+				o.EverSeen = bits&2 != 0
+				o.Silenced = bits&4 != 0
+				o.LastValue = r.f64("obs value")
+				o.LastSeen = sim.Time(r.varint("obs last seen"))
+			}
+		}
+		cp.Blocks = int(r.uvar("checkpoint blocks"))
+		cp.NFail = int(r.uvar("checkpoint nfail"))
+		cp.NPass = int(r.uvar("checkpoint npass"))
+		n = r.uvar("checkpoint cell count")
+		if r.err == nil && n > uint64(len(r.b))/3 {
+			r.fail("checkpoint cell count")
+		}
+		if r.err == nil && n > 0 {
+			cp.Cells = make([]CheckpointCell, n)
+			for i := range cp.Cells {
+				cp.Cells[i].Block = uint32(r.uvar("cell block"))
+				cp.Cells[i].Fail = uint32(r.uvar("cell fail"))
+				cp.Cells[i].Pass = uint32(r.uvar("cell pass"))
+			}
+		}
+		n = r.uvar("checkpoint device count")
+		if r.err == nil && n > uint64(len(r.b))/3 {
+			r.fail("checkpoint device count")
+		}
+		if r.err == nil && n > 0 {
+			cp.Devices = make([]CheckpointDevice, n)
+			for i := range cp.Devices {
+				d := &cp.Devices[i]
+				d.ID = r.str("device id")
+				d.At = sim.Time(r.varint("device at"))
+				k := r.uvar("device stat count")
+				if r.err == nil && k > uint64(len(r.b)) {
+					r.fail("device stat count")
+				}
+				if r.err != nil {
+					break
+				}
+				if k > 0 {
+					d.Stats = make([]uint64, k)
+					for j := range d.Stats {
+						d.Stats[j] = r.uvar("device stat")
+					}
+				}
+			}
+		}
+		if r.err == nil {
+			m.Checkpoint = cp
 		}
 	}
 	if r.err != nil {

@@ -41,18 +41,27 @@ func Listen(addr string) (net.Listener, error) {
 // Hello handshake, identifying as suo and requesting the named codec
 // (empty for JSON). The returned connection speaks the accepted codec.
 func Dial(addr, suo, codec string) (*Conn, error) {
+	c, _, err := DialTiered(addr, suo, codec, "")
+	return c, err
+}
+
+// DialTiered is Dial with a durability-class request (see HandshakeTiered):
+// the granted ack class is returned next to the connection. An empty
+// request asks for fsync, the strongest class.
+func DialTiered(addr, suo, codec string, dur Durability) (*Conn, Durability, error) {
 	network, address, err := SplitAddr(addr)
 	if err != nil {
-		return nil, err
+		return nil, "", err
 	}
 	nc, err := net.Dial(network, address)
 	if err != nil {
-		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+		return nil, "", fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	c := NewConn(nc)
-	if _, err := c.Handshake(suo, codec); err != nil {
+	granted := Durability("")
+	if _, granted, err = c.HandshakeTiered(suo, codec, dur); err != nil {
 		nc.Close()
-		return nil, err
+		return nil, "", err
 	}
-	return c, nil
+	return c, granted, nil
 }

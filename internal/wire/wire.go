@@ -41,7 +41,46 @@ const (
 	// (internal/diagnose) pulls these as localization evidence.
 	TypeSnapshotReq MsgType = "snapshot_req"
 	TypeSnapshot    MsgType = "snapshot"
+	// TypeCheckpoint records a supervisor-captured state snapshot in the
+	// frame journal: monitor, shard-counter, controller or diagnosis state
+	// at a consistent capture instant. Checkpoint records never cross a
+	// live connection; replay resumes from the newest complete checkpoint
+	// and replays only the delta after it.
+	TypeCheckpoint MsgType = "checkpoint"
 )
+
+// Durability is the ack class a connection negotiates in the Hello
+// exchange: what a heartbeat echo from a journaling server promises about
+// the frames sent before it.
+type Durability string
+
+// Durability classes. The client requests one in its Hello; the server
+// grants a class in the reply (never a stronger promise than it keeps).
+const (
+	// DurFsync: the echo means every earlier frame is monitored AND
+	// durable (group-commit fsync). The default, and the only class a
+	// journal-less server meaningfully grants.
+	DurFsync Durability = "fsync"
+	// DurDispatch: the echo means every earlier frame is monitored and
+	// accepted into the journal's write path, but not necessarily synced;
+	// a crash may lose the unsynced tail. The long-tail class that keeps
+	// heartbeats off the platter.
+	DurDispatch Durability = "dispatch"
+)
+
+// DurabilityByName vets a requested durability class; unknown or empty
+// requests fall back to DurFsync (the strongest promise is the safe
+// default) with ok=false.
+func DurabilityByName(name string) (d Durability, ok bool) {
+	switch Durability(name) {
+	case DurDispatch:
+		return DurDispatch, true
+	case DurFsync:
+		return DurFsync, true
+	default:
+		return DurFsync, name == ""
+	}
+}
 
 // ControlCommand is carried by TypeControl frames.
 type ControlCommand string
@@ -134,6 +173,113 @@ type Message struct {
 	// Snapshot carries a device's coverage evidence (TypeSnapshot frames;
 	// in journals the Target field labels it "fail" or "pass").
 	Snapshot *Snapshot `json:"snapshot,omitempty"`
+	// Durability is carried by Hello frames only: the client's requested
+	// ack class, and the server's granted one in the reply. Empty means
+	// fsync (the strongest promise).
+	Durability Durability `json:"durability,omitempty"`
+	// Checkpoint carries a captured state snapshot (TypeCheckpoint frames,
+	// journal-only).
+	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+}
+
+// Checkpoint planes: which subsystem's state a checkpoint record captures.
+const (
+	// PlaneDevice: one device's monitor state (stats counters, observable
+	// states, model variables/configuration) at Checkpoint.At.
+	PlaneDevice = "device"
+	// PlaneShard: one journal shard's pool counters. The terminal record
+	// of every shard's checkpoint batch (Final=true); a batch without it
+	// is incomplete and not a valid resume point.
+	PlaneShard = "shard"
+	// PlaneControl: the recovery controller's escalation ladder and tally.
+	PlaneControl = "control"
+	// PlaneDiagnose: the fleet diagnosis spectrum, fold watermarks and
+	// tally.
+	PlaneDiagnose = "diagnose"
+)
+
+// Checkpoint is the payload of a TypeCheckpoint record: a flat, codec-
+// friendly rendering of one plane's captured state. Which fields are
+// populated depends on Plane; names in the list fields are plane-specific
+// (see internal/core, internal/fleet, internal/control, internal/diagnose
+// for the producing/consuming sides, and ARCHITECTURE.md §3 for the record
+// format).
+type Checkpoint struct {
+	Plane string `json:"plane"`
+	// Shard is the journal shard the captured state belongs to.
+	Shard int `json:"shard,omitempty"`
+	// Seq is the checkpoint generation, monotonic per journal; every
+	// record of one capture carries the same Seq.
+	Seq uint64 `json:"seq,omitempty"`
+	// Final marks the terminal record of a shard's checkpoint batch: the
+	// batch is complete — and a valid replay resume point — only once its
+	// Final record is durable.
+	Final bool `json:"final,omitempty"`
+	// Profile is the -suo monitor profile the journal's frames are
+	// observed under, carried on Final records so the profile marker
+	// survives segment truncation.
+	Profile string `json:"profile,omitempty"`
+	// At is the capture virtual time (device planes).
+	At sim.Time `json:"at,omitempty"`
+
+	Counters []CheckpointCounter `json:"counters,omitempty"`
+	Vars     []CheckpointVar     `json:"vars,omitempty"`
+	States   []CheckpointState   `json:"states,omitempty"`
+	Obs      []CheckpointObs     `json:"obs,omitempty"`
+	Devices  []CheckpointDevice  `json:"devices,omitempty"`
+
+	// Spectrum state (diagnose plane): sparse nonzero per-block fail/pass
+	// execution counters over a Blocks-sized program layout.
+	Blocks int              `json:"blocks,omitempty"`
+	NFail  int              `json:"nfail,omitempty"`
+	NPass  int              `json:"npass,omitempty"`
+	Cells  []CheckpointCell `json:"cells,omitempty"`
+}
+
+// CheckpointCounter is one named uint64 counter.
+type CheckpointCounter struct {
+	Name string `json:"name"`
+	V    uint64 `json:"v"`
+}
+
+// CheckpointVar is one named float state value (model variables, observable
+// last values).
+type CheckpointVar struct {
+	Name string  `json:"name"`
+	V    float64 `json:"v"`
+}
+
+// CheckpointState is one named string state value (region current leaves,
+// shallow-history entries).
+type CheckpointState struct {
+	Name string `json:"name"`
+	V    string `json:"v"`
+}
+
+// CheckpointObs is one observable's comparator state.
+type CheckpointObs struct {
+	Name        string   `json:"name"`
+	Consecutive int      `json:"consecutive,omitempty"`
+	InError     bool     `json:"inError,omitempty"`
+	EverSeen    bool     `json:"everSeen,omitempty"`
+	Silenced    bool     `json:"silenced,omitempty"`
+	LastValue   float64  `json:"lastValue,omitempty"`
+	LastSeen    sim.Time `json:"lastSeen,omitempty"`
+}
+
+// CheckpointDevice is one device's plane-specific packed state (controller
+// ladder position, diagnosis fold watermark, ...).
+type CheckpointDevice struct {
+	ID    string   `json:"id"`
+	At    sim.Time `json:"at,omitempty"`
+	Stats []uint64 `json:"stats,omitempty"`
+}
+
+// CheckpointCell is one block's sparse spectrum counters.
+type CheckpointCell struct {
+	Block uint32 `json:"block"`
+	Fail  uint32 `json:"fail,omitempty"`
+	Pass  uint32 `json:"pass,omitempty"`
 }
 
 // MaxFrame bounds a frame's payload size; oversized frames indicate protocol
@@ -282,22 +428,34 @@ func (c *Conn) SetCodec(codec Codec) {
 // Hello frames always travel as JSON, so negotiation works regardless of
 // the outcome.
 func (c *Conn) Handshake(suo, codec string) (Codec, error) {
-	if err := c.Encode(Message{Type: TypeHello, SUO: suo, Codec: codec}); err != nil {
-		return nil, fmt.Errorf("wire: handshake send: %w", err)
+	accepted, _, err := c.HandshakeTiered(suo, codec, "")
+	return accepted, err
+}
+
+// HandshakeTiered is Handshake with a durability-class request: the Hello
+// additionally asks for the named ack class (empty for fsync, the
+// strongest), and the granted class from the server's reply is returned
+// next to the accepted codec. Servers from before tiered durability leave
+// the reply field empty, which vets back to fsync — the promise they
+// actually keep.
+func (c *Conn) HandshakeTiered(suo, codec string, dur Durability) (Codec, Durability, error) {
+	if err := c.Encode(Message{Type: TypeHello, SUO: suo, Codec: codec, Durability: dur}); err != nil {
+		return nil, "", fmt.Errorf("wire: handshake send: %w", err)
 	}
 	reply, err := c.Decode()
 	if err != nil {
-		return nil, fmt.Errorf("wire: handshake reply: %w", err)
+		return nil, "", fmt.Errorf("wire: handshake reply: %w", err)
 	}
 	if reply.Type == TypeError && reply.Error != nil {
-		return nil, fmt.Errorf("wire: handshake rejected: %s", reply.Error.Detail)
+		return nil, "", fmt.Errorf("wire: handshake rejected: %s", reply.Error.Detail)
 	}
 	if reply.Type != TypeHello {
-		return nil, fmt.Errorf("wire: handshake reply has type %q, want %q", reply.Type, TypeHello)
+		return nil, "", fmt.Errorf("wire: handshake reply has type %q, want %q", reply.Type, TypeHello)
 	}
 	accepted, _ := CodecByName(reply.Codec)
 	c.SetCodec(accepted)
-	return accepted, nil
+	granted, _ := DurabilityByName(string(reply.Durability))
+	return accepted, granted, nil
 }
 
 // ReadHello performs the first half of the server side of the Hello
@@ -318,11 +476,13 @@ func (c *Conn) ReadHello() (Message, error) {
 
 // ReplyHello accepts a Hello previously read with ReadHello: it picks the
 // requested codec if known (JSON otherwise — JSON is the universal
-// fallback), sends a Hello reply naming the accepted codec, and switches
-// the connection to it.
+// fallback), sends a Hello reply naming the accepted codec and echoing
+// hello.Durability as the granted ack class (servers that vet or downgrade
+// the request overwrite hello.Durability before calling), and switches the
+// connection to the codec.
 func (c *Conn) ReplyHello(hello Message) (Codec, error) {
 	codec, _ := CodecByName(hello.Codec)
-	reply := Message{Type: TypeHello, SUO: hello.SUO, Codec: codec.Name()}
+	reply := Message{Type: TypeHello, SUO: hello.SUO, Codec: codec.Name(), Durability: hello.Durability}
 	if err := c.Encode(reply); err != nil {
 		return nil, fmt.Errorf("wire: hello reply: %w", err)
 	}
