@@ -8,11 +8,14 @@
 # comment. `make fuzz` smoke-runs the wire codec and journal reader fuzz
 # targets for FUZZTIME each (default 10s) — the same invocation CI's smoke
 # job uses. `make bench` runs every benchmark and writes machine-readable
-# results to BENCH_4.json. `make cover` writes a coverage profile to
-# cover.out and prints the per-function summary.
+# results to $(BENCHJSON); BENCHFLAGS threads extra `go test` flags through
+# (CI's smoke job uses `-benchtime=1x` for a fast correctness pass). `make
+# cover` writes a coverage profile to cover.out and prints the per-function
+# summary.
 
 GO ?= go
 TESTFLAGS ?=
+BENCHFLAGS ?=
 FUZZTIME ?= 10s
 
 .PHONY: check build vet test test-race bench fuzz cover docs experiments clean
@@ -36,16 +39,19 @@ test-race:
 # and the snapshot-frame pair BenchmarkSnapshotJSON / BenchmarkSnapshotBinary),
 # the networked fleet-ingestion benchmark (journal off/flat/sharded, the
 # relaxed ack-on-dispatch durability tier, recovery controller and diagnosis
-# engine attached), BenchmarkJournalAppend, BenchmarkCheckpointReplay (cold
-# boot with and without a checkpoint resume point), BenchmarkControllerReport
-# and BenchmarkFleetDiagnosis (evidence fold + parallel ranking at the
-# paper's 60 000-block scale) — and additionally emits machine-readable
-# results to $(BENCHJSON) via cmd/benchjson (frames/s, ns/op, allocs/op,
-# reports/s, ...), so the perf trajectory is tracked across PRs. $(BENCHJSON)
-# is committed once per PR; the raw transcript is kept in bench.out.
-BENCHJSON ?= BENCH_6.json
+# engine attached, and the flow=on credit-window variant, each reporting the
+# latency-SLO plane's p50/p99/p999 ingest-to-dispatch quantiles),
+# BenchmarkJournalAppend, BenchmarkCheckpointReplay (cold boot with and
+# without a checkpoint resume point), BenchmarkControllerReport and
+# BenchmarkFleetDiagnosis (evidence fold + parallel ranking at the paper's
+# 60 000-block scale) — and additionally emits machine-readable results to
+# $(BENCHJSON) via cmd/benchjson (frames/s, ns/op, allocs/op, p99-ms, ...),
+# so the perf trajectory is tracked across PRs. $(BENCHJSON) is committed
+# once per PR; the raw transcript in bench.out is scratch output and must
+# not be committed (CI fails the tree if it is).
+BENCHJSON ?= BENCH_7.json
 bench:
-	@$(GO) test -bench . -benchmem ./... > bench.out; status=$$?; \
+	@$(GO) test -bench . -benchmem $(BENCHFLAGS) ./... > bench.out; status=$$?; \
 	cat bench.out; \
 	if [ $$status -ne 0 ]; then exit $$status; fi; \
 	$(GO) run ./cmd/benchjson -in bench.out -out $(BENCHJSON)

@@ -12,6 +12,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -305,7 +306,15 @@ func BenchmarkJournalAppend(b *testing.B) {
 // has every connection negotiate the relaxed ack-on-dispatch tier, taking
 // the fsync wait off the ack path entirely.
 func BenchmarkFleetIngestion(b *testing.B) {
-	const conns = 32
+	const (
+		conns = 32
+		// flowWindow is the credit window the flow=on variant grants. In
+		// steady state the daemon's mid-stream replenishment (sent at half
+		// window while pressure is low) keeps a compliant client streaming
+		// without ever blocking, so the acceptance bar is flow=on within 5%
+		// of the journal-off baseline's frames/s.
+		flowWindow = 1024
+	)
 	for _, cfg := range []struct {
 		codec      string
 		journal    bool
@@ -313,9 +322,11 @@ func BenchmarkFleetIngestion(b *testing.B) {
 		relaxed    bool
 		controller bool
 		diagnosis  bool
+		flow       bool
 	}{
 		{codec: wire.CodecJSON},
 		{codec: wire.CodecBinary},
+		{codec: wire.CodecBinary, flow: true},
 		{codec: wire.CodecJSON, journal: true},
 		{codec: wire.CodecBinary, journal: true},
 		{codec: wire.CodecBinary, journal: true, sharded: true},
@@ -340,11 +351,17 @@ func BenchmarkFleetIngestion(b *testing.B) {
 		if cfg.diagnosis {
 			name += "/diag=on"
 		}
+		if cfg.flow {
+			name += "/flow=on"
+		}
 		b.Run(name, func(b *testing.B) {
 			pool := fleet.NewPool(fleet.Options{})
 			defer pool.Stop()
 			srv := &fleet.Server{Pool: pool, Factory: fleet.LightMonitorFactory()}
 			defer srv.Close()
+			if cfg.flow {
+				srv.CreditWindow = flowWindow
+			}
 			if cfg.journal {
 				var jw fleet.FrameJournal
 				if cfg.sharded {
@@ -387,14 +404,22 @@ func BenchmarkFleetIngestion(b *testing.B) {
 			go srv.Serve(ln)
 
 			clients := make([]*wire.Conn, conns)
-			echo := make([]chan struct{}, conns)
+			echo := make([]*atomic.Int64, conns)
+			credits := make([]*atomic.Int64, conns)
 			addr := ln.Addr().String()
 			for i := range clients {
 				var wc *wire.Conn
 				var err error
-				if cfg.relaxed {
+				cr := &atomic.Int64{}
+				credits[i] = cr
+				switch {
+				case cfg.flow:
+					var granted uint32
+					wc, _, granted, err = wire.DialFlow("unix:"+addr, fmt.Sprintf("bench-%03d", i), codec, wire.DurFsync)
+					cr.Store(int64(granted))
+				case cfg.relaxed:
 					wc, _, err = wire.DialTiered("unix:"+addr, fmt.Sprintf("bench-%03d", i), codec, wire.DurDispatch)
-				} else {
+				default:
 					wc, err = wire.Dial("unix:"+addr, fmt.Sprintf("bench-%03d", i), codec)
 				}
 				if err != nil {
@@ -402,22 +427,34 @@ func BenchmarkFleetIngestion(b *testing.B) {
 				}
 				defer wc.Close()
 				clients[i] = wc
-				ch := make(chan struct{}, 1)
-				echo[i] = ch
-				go func(wc *wire.Conn, ch chan struct{}) {
+				last := &atomic.Int64{}
+				echo[i] = last
+				go func(wc *wire.Conn, last, cr *atomic.Int64) {
 					for {
 						msg, err := wc.Decode()
 						if err != nil {
 							return
 						}
-						if msg.Type == wire.TypeHeartbeat {
-							ch <- struct{}{}
+						switch msg.Type {
+						case wire.TypeCredit:
+							cr.Add(int64(msg.Credits))
+						case wire.TypeHeartbeat:
+							// The echo also replenishes the window; recording
+							// just the newest At keeps this reader non-
+							// blocking — a reader parked on a full signal
+							// channel would stop draining grants, wedge the
+							// window shut and trip the server's write timeout.
+							cr.Add(int64(msg.Credits))
+							if at := int64(msg.At); at > last.Load() {
+								last.Store(at)
+							}
 						}
 					}
-				}(wc, ch)
+				}(wc, last, cr)
 			}
 
 			per := b.N/conns + 1
+			finalAt := sim.Time(per+1) * sim.Millisecond
 			b.ResetTimer()
 			var wg sync.WaitGroup
 			for i, wc := range clients {
@@ -425,28 +462,52 @@ func BenchmarkFleetIngestion(b *testing.B) {
 				go func(i int, wc *wire.Conn) {
 					defer wg.Done()
 					id := fmt.Sprintf("bench-%03d", i)
+					cr := credits[i]
 					for j := 0; j < per; j++ {
 						at := sim.Time(j+1) * sim.Millisecond
+						if cfg.flow {
+							// Compliant streaming: mid-stream grants normally
+							// arrive before the window drains; if one is late,
+							// solicit the echo grant and wait it out.
+							for cr.Load() <= 0 {
+								if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: at}); err != nil {
+									b.Error(err)
+									return
+								}
+								time.Sleep(time.Millisecond)
+							}
+							cr.Add(-1)
+						}
 						ev := event.Event{Kind: event.Output, Name: "out", Source: id, At: at}.With("x", 0)
 						if err := wc.SendEvent(id, ev); err != nil {
 							b.Error(err)
 							return
 						}
 					}
-					if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: id}); err != nil {
+					if err := wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: finalAt}); err != nil {
 						b.Error(err)
 						return
 					}
-					select {
-					case <-echo[i]:
-					case <-time.After(30 * time.Second):
-						b.Error("heartbeat echo timeout")
+					deadline := time.Now().Add(30 * time.Second)
+					for echo[i].Load() < int64(finalAt) {
+						if time.Now().After(deadline) {
+							b.Error("heartbeat echo timeout")
+							return
+						}
+						time.Sleep(100 * time.Microsecond)
 					}
 				}(i, wc)
 			}
 			wg.Wait()
 			b.StopTimer()
 			b.ReportMetric(float64(conns*per)/b.Elapsed().Seconds(), "frames/s")
+			// The latency-SLO plane's numbers for this variant: ingest-to-
+			// dispatch quantiles over every admitted frame of the run.
+			if lat := pool.Latency(); lat.Count() > 0 {
+				b.ReportMetric(lat.Quantile(0.5).Seconds()*1e3, "p50-ms")
+				b.ReportMetric(lat.Quantile(0.99).Seconds()*1e3, "p99-ms")
+				b.ReportMetric(lat.Quantile(0.999).Seconds()*1e3, "p999-ms")
+			}
 		})
 	}
 }

@@ -58,6 +58,7 @@ import (
 	"log"
 	"math"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -96,6 +97,9 @@ func main() {
 	diagBlocks := flag.Int("diagnose-blocks", diagnose.DefaultBlocks, "instrumented block count of the fleet's spectral recorders (must match the clients)")
 	diagCohort := flag.Int("diagnose-cohort", diagnose.DefaultCohort, "healthy peers sampled per diagnosis episode")
 	cpSecs := flag.Int("checkpoint-seconds", 0, "write a global journal checkpoint every N seconds in -listen -journal mode, truncating covered segments (0: off)")
+	creditWindow := flag.Int("credit-window", 0, "frame-credit window granted to each -listen connection; compliant clients block when it is spent, violators are disconnected (0: flow control off)")
+	shed := flag.Bool("shed", false, "tiered load shedding in -listen mode: observations drop at 75% shard-queue pressure, heartbeats at 95%, control traffic never")
+	metricsAddr := flag.String("metrics", "", "serve the latency-SLO plane as Prometheus text on this HTTP address in -listen mode (e.g. 127.0.0.1:9464)")
 	flag.Parse()
 
 	if *journalDir != "" && *listen == "" {
@@ -125,9 +129,13 @@ func main() {
 	if *cpSecs > 0 && *journalDir == "" {
 		log.Fatalf("traderd: -checkpoint-seconds requires -journal (checkpoints are journal resume points)")
 	}
+	if (*creditWindow != 0 || *shed || *metricsAddr != "") && *listen == "" {
+		log.Fatalf("traderd: -credit-window, -shed and -metrics require -listen (they are ingestion-server overload controls)")
+	}
 	if *listen != "" {
 		diag := diagConfig{Coeff: *diagCoeff, Blocks: *diagBlocks, Cohort: *diagCohort}
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, *verbose); err != nil {
+		over := overloadConfig{CreditWindow: *creditWindow, Shed: *shed, MetricsAddr: *metricsAddr}
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, over, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
@@ -230,6 +238,22 @@ type diagConfig struct {
 	Cohort int
 }
 
+// overloadConfig carries the overload-control knobs into ingest mode:
+// credit-based flow control, tiered load shedding and the /metrics
+// latency-SLO endpoint.
+type overloadConfig struct {
+	CreditWindow int
+	Shed         bool
+	MetricsAddr  string
+}
+
+// Shed-tier thresholds -shed enables: observations (tier 1) drop first,
+// heartbeats (tier 2) only near saturation, control traffic (tier 3) never.
+const (
+	shedObservationsAt = 0.75
+	shedHeartbeatsAt   = 0.95
+)
+
 // runReplay is offline post-mortem mode: rebuild a fleet pool from a frame
 // journal — no listeners, no clients — print what the fleet had observed
 // and detected at the moment of the last durable frame, and exit. With
@@ -320,7 +344,7 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 // diagnosis plane additionally pulls coverage snapshots from escalated
 // devices and healthy cohorts, folds them into a fleet-level spectrum and
 // logs periodic top-suspect rollups.
-func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, cpSecs int, diag diagConfig, verbose bool) error {
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, cpSecs int, diag diagConfig, over overloadConfig, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -339,6 +363,16 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		Factory:      factory,
 		HelloTimeout: 10 * time.Second,
 		MaxAdvance:   adv,
+		CreditWindow: over.CreditWindow,
+	}
+	if over.Shed {
+		srv.ShedObservationsAt = shedObservationsAt
+		srv.ShedHeartbeatsAt = shedHeartbeatsAt
+		log.Printf("traderd: load shedding on (observations at %.0f%% queue pressure, heartbeats at %.0f%%, control never)",
+			shedObservationsAt*100, shedHeartbeatsAt*100)
+	}
+	if over.CreditWindow > 0 {
+		log.Printf("traderd: flow control on (%d-frame credit window per connection)", over.CreditWindow)
 	}
 	var jw *journal.Sharded
 	if journalDir != "" {
@@ -366,6 +400,18 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		pool.OnReport(func(device string, r wire.ErrorReport) {
 			log.Printf("traderd: %s: %s", device, r)
 		})
+	}
+	if over.MetricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsHandler(pool, srv, jw))
+		msrv := &http.Server{Addr: over.MetricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("traderd: metrics: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		log.Printf("traderd: serving latency-SLO metrics on http://%s/metrics", over.MetricsAddr)
 	}
 	var eng *diagnose.Engine
 	if diag.Coeff != "" {
@@ -491,6 +537,12 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			log.Printf("traderd: fleet: %d devices, %d frames ingested, %d dispatched, %d comparisons, %d deviations, %d reports (%d accepted, %d rejected, %d disconnected)",
 				ro.Devices, cs.Frames, ro.Dispatched, ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports,
 				cs.Accepted, cs.Rejected, cs.Disconnected)
+			if ro.ShedObservations+ro.ShedHeartbeats+cs.CreditGrants+cs.CreditViolations > 0 {
+				lat := pool.Latency()
+				log.Printf("traderd: overload: %d observations + %d heartbeats shed, %d credit grants, %d violations; dispatch latency p50 %s p99 %s p999 %s",
+					ro.ShedObservations, ro.ShedHeartbeats, cs.CreditGrants, cs.CreditViolations,
+					lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999))
+			}
 			if ctl != nil {
 				cro := ctl.Rollup()
 				log.Printf("traderd: recovery: %s", cro)
@@ -520,6 +572,12 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			cs := srv.Stats()
 			log.Printf("traderd: final: %d frames ingested, %d comparisons, %d error reports, %d connections served",
 				cs.Frames, ro.Monitor.Comparisons, ro.Reports, cs.Accepted)
+			if ro.ShedObservations+ro.ShedHeartbeats+cs.CreditGrants+cs.CreditViolations > 0 {
+				lat := pool.Latency()
+				log.Printf("traderd: overload final: %d observations + %d heartbeats shed (control: %d, always), %d credit grants, %d violations; dispatch latency p50 %s p99 %s p999 %s",
+					ro.ShedObservations, ro.ShedHeartbeats, ro.ShedControl, cs.CreditGrants, cs.CreditViolations,
+					lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999))
+			}
 			if ctl != nil {
 				log.Printf("traderd: recovery final: %s", ctl.Rollup())
 			}

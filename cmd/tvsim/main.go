@@ -82,6 +82,7 @@ func main() {
 	blocks := flag.Int("blocks", diagnose.DefaultBlocks, "in -connect mode, spectral-recorder block count (must match traderd -diagnose-blocks)")
 	pace := flag.Float64("pace", 0, "in -connect mode, virtual seconds per wall second (0: run as fast as possible); paced fleets behave like real-time devices")
 	durability := flag.String("durability", string(wire.DurFsync), "in -connect mode, durability class to request in the Hello handshake: fsync (ack = journaled) or dispatch (ack = monitored; long-tail devices)")
+	chaos := flag.Bool("chaos", false, "in -connect mode, run the overload soak instead of the fleet scenario: floods, credit-hostile clients, connection churn, flapping, slow readers and byzantine frames around a steady baseline; -duration is wall seconds")
 	flag.Parse()
 
 	schedule, err := parseFaults(*faultList)
@@ -91,6 +92,16 @@ func main() {
 	dur, ok := wire.DurabilityByName(*durability)
 	if !ok {
 		log.Fatalf("tvsim: unknown -durability %q (want %s or %s)", *durability, wire.DurFsync, wire.DurDispatch)
+	}
+
+	if *chaos {
+		if *connect == "" {
+			log.Fatalf("tvsim: -chaos requires -connect (it soaks a live traderd)")
+		}
+		if err := runChaos(*connect, *n, *codec, *seed, *duration, dur); err != nil {
+			log.Fatalf("tvsim: chaos: %v", err)
+		}
+		return
 	}
 
 	if *connect != "" {
@@ -127,6 +138,7 @@ type deviceStats struct {
 	reports, ctrls        uint64
 	restarts, quarantines uint64
 	snapshots             uint64
+	stalls                uint64
 }
 
 // errDeviceDown reports a frame dropped because the device is between
@@ -162,6 +174,16 @@ type fleetTV struct {
 	reports, ctrls        atomic.Uint64
 	restarts, quarantines atomic.Uint64
 	snapshots             atomic.Uint64
+	// Flow control, client side: window is the Hello-granted frame-credit
+	// window (0: off), credits the local balance. Every observation spends
+	// one credit; heartbeats are free. The daemon's grants — mid-stream
+	// TypeCredit frames and the Credits field on heartbeat echoes — are
+	// deltas the reader adds back, waking a forward() blocked on an
+	// exhausted window through creditc. creditStalls counts those blocks.
+	window       atomic.Uint32
+	credits      atomic.Int64
+	creditc      chan struct{}
+	creditStalls atomic.Uint64
 	// echoedAt is the highest virtual time the daemon has echoed back —
 	// the flush-barrier watermark. The daemon echoes heartbeats in order
 	// once every earlier frame on the connection has been monitored, so a
@@ -190,12 +212,45 @@ func (d *fleetTV) send(m wire.Message) error {
 	return wc.Encode(m)
 }
 
+// grant adds a replenishment delta to the credit balance and wakes a
+// forward() blocked on the empty window.
+func (d *fleetTV) grant(n uint32) {
+	if n == 0 {
+		return
+	}
+	d.credits.Add(int64(n))
+	select {
+	case d.creditc <- struct{}{}:
+	default:
+	}
+}
+
 // forward streams one bus event, dropping it silently while the device is
-// down — a restarting SUO produces no observable output.
+// down — a restarting SUO produces no observable output. Under flow
+// control it is the compliant half of the credit protocol: an exhausted
+// window blocks the device (stalling its virtual time — that is the
+// backpressure) after soliciting replenishment with a heartbeat, whose
+// echo carries the grant.
 func (d *fleetTV) forward(e event.Event) {
 	wc, err := d.conn()
 	if err != nil {
 		return
+	}
+	if d.window.Load() > 0 {
+		for d.credits.Load() <= 0 {
+			d.creditStalls.Add(1)
+			d.lastAt.Store(int64(e.At))
+			_ = wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: d.id, At: e.At})
+			select {
+			case <-d.creditc:
+			case <-time.After(50 * time.Millisecond):
+				// The solicit may itself be shed near saturation; retry.
+			}
+			if wc, err = d.conn(); err != nil {
+				return // restarted or quarantined while blocked
+			}
+		}
+		d.credits.Add(-1)
 	}
 	d.lastAt.Store(int64(e.At))
 	_ = wc.SendEvent(d.id, e)
@@ -214,10 +269,16 @@ func (d *fleetTV) read(wc *wire.Conn) {
 		case wire.TypeHeartbeat:
 			// The daemon's heartbeat echo is a flush barrier: every
 			// observation sent before it has been monitored and its error
-			// frames already precede the echo on this stream.
+			// frames already precede the echo on this stream. Its Credits
+			// field is the echo's replenishment delta.
 			if at := int64(msg.At); at > d.echoedAt.Load() {
 				d.echoedAt.Store(at)
 			}
+			d.grant(msg.Credits)
+		case wire.TypeCredit:
+			// Mid-stream replenishment: the daemon topped the window back
+			// up without waiting for the next heartbeat.
+			d.grant(msg.Credits)
 		case wire.TypeSnapshotReq:
 			// The diagnosis plane pulls this device's coverage evidence.
 			d.snapshots.Add(1)
@@ -266,11 +327,12 @@ func (d *fleetTV) restart() {
 		old.Close()
 	}
 	var wc *wire.Conn
+	var granted uint32
 	var err error
 	for try := 0; try < 40; try++ {
 		// The daemon may still be tearing the old registration down; the
 		// ID frees up within a removal round-trip.
-		if wc, _, err = wire.DialTiered(d.addr, d.id, d.codec, d.durability); err == nil {
+		if wc, _, granted, err = wire.DialFlow(d.addr, d.id, d.codec, d.durability); err == nil {
 			break
 		}
 		time.Sleep(25 * time.Millisecond)
@@ -288,6 +350,10 @@ func (d *fleetTV) restart() {
 	d.wc = wc
 	d.down = false
 	d.mu.Unlock()
+	// The credit window is per connection: the re-handshake granted a
+	// fresh one, and any balance from the dead connection is void.
+	d.window.Store(granted)
+	d.credits.Store(int64(granted))
 	// Only now is the restart honored: re-handshaken and streaming again.
 	d.restarts.Add(1)
 	_ = wc.Encode(wire.Ack(d.id, wire.CtrlRestart, d.at()))
@@ -315,17 +381,20 @@ func (d *fleetTV) close() {
 func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float64, dur wire.Durability, schedule []faults.Fault) (deviceStats, error) {
 	var st deviceStats
 	d := &fleetTV{addr: addr, id: id, codec: codec, durability: dur,
-		rec: diagnose.NewRecorder(diagnose.RecorderOptions{Blocks: blocks, Seed: seed})}
+		creditc: make(chan struct{}, 1),
+		rec:     diagnose.NewRecorder(diagnose.RecorderOptions{Blocks: blocks, Seed: seed})}
 	for _, f := range schedule {
 		if feat, ok := diagnose.FeatureOfComponent(f.Target); ok {
 			d.rec.InjectFault(feat)
 		}
 	}
-	wc, _, err := wire.DialTiered(addr, id, codec, dur)
+	wc, _, granted, err := wire.DialFlow(addr, id, codec, dur)
 	if err != nil {
 		return st, err
 	}
 	d.wc = wc
+	d.window.Store(granted)
+	d.credits.Store(int64(granted))
 	go d.read(wc)
 
 	k := sim.NewKernel(seed)
@@ -393,7 +462,7 @@ func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float
 	st = deviceStats{keys: int(tv.KeysHandled), frames: frames,
 		reports: d.reports.Load(), ctrls: d.ctrls.Load(),
 		restarts: d.restarts.Load(), quarantines: d.quarantines.Load(),
-		snapshots: d.snapshots.Load()}
+		snapshots: d.snapshots.Load(), stalls: d.creditStalls.Load()}
 	return st, nil
 }
 
@@ -419,7 +488,7 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 	wg.Wait()
 
 	var ok, keys, frames int
-	var reports, ctrls, restarts, quarantines, snapshots uint64
+	var reports, ctrls, restarts, quarantines, snapshots, stalls uint64
 	var firstErr error
 	for i := range stats {
 		if errs[i] != nil {
@@ -436,9 +505,13 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 		restarts += stats[i].restarts
 		quarantines += stats[i].quarantines
 		snapshots += stats[i].snapshots
+		stalls += stats[i].stalls
 	}
 	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received (%d restarts honored, %d quarantined), %d coverage snapshots served",
 		time.Since(start), ok, n, keys, frames, reports, ctrls, restarts, quarantines, snapshots)
+	if stalls > 0 {
+		log.Printf("tvsim: flow control: blocked on an exhausted credit window %d times (the daemon's backpressure, honored)", stalls)
+	}
 	if ok == 0 && firstErr != nil {
 		return firstErr
 	}

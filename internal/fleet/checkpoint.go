@@ -25,10 +25,12 @@ const quarantineCounter = "fleet.quarantined"
 // PlaneShard checkpoint record. Live counters restart from zero after a
 // crash; Rollup adds the baseline back so fleet totals survive restarts.
 type shardBaseline struct {
-	Dispatched  uint64
-	Dropped     uint64
-	Quarantined uint64
-	Reports     uint64
+	Dispatched       uint64
+	Dropped          uint64
+	Quarantined      uint64
+	Reports          uint64
+	ShedObservations uint64
+	ShedHeartbeats   uint64
 }
 
 // CheckpointJournal is the journal surface the Checkpointer drives:
@@ -87,6 +89,8 @@ func (p *Pool) CaptureCheckpoint(profile string, gen uint64) ([][]wire.Message, 
 				{Name: "dropped", V: s.dropped.Load()},
 				{Name: "quarantined", V: s.quarantined.Load()},
 				{Name: "reports", V: s.reports.Load()},
+				{Name: "shed_obs", V: s.shedObs.Load()},
+				{Name: "shed_hb", V: s.shedHB.Load()},
 			},
 		}})
 		batches[s.idx] = batch
@@ -143,6 +147,10 @@ func (p *Pool) RestoreShardBaseline(cp *wire.Checkpoint) {
 			b.Quarantined = c.V
 		case "reports":
 			b.Reports = c.V
+		case "shed_obs":
+			b.ShedObservations = c.V
+		case "shed_hb":
+			b.ShedHeartbeats = c.V
 		}
 	}
 	p.baseMu.Lock()

@@ -23,9 +23,11 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"trader/internal/core"
 	"trader/internal/event"
+	"trader/internal/metrics"
 	"trader/internal/sim"
 	"trader/internal/wire"
 )
@@ -78,6 +80,17 @@ type Stats struct {
 	Quarantined uint64
 	// Reports counts error reports fanned in from device monitors.
 	Reports uint64
+	// ShedObservations and ShedHeartbeats count frames the ingestion
+	// server refused under queue pressure, by load-shedding tier (see
+	// Server.ShedObservationsAt): observations drop first, heartbeats only
+	// under near-saturation. Shed frames never reach a monitor and are
+	// never journaled — markers restore these counters on replay instead.
+	ShedObservations uint64
+	ShedHeartbeats   uint64
+	// ShedControl exists so operators can assert the shedding contract and
+	// is always zero: control, ack, snapshot and error traffic — the
+	// diagnosis and recovery planes — is never shed.
+	ShedControl uint64
 }
 
 // Pool is a sharded monitor pool. All methods are safe for concurrent use.
@@ -121,6 +134,11 @@ type shard struct {
 	dropped     atomic.Uint64
 	quarantined atomic.Uint64
 	reports     atomic.Uint64
+	shedObs     atomic.Uint64
+	shedHB      atomic.Uint64
+	// lat is the shard's ingest-to-dispatch latency histogram, recorded by
+	// DispatchAt on the shard goroutine (the SLO plane's raw material).
+	lat *metrics.Histogram
 	// final is the shard's monitor-counter sum at shutdown, written by the
 	// worker just before it exits and published to readers by Pool.term.
 	final core.MonitorStats
@@ -132,7 +150,8 @@ func NewPool(opts Options) *Pool {
 	opts.fill()
 	p := &Pool{opts: opts, term: make(chan struct{})}
 	for i := 0; i < opts.Shards; i++ {
-		s := &shard{idx: i, cmds: make(chan func(*shard), opts.Queue), devices: make(map[string]*Device)}
+		s := &shard{idx: i, cmds: make(chan func(*shard), opts.Queue),
+			devices: make(map[string]*Device), lat: metrics.New()}
 		p.shards = append(p.shards, s)
 		p.wg.Add(1)
 		go func() {
@@ -350,6 +369,56 @@ func (p *Pool) Dispatch(id string, e event.Event) error {
 	return p.send(p.ShardOf(id), func(s *shard) { s.deliver(p, id, e) })
 }
 
+// DispatchAt is Dispatch for the ingestion path: it additionally records
+// the ingest-to-dispatch latency — from the frame's decode instant to its
+// delivery on the shard goroutine, the interval the fleet's latency SLO is
+// stated over — into the shard's histogram. Recording is one atomic add;
+// plain Dispatch callers pay nothing.
+func (p *Pool) DispatchAt(id string, e event.Event, ingest time.Time) error {
+	return p.send(p.ShardOf(id), func(s *shard) {
+		s.deliver(p, id, e)
+		s.lat.Record(time.Since(ingest))
+	})
+}
+
+// Pressure reports the fill fraction, in [0,1], of the command queue of
+// the shard the device ID routes to. The ingestion server reads it on the
+// hot path to decide load-shedding, so it is a channel-length probe, not a
+// barrier: momentarily stale, never blocking.
+func (p *Pool) Pressure(id string) float64 {
+	s := p.shards[p.ShardOf(id)]
+	return float64(len(s.cmds)) / float64(cap(s.cmds))
+}
+
+// AddShed adds a shed-marker record's counts to the shard counters of the
+// device the frames were shed for. The ingestion server calls it when a
+// marker becomes durable (or immediately, on journal-less servers), and
+// journal replay re-applies markers through it — so a replayed pool's
+// rollup balances against the live one's even though shed frames
+// themselves were never journaled.
+func (p *Pool) AddShed(id string, rec wire.ShedRecord) {
+	s := p.shards[p.ShardOf(id)]
+	s.shedObs.Add(rec.Observations)
+	s.shedHB.Add(rec.Heartbeats)
+}
+
+// Latency returns the fleet-wide ingest-to-dispatch latency snapshot:
+// every shard's histogram merged.
+func (p *Pool) Latency() metrics.Snapshot {
+	var out metrics.Snapshot
+	for _, s := range p.shards {
+		out.Merge(s.lat.Snapshot())
+	}
+	return out
+}
+
+// ShardLatency returns one shard's ingest-to-dispatch latency snapshot.
+// Per-shard views are the point of the SLO plane: a flooded shard's tail
+// must be visible apart from its healthy neighbours.
+func (p *Pool) ShardLatency(i int) metrics.Snapshot {
+	return p.shards[i].lat.Snapshot()
+}
+
 // DispatchBatch groups the batch by owning shard and submits one command
 // per shard, so channel traffic scales with the shard count rather than the
 // batch size.
@@ -536,6 +605,8 @@ func (p *Pool) Rollup() Stats {
 		st.Dropped += s.dropped.Load()
 		st.Quarantined += s.quarantined.Load()
 		st.Reports += s.reports.Load()
+		st.ShedObservations += s.shedObs.Load()
+		st.ShedHeartbeats += s.shedHB.Load()
 	}
 	p.baseMu.Lock()
 	for _, b := range p.baselines {
@@ -543,6 +614,8 @@ func (p *Pool) Rollup() Stats {
 		st.Dropped += b.Dropped
 		st.Quarantined += b.Quarantined
 		st.Reports += b.Reports
+		st.ShedObservations += b.ShedObservations
+		st.ShedHeartbeats += b.ShedHeartbeats
 	}
 	p.baseMu.Unlock()
 	return st

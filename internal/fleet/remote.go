@@ -94,6 +94,14 @@ type ServerStats struct {
 	Rejected     uint64 // connections dropped before registration (bad hello, duplicate ID, ...)
 	Disconnected uint64 // registered devices whose connection ended (clean or not)
 	Frames       uint64 // observation frames dispatched into the pool
+	// CreditViolations counts connections disconnected for streaming past
+	// an exhausted credit window — hostile or badly broken peers; a
+	// compliant client can never trip it (the server's balance is always
+	// at least the client's).
+	CreditViolations uint64
+	// CreditGrants counts mid-stream TypeCredit replenishment frames sent
+	// (heartbeat-echo grants are not counted — every echo is one).
+	CreditGrants uint64
 }
 
 // Server turns a Pool into a network ingestion daemon. Configure the
@@ -159,6 +167,35 @@ type Server struct {
 	// class only changes behaviour when Journal implements TieredJournal;
 	// otherwise every accepted frame is synced as before.
 	GrantDurability func(hello wire.Message) wire.Durability
+	// CreditWindow, when positive, enables credit-based flow control: the
+	// Hello reply grants each connection this many frame credits, every
+	// observation frame consumes one, and the server replenishes consumed
+	// credits with delta grants — always on the heartbeat echo, and
+	// mid-stream (a TypeCredit frame) once the window is half spent while
+	// the device's shard queue is shallow. Under pressure no mid-stream
+	// grant is sent, so a compliant flooder degrades into heartbeat-paced
+	// request/response instead of swamping the shard; a peer that streams
+	// past an exhausted window is disconnected with an error frame. All
+	// accounting runs on the connection's read goroutine — grants are
+	// deltas, not absolute resets, so in-flight frames cannot desynchronise
+	// the two sides (server balance ≥ client balance, always). Zero
+	// disables flow control: no credits are granted and none are checked.
+	CreditWindow int
+	// ShedObservationsAt and ShedHeartbeatsAt, when positive, enable the
+	// load-shedding tiers: a frame arriving while the fill fraction of its
+	// device's shard queue is at or above the threshold is dropped before
+	// dispatch, counted in the pool's Stats and journaled as an aggregated
+	// shed-marker record (so replay stays exact without the refused
+	// frames). Observations shed first — one lost sample costs the monitor
+	// little — so ShedObservationsAt is the lower threshold (0.75 and 0.95
+	// are the traderd defaults); a shed heartbeat skips advance, flush and
+	// echo, pausing a compliant client entirely, and is reserved for
+	// near-saturation. Control, ack and snapshot traffic — the recovery and
+	// diagnosis planes — is never shed: it is the traffic that gets a
+	// degraded fleet healthy again, and it bypasses the dispatch queue's
+	// pressure anyway. Zero disables the tier.
+	ShedObservationsAt float64
+	ShedHeartbeatsAt   float64
 	// Logf, when non-nil, receives connection lifecycle log lines.
 	Logf func(format string, args ...any)
 
@@ -167,11 +204,19 @@ type Server struct {
 	pending map[net.Conn]struct{}  // accepted, not yet registered
 	closed  bool
 
-	accepted     atomic.Uint64
-	rejected     atomic.Uint64
-	disconnected atomic.Uint64
-	frames       atomic.Uint64
+	accepted         atomic.Uint64
+	rejected         atomic.Uint64
+	disconnected     atomic.Uint64
+	frames           atomic.Uint64
+	creditViolations atomic.Uint64
+	creditGrants     atomic.Uint64
 }
+
+// replenishPressure gates mid-stream credit grants: below this shard-queue
+// fill fraction the server tops a half-spent window back up without waiting
+// for the next heartbeat; at or above it the client must earn replenishment
+// through a heartbeat (whose flush barrier drains its own backlog first).
+const replenishPressure = 0.5
 
 // ErrServerClosed is returned by Serve after Close.
 var ErrServerClosed = errors.New("fleet: server closed")
@@ -243,10 +288,12 @@ func (c *remoteConn) send(m wire.Message) error {
 // Stats snapshots the connection counters.
 func (s *Server) Stats() ServerStats {
 	return ServerStats{
-		Accepted:     s.accepted.Load(),
-		Rejected:     s.rejected.Load(),
-		Disconnected: s.disconnected.Load(),
-		Frames:       s.frames.Load(),
+		Accepted:         s.accepted.Load(),
+		Rejected:         s.rejected.Load(),
+		Disconnected:     s.disconnected.Load(),
+		Frames:           s.frames.Load(),
+		CreditViolations: s.creditViolations.Load(),
+		CreditGrants:     s.creditGrants.Load(),
 	}
 }
 
@@ -479,6 +526,14 @@ func (s *Server) handle(conn net.Conn) {
 	hello.Durability = granted
 	tiered, _ := s.Journal.(TieredJournal)
 	relaxed := granted == wire.DurDispatch && tiered != nil
+	// Flow-control negotiation: the window is the server's to grant, never
+	// the client's to request, so whatever the client put in the field is
+	// overwritten before the reply echoes it.
+	window := s.CreditWindow
+	if window < 0 {
+		window = 0
+	}
+	hello.Credits = uint32(window)
 	_ = conn.SetWriteDeadline(time.Now().Add(rc.timeout))
 	codec, err := wc.ReplyHello(hello)
 	if err != nil {
@@ -548,29 +603,6 @@ func (s *Server) handle(conn net.Conn) {
 	}
 	s.logf("fleet: %s: device %q %s (codec %s, durability %s), fleet size %d",
 		conn.RemoteAddr(), id, how, codec.Name(), granted, s.Pool.Size())
-	defer func() {
-		// Latch closed before teardown so a controller push racing the
-		// unwind fails fast instead of writing into the dying socket.
-		rc.closed.Store(true)
-		cleanup()
-		conn.Close()
-		s.logf("fleet: device %q disconnected, fleet size %d", id, s.Pool.Size())
-	}()
-
-	// A quarantined device's reconnect must not resurrect its service: the
-	// recovery controller retired it, and the CtrlQuarantine push that told
-	// it so can be lost when quarantine races the device's own restart
-	// re-handshake (the client is between connections). Re-deliver the
-	// verdict as the first frame of the new connection and end it — the
-	// quarantine flag on the adopted device is the durable truth.
-	if adopted {
-		if q, err := s.Pool.Quarantined(id); err == nil && q {
-			s.logf("fleet: device %q reconnected while quarantined; refusing service", id)
-			_ = rc.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: wire.CtrlQuarantine})
-			return
-		}
-	}
-
 	maxAdv := s.MaxAdvance
 	if maxAdv <= 0 {
 		maxAdv = DefaultMaxAdvance
@@ -604,6 +636,70 @@ func (s *Server) handle(conn net.Conn) {
 		return true
 	}
 
+	// Flow-control state, all owned by this read goroutine: credits is the
+	// server-side balance of the connection's window. The client decrements
+	// its copy when it sends, the server when it receives, and every grant
+	// is a delta — so server balance − client balance always equals the
+	// frames and grants in flight, a non-negative number, and only a peer
+	// that ignores an exhausted window can drive the server below zero.
+	credits := window
+	// pendingShed accumulates this connection's shed frames until the next
+	// marker flush (heartbeat or teardown); one aggregated journal record
+	// per window keeps shedding from writing the journal it is shedding to
+	// protect.
+	var pendingShed wire.ShedRecord
+	// flushShed journals the pending marker and moves the pool's shed
+	// counters inside the journal's stream lock (AppendThen), so a
+	// checkpoint freezing the stream captures the marker and its counters
+	// together or not at all — never one without the other. Journal-less
+	// servers count sheds immediately and never come here with a pending
+	// record.
+	flushShed := func() bool {
+		if s.Journal == nil || pendingShed == (wire.ShedRecord{}) {
+			return true
+		}
+		rec := pendingShed
+		pendingShed = wire.ShedRecord{}
+		count := func() { s.Pool.AddShed(id, rec) }
+		jm := wire.Message{Type: wire.TypeShed, SUO: id, At: clock, Shed: &rec}
+		var err error
+		if tiered != nil {
+			err = tiered.AppendThen(jm, !relaxed, count)
+		} else if err = s.Journal.Append(jm); err == nil {
+			count()
+		}
+		if err != nil {
+			s.logf("fleet: device %q: journal: %v", id, err)
+			return false
+		}
+		return true
+	}
+
+	defer func() {
+		// Latch closed before teardown so a controller push racing the
+		// unwind fails fast instead of writing into the dying socket. The
+		// final shed marker is flushed while the device is still attached.
+		rc.closed.Store(true)
+		_ = flushShed()
+		cleanup()
+		conn.Close()
+		s.logf("fleet: device %q disconnected, fleet size %d", id, s.Pool.Size())
+	}()
+
+	// A quarantined device's reconnect must not resurrect its service: the
+	// recovery controller retired it, and the CtrlQuarantine push that told
+	// it so can be lost when quarantine races the device's own restart
+	// re-handshake (the client is between connections). Re-deliver the
+	// verdict as the first frame of the new connection and end it — the
+	// quarantine flag on the adopted device is the durable truth.
+	if adopted {
+		if q, err := s.Pool.Quarantined(id); err == nil && q {
+			s.logf("fleet: device %q reconnected while quarantined; refusing service", id)
+			_ = rc.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: wire.CtrlQuarantine})
+			return
+		}
+	}
+
 	for {
 		msg, err := wc.Decode()
 		if err == io.EOF {
@@ -613,9 +709,45 @@ func (s *Server) handle(conn net.Conn) {
 			s.logf("fleet: device %q: %v", id, err)
 			return
 		}
+		// ingest is the frame's decode instant, the start of the interval
+		// the latency SLO is stated over (DispatchAt records its end).
+		ingest := time.Now()
 		switch msg.Type {
 		case wire.TypeInput, wire.TypeOutput, wire.TypeState:
 			if msg.Event == nil {
+				continue
+			}
+			if window > 0 {
+				if credits == 0 {
+					// Only a peer ignoring its exhausted window gets here: a
+					// compliant client blocks and heartbeats for
+					// replenishment instead. Disconnect, like any other
+					// protocol violation.
+					rep := wire.ErrorReport{Detector: "ingest", At: clock, Detail: fmt.Sprintf(
+						"credit window violated: observation sent with the %d-frame window exhausted", window)}
+					_ = rc.send(wire.Message{Type: wire.TypeError, SUO: id, Error: &rep, At: clock})
+					s.creditViolations.Add(1)
+					s.logf("fleet: device %q: %s", id, rep.Detail)
+					return
+				}
+				credits--
+			}
+			pressure := -1.0
+			if window > 0 || s.ShedObservationsAt > 0 {
+				pressure = s.Pool.Pressure(id)
+			}
+			if s.ShedObservationsAt > 0 && pressure >= s.ShedObservationsAt {
+				// Shed tier 1: under queue pressure observations drop first —
+				// one lost sample costs a monitor a comparison, not its
+				// state. The frame is refused before the journal and the
+				// pool ever see it; the credit it spent stays spent, and no
+				// mid-stream grant follows under pressure, so a flooder
+				// exhausts its window and degrades into heartbeat pacing.
+				if s.Journal != nil {
+					pendingShed.Observations++
+				} else {
+					s.Pool.AddShed(id, wire.ShedRecord{Observations: 1})
+				}
 				continue
 			}
 			if !advance(msg.Event.At) {
@@ -629,7 +761,7 @@ func (s *Server) handle(conn net.Conn) {
 			// wait for the fsync; on a plain journal the append is durable
 			// before the dispatch, as before.
 			var dispatchErr error
-			dispatch := func() { dispatchErr = s.Pool.Dispatch(id, *msg.Event) }
+			dispatch := func() { dispatchErr = s.Pool.DispatchAt(id, *msg.Event, ingest) }
 			if s.Journal != nil {
 				jm := wire.Message{Type: msg.Type, SUO: id, Event: msg.Event, At: msg.Event.At}
 				var err error
@@ -653,8 +785,39 @@ func (s *Server) handle(conn net.Conn) {
 				return // pool stopped — nothing left to ingest into
 			}
 			s.frames.Add(1)
+			if window > 0 && credits <= window/2 && pressure < replenishPressure {
+				// Mid-stream replenishment: the window is half spent and the
+				// shard is keeping up, so top it back up without forcing the
+				// client to stall into its next heartbeat. The grant is the
+				// delta consumed, never an absolute reset (see CreditWindow).
+				g := uint32(window - credits)
+				if rc.send(wire.Message{Type: wire.TypeCredit, SUO: id, Credits: g}) != nil {
+					return
+				}
+				s.creditGrants.Add(1)
+				credits = window
+			}
 		case wire.TypeHeartbeat:
+			if s.ShedHeartbeatsAt > 0 && s.Pool.Pressure(id) >= s.ShedHeartbeatsAt {
+				// Shed tier 2: near saturation even the heartbeat is refused
+				// — no clock advance, no flush barrier, no echo. A compliant
+				// client waiting on the echo simply waits longer and
+				// retries; the silence IS the backpressure. Control traffic
+				// (tier 3) is never shed — see ShedObservationsAt.
+				if s.Journal != nil {
+					pendingShed.Heartbeats++
+				} else {
+					s.Pool.AddShed(id, wire.ShedRecord{Heartbeats: 1})
+				}
+				continue
+			}
 			if !advance(msg.At) {
+				return
+			}
+			// The pending shed marker flushes write-ahead of the heartbeat
+			// record, so replay restores the shed counters at the same
+			// stream position the live pool reached them by.
+			if !flushShed() {
 				return
 			}
 			// Heartbeats are journaled too: replay must re-run the same
@@ -698,7 +861,15 @@ func (s *Server) handle(conn net.Conn) {
 			if err := s.Pool.FlushDevice(id); err != nil {
 				return
 			}
-			if rc.send(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: msg.At}) != nil {
+			echo := wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: msg.At}
+			if window > 0 {
+				// The echo always restores the full window: the flush
+				// barrier above just drained this connection's backlog, so
+				// the shard owes it a fresh start. Delta grant, as always.
+				echo.Credits = uint32(window - credits)
+				credits = window
+			}
+			if rc.send(echo) != nil {
 				return
 			}
 		case wire.TypeAck:
@@ -722,8 +893,11 @@ func (s *Server) handle(conn net.Conn) {
 			if s.OnSnapshot != nil {
 				s.OnSnapshot(id, msg)
 			}
-		case wire.TypeHello, wire.TypeControl, wire.TypeError, wire.TypeSpecInfo, wire.TypeSnapshotReq:
-			// Identification repeats and client-side chatter are ignored.
+		case wire.TypeHello, wire.TypeControl, wire.TypeError, wire.TypeSpecInfo, wire.TypeSnapshotReq,
+			wire.TypeCredit, wire.TypeShed:
+			// Identification repeats and client-side chatter are ignored —
+			// including credit grants and shed markers, which only ever
+			// travel server → client or server → journal.
 		}
 	}
 }

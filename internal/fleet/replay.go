@@ -22,13 +22,14 @@ type ReplayStats struct {
 	Actions     int // recovery-action records re-applied (controller decisions)
 	Evidence    int // labeled diagnosis-evidence records (snapshot frames)
 	Checkpoints int // checkpoint records restored (all planes)
+	Sheds       int // shed-marker records re-applied to the shard counters
 	Devices     int // devices rebuilt through the factory
 	Skipped     int // records with nothing to replay (no ID, no event, foreign type)
 }
 
 func (st ReplayStats) String() string {
-	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions + %d evidence + %d checkpoint records into %d devices (%d skipped)",
-		st.Frames, st.Heartbeats, st.Actions, st.Evidence, st.Checkpoints, st.Devices, st.Skipped)
+	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions + %d evidence + %d checkpoint + %d shed records into %d devices (%d skipped)",
+		st.Frames, st.Heartbeats, st.Actions, st.Evidence, st.Checkpoints, st.Sheds, st.Devices, st.Skipped)
 }
 
 // Replay rebuilds fleet state from a journal written by Server.Journal: the
@@ -76,6 +77,19 @@ func (p *Pool) Replay(r *journal.Reader, factory MonitorFactory) (ReplayStats, e
 			// reconstructs the fleet ranking from these records — so the
 			// pool replay only counts it.
 			st.Evidence++
+			continue
+		case wire.TypeShed:
+			// A shed marker: the server refused these frames under queue
+			// pressure, so there is nothing to re-dispatch — only the shard
+			// shed counters to restore, keeping the replayed rollup balanced
+			// against the live one. No device is built: shed counts are
+			// shard-level, and any admitted frame for the ID builds it.
+			if id == "" || m.Shed == nil {
+				st.Skipped++
+				continue
+			}
+			p.AddShed(id, *m.Shed)
+			st.Sheds++
 			continue
 		case wire.TypeCheckpoint:
 			if m.Checkpoint == nil {

@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Every representable value must land in a bucket whose range contains it,
+// and bucket upper edges must be monotone — the two properties quantile
+// extraction rests on.
+func TestBucketGeometry(t *testing.T) {
+	vals := []int64{0, 1, 2, 31, 32, 63, 64, 65, 127, 128, 1000, 1 << 20, maxValue - 1, maxValue}
+	for i := 0; i < 1000; i++ {
+		vals = append(vals, rand.Int63n(maxValue))
+	}
+	for _, v := range vals {
+		b := bucketOf(v)
+		if b < 0 || b >= numBuckets {
+			t.Fatalf("bucketOf(%d) = %d out of range [0,%d)", v, b, numBuckets)
+		}
+		if up := upperOf(b); up < v {
+			t.Errorf("value %d in bucket %d with upper edge %d < value", v, b, up)
+		}
+		if b > 0 && upperOf(b-1) >= v {
+			t.Errorf("value %d in bucket %d but previous bucket's edge %d already covers it", v, b, upperOf(b-1))
+		}
+	}
+	last := int64(-1)
+	for i := 0; i < numBuckets; i++ {
+		up := upperOf(i)
+		if up <= last {
+			t.Fatalf("upperOf not monotone at %d: %d <= %d", i, up, last)
+		}
+		last = up
+	}
+}
+
+func TestQuantiles(t *testing.T) {
+	h := New()
+	// 1..1000 µs uniformly: p50 ≈ 500µs, p99 ≈ 990µs, p999 ≈ 1000µs.
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Microsecond)
+	}
+	s := h.Snapshot()
+	if s.Count() != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count())
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{{0.5, 500 * time.Microsecond}, {0.99, 990 * time.Microsecond}, {0.999, 999 * time.Microsecond}}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		if got < c.want || float64(got) > float64(c.want)*1.05 {
+			t.Errorf("p%g = %v, want within [%v, %v]", c.q*100, got, c.want, time.Duration(float64(c.want)*1.05))
+		}
+	}
+	if lo, hi := s.Quantile(0.5), s.Quantile(0.99); lo > hi {
+		t.Errorf("quantiles not monotone: p50 %v > p99 %v", lo, hi)
+	}
+	var empty Snapshot
+	if empty.Quantile(0.99) != 0 {
+		t.Errorf("empty snapshot p99 = %v, want 0", empty.Quantile(0.99))
+	}
+}
+
+func TestRecordClampsOutliers(t *testing.T) {
+	h := New()
+	h.Record(-time.Second)
+	h.Record(time.Hour) // beyond maxValue: saturates the top bucket
+	s := h.Snapshot()
+	if s.Count() != 2 {
+		t.Fatalf("count = %d, want 2", s.Count())
+	}
+	if s.Quantile(0) != 0 {
+		t.Errorf("negative record should land at 0, p0 = %v", s.Quantile(0))
+	}
+	if s.Quantile(1) < time.Duration(maxValue) {
+		t.Errorf("outlier record should saturate the top bucket, p100 = %v", s.Quantile(1))
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 100; i++ {
+		a.Record(time.Millisecond)
+		b.Record(time.Second)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if sa.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", sa.Count())
+	}
+	if p25, p75 := sa.Quantile(0.25), sa.Quantile(0.75); p25 > 2*time.Millisecond || p75 < time.Second {
+		t.Errorf("merged quantiles p25=%v p75=%v do not straddle the two populations", p25, p75)
+	}
+}
+
+// The hot path is concurrent by design: shard goroutines record while the
+// metrics endpoint snapshots. Conservation must hold under -race.
+func TestConcurrentRecording(t *testing.T) {
+	h := New()
+	const workers, each = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Record(time.Duration(w*1000+i) * time.Nanosecond)
+				if i%1024 == 0 {
+					s := h.Snapshot()
+					_ = s.Quantile(0.99) // snapshots may race records
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count() != workers*each {
+		t.Fatalf("count = %d, want %d", s.Count(), workers*each)
+	}
+	var cum uint64
+	for _, c := range s.counts {
+		cum += c
+	}
+	if cum != s.Count() {
+		t.Fatalf("bucket sum %d != count %d", cum, s.Count())
+	}
+}
+
+func TestWriteProm(t *testing.T) {
+	h := New()
+	for i := 0; i < 10; i++ {
+		h.Record(200 * time.Microsecond)
+	}
+	h.Record(2 * time.Second)
+	s := h.Snapshot()
+	var sb strings.Builder
+	s.WriteProm(&sb, "fleet_ingest_latency_seconds", `shard="0"`, nil)
+	out := sb.String()
+	for _, want := range []string{
+		`fleet_ingest_latency_seconds_bucket{shard="0",le="0.00025"} 10`,
+		`fleet_ingest_latency_seconds_bucket{shard="0",le="+Inf"} 11`,
+		`fleet_ingest_latency_seconds_count{shard="0"} 11`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+	var sb2 strings.Builder
+	s.WriteProm(&sb2, "m", "", []time.Duration{time.Millisecond})
+	if !strings.Contains(sb2.String(), `m_bucket{le="0.001"} 10`) {
+		t.Errorf("unlabeled rendering wrong:\n%s", sb2.String())
+	}
+}

@@ -86,13 +86,15 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //
 //	u8   message type tag (see typeTag)
 //	u8   flags: bit0 = event present, bit1 = error present,
-//	     bit2 = snapshot present, bit3 = checkpoint present
+//	     bit2 = snapshot present, bit3 = checkpoint present,
+//	     bit4 = shed-marker present
 //	str  SUO                        (str = uvarint length + raw bytes)
 //	var  At                         (var = zig-zag varint, sim.Time ticks)
 //	str  Control
 //	str  Target
 //	str  Codec
 //	str  Durability
+//	uvar Credits
 //	-- if flags bit0, the event record:
 //	u8   kind; str name; str source; var at; uvar seq
 //	uvar n; n × (str name, 8-byte little-endian IEEE 754 value)
@@ -112,6 +114,8 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //	uvar blocks; uvar nfail; uvar npass
 //	uvar n; n × (uvar block, uvar fail, uvar pass)   spectrum cells
 //	uvar n; n × (str id, var at, uvar k, k × uvar)   devices
+//	-- if flags bit4, the shed-marker record:
+//	uvar observations; uvar heartbeats
 //
 // Strings are length-checked against the remaining payload before any
 // allocation, so a hostile length cannot force a large allocation beyond
@@ -125,6 +129,7 @@ const (
 	flagError      = 1 << 1
 	flagSnapshot   = 1 << 2
 	flagCheckpoint = 1 << 3
+	flagShed       = 1 << 4
 )
 
 var tagOfType = map[MsgType]byte{
@@ -140,6 +145,8 @@ var tagOfType = map[MsgType]byte{
 	TypeSnapshotReq: 10,
 	TypeSnapshot:    11,
 	TypeCheckpoint:  12,
+	TypeCredit:      13,
+	TypeShed:        14,
 }
 
 var typeOfTag = func() map[byte]MsgType {
@@ -177,6 +184,9 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	if m.Checkpoint != nil {
 		flags |= flagCheckpoint
 	}
+	if m.Shed != nil {
+		flags |= flagShed
+	}
 	dst = append(dst, tag, flags)
 	dst = appendStr(dst, m.SUO)
 	dst = binary.AppendVarint(dst, int64(m.At))
@@ -184,6 +194,7 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	dst = appendStr(dst, m.Target)
 	dst = appendStr(dst, m.Codec)
 	dst = appendStr(dst, string(m.Durability))
+	dst = binary.AppendUvarint(dst, uint64(m.Credits))
 	if e := m.Event; e != nil {
 		dst = append(dst, byte(e.Kind))
 		dst = appendStr(dst, e.Name)
@@ -282,6 +293,10 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 			}
 		}
 	}
+	if sh := m.Shed; sh != nil {
+		dst = binary.AppendUvarint(dst, sh.Observations)
+		dst = binary.AppendUvarint(dst, sh.Heartbeats)
+	}
 	return dst, nil
 }
 
@@ -379,6 +394,7 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 	m.Target = r.str("target")
 	m.Codec = r.str("codec")
 	m.Durability = Durability(r.str("durability"))
+	m.Credits = uint32(r.uvar("credits"))
 	if flags&flagEvent != 0 {
 		e := &event.Event{}
 		e.Kind = event.Kind(r.u8("event kind"))
@@ -559,6 +575,14 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 		}
 		if r.err == nil {
 			m.Checkpoint = cp
+		}
+	}
+	if flags&flagShed != 0 {
+		sh := &ShedRecord{}
+		sh.Observations = r.uvar("shed observations")
+		sh.Heartbeats = r.uvar("shed heartbeats")
+		if r.err == nil {
+			m.Shed = sh
 		}
 	}
 	if r.err != nil {

@@ -39,6 +39,11 @@ func sampleMessages() []Message {
 		{Type: TypeSnapshot, SUO: "tv-0001", At: 600, Snapshot: &snap},
 		{Type: TypeSnapshot, SUO: "tv-0001", Target: "fail", At: 700,
 			Snapshot: &Snapshot{Blocks: 64, Windows: []SpectrumWindow{{Seq: 9, At: 650, Words: []uint64{42}}}}},
+		{Type: TypeHello, SUO: "tv-0001", Codec: CodecBinary, Durability: DurDispatch, Credits: 256},
+		{Type: TypeCredit, SUO: "tv-0001", Credits: 128},
+		{Type: TypeHeartbeat, SUO: "tv-0001", At: 2000, Credits: 64},
+		{Type: TypeShed, SUO: "tv-0001", At: 2100, Shed: &ShedRecord{Observations: 17, Heartbeats: 2}},
+		{Type: TypeShed, SUO: "tv-0001", Shed: &ShedRecord{}},
 	}
 }
 

@@ -81,6 +81,10 @@ func FuzzDecode(f *testing.F) {
 		Ack("fuzz-dev", CtrlRestart, 100),
 		{Type: TypeSnapshotReq, SUO: "fuzz-dev", At: 101},
 		{Type: TypeSnapshot, SUO: "fuzz-dev", Target: "fail", At: 102, Snapshot: &snap},
+		{Type: TypeHello, SUO: "fuzz-dev", Codec: CodecBinary, Credits: 4096},
+		{Type: TypeCredit, SUO: "fuzz-dev", Credits: 1 << 31},
+		{Type: TypeHeartbeat, SUO: "fuzz-dev", At: 103, Credits: 7},
+		{Type: TypeShed, SUO: "fuzz-dev", At: 104, Shed: &ShedRecord{Observations: 1 << 40, Heartbeats: 3}},
 	}
 	for _, codec := range []Codec{JSON, Binary} {
 		var buf bytes.Buffer

@@ -49,19 +49,27 @@ func Dial(addr, suo, codec string) (*Conn, error) {
 // the granted ack class is returned next to the connection. An empty
 // request asks for fsync, the strongest class.
 func DialTiered(addr, suo, codec string, dur Durability) (*Conn, Durability, error) {
+	c, granted, _, err := DialFlow(addr, suo, codec, dur)
+	return c, granted, err
+}
+
+// DialFlow is DialTiered additionally surfacing the initial frame-credit
+// window the server granted (see HandshakeFlow). Zero means the server
+// does not enforce flow control on this connection.
+func DialFlow(addr, suo, codec string, dur Durability) (*Conn, Durability, uint32, error) {
 	network, address, err := SplitAddr(addr)
 	if err != nil {
-		return nil, "", err
+		return nil, "", 0, err
 	}
 	nc, err := net.Dial(network, address)
 	if err != nil {
-		return nil, "", fmt.Errorf("wire: dial %s: %w", addr, err)
+		return nil, "", 0, fmt.Errorf("wire: dial %s: %w", addr, err)
 	}
 	c := NewConn(nc)
-	granted := Durability("")
-	if _, granted, err = c.HandshakeTiered(suo, codec, dur); err != nil {
+	granted, credits := Durability(""), uint32(0)
+	if _, granted, credits, err = c.HandshakeFlow(suo, codec, dur); err != nil {
 		nc.Close()
-		return nil, "", err
+		return nil, "", 0, err
 	}
-	return c, granted, nil
+	return c, granted, credits, nil
 }

@@ -47,6 +47,21 @@ const (
 	// live connection; replay resumes from the newest complete checkpoint
 	// and replays only the delta after it.
 	TypeCheckpoint MsgType = "checkpoint"
+	// TypeCredit (monitor → SUO) replenishes a connection's frame-credit
+	// window mid-stream: Credits carries a delta grant, restoring credits
+	// the server has consumed. Grants also piggyback on Hello replies (the
+	// initial window) and heartbeat echoes; a standalone TypeCredit frame
+	// keeps a fast-but-compliant sender from stalling between heartbeats
+	// while its shard queue is shallow. See ARCHITECTURE.md §2.8.
+	TypeCredit MsgType = "credit"
+	// TypeShed records load-shedding in the frame journal: how many of a
+	// device's frames the server dropped under queue pressure since the
+	// previous marker (the Shed payload). Shed frames themselves are never
+	// journaled — they were refused — so replaying the journal rebuilds
+	// exactly the admitted stream; the markers restore the shed counters so
+	// fleet rollups still balance. Shed markers never cross a live
+	// connection.
+	TypeShed MsgType = "shed"
 )
 
 // Durability is the ack class a connection negotiates in the Hello
@@ -180,6 +195,23 @@ type Message struct {
 	// Checkpoint carries a captured state snapshot (TypeCheckpoint frames,
 	// journal-only).
 	Checkpoint *Checkpoint `json:"checkpoint,omitempty"`
+	// Credits is a frame-credit grant (flow control): on Hello replies the
+	// connection's initial window, on heartbeat echoes and TypeCredit
+	// frames a delta restoring credits the server has consumed. Zero means
+	// no grant; a Hello reply with zero credits means the server does not
+	// enforce flow control on this connection.
+	Credits uint32 `json:"credits,omitempty"`
+	// Shed carries a shed-marker record (TypeShed frames, journal-only).
+	Shed *ShedRecord `json:"shed,omitempty"`
+}
+
+// ShedRecord is the payload of a TypeShed journal record: how many of one
+// device's frames the ingestion server shed under queue pressure since the
+// previous marker for that device, by tier. Control/diagnosis traffic has
+// no field here by design — it is never shed.
+type ShedRecord struct {
+	Observations uint64 `json:"observations,omitempty"`
+	Heartbeats   uint64 `json:"heartbeats,omitempty"`
 }
 
 // Checkpoint planes: which subsystem's state a checkpoint record captures.
@@ -439,23 +471,35 @@ func (c *Conn) Handshake(suo, codec string) (Codec, error) {
 // the reply field empty, which vets back to fsync — the promise they
 // actually keep.
 func (c *Conn) HandshakeTiered(suo, codec string, dur Durability) (Codec, Durability, error) {
+	accepted, granted, _, err := c.HandshakeFlow(suo, codec, dur)
+	return accepted, granted, err
+}
+
+// HandshakeFlow is HandshakeTiered additionally surfacing the initial
+// frame-credit window the server's Hello reply grants. A zero window means
+// the server does not enforce flow control: the client may stream freely.
+// A non-zero window obliges the client to spend one credit per observation
+// frame and to stop sending observations at zero until a heartbeat echo or
+// TypeCredit frame replenishes it — a peer that keeps sending is
+// disconnected as hostile.
+func (c *Conn) HandshakeFlow(suo, codec string, dur Durability) (Codec, Durability, uint32, error) {
 	if err := c.Encode(Message{Type: TypeHello, SUO: suo, Codec: codec, Durability: dur}); err != nil {
-		return nil, "", fmt.Errorf("wire: handshake send: %w", err)
+		return nil, "", 0, fmt.Errorf("wire: handshake send: %w", err)
 	}
 	reply, err := c.Decode()
 	if err != nil {
-		return nil, "", fmt.Errorf("wire: handshake reply: %w", err)
+		return nil, "", 0, fmt.Errorf("wire: handshake reply: %w", err)
 	}
 	if reply.Type == TypeError && reply.Error != nil {
-		return nil, "", fmt.Errorf("wire: handshake rejected: %s", reply.Error.Detail)
+		return nil, "", 0, fmt.Errorf("wire: handshake rejected: %s", reply.Error.Detail)
 	}
 	if reply.Type != TypeHello {
-		return nil, "", fmt.Errorf("wire: handshake reply has type %q, want %q", reply.Type, TypeHello)
+		return nil, "", 0, fmt.Errorf("wire: handshake reply has type %q, want %q", reply.Type, TypeHello)
 	}
 	accepted, _ := CodecByName(reply.Codec)
 	c.SetCodec(accepted)
 	granted, _ := DurabilityByName(string(reply.Durability))
-	return accepted, granted, nil
+	return accepted, granted, reply.Credits, nil
 }
 
 // ReadHello performs the first half of the server side of the Hello
@@ -479,10 +523,14 @@ func (c *Conn) ReadHello() (Message, error) {
 // fallback), sends a Hello reply naming the accepted codec and echoing
 // hello.Durability as the granted ack class (servers that vet or downgrade
 // the request overwrite hello.Durability before calling), and switches the
-// connection to the codec.
+// connection to the codec. hello.Credits is echoed the same way: a server
+// enforcing flow control overwrites it with the connection's initial
+// credit window before calling (clients request nothing — the window is
+// the server's to grant).
 func (c *Conn) ReplyHello(hello Message) (Codec, error) {
 	codec, _ := CodecByName(hello.Codec)
-	reply := Message{Type: TypeHello, SUO: hello.SUO, Codec: codec.Name(), Durability: hello.Durability}
+	reply := Message{Type: TypeHello, SUO: hello.SUO, Codec: codec.Name(),
+		Durability: hello.Durability, Credits: hello.Credits}
 	if err := c.Encode(reply); err != nil {
 		return nil, fmt.Errorf("wire: hello reply: %w", err)
 	}
