@@ -42,14 +42,16 @@ test-race:
 # engine attached, and the flow=on credit-window variant, each reporting the
 # latency-SLO plane's p50/p99/p999 ingest-to-dispatch quantiles),
 # BenchmarkJournalAppend, BenchmarkCheckpointReplay (cold boot with and
-# without a checkpoint resume point), BenchmarkControllerReport and
+# without a checkpoint resume point), BenchmarkControllerReport,
 # BenchmarkFleetDiagnosis (evidence fold + parallel ranking at the paper's
-# 60 000-block scale) — and additionally emits machine-readable results to
+# 60 000-block scale) and BenchmarkFederationUplink (the edge→aggregator
+# rollup-delta cycle: deltas/s and bytes/delta) — and additionally emits
+# machine-readable results to
 # $(BENCHJSON) via cmd/benchjson (frames/s, ns/op, allocs/op, p99-ms, ...),
 # so the perf trajectory is tracked across PRs. $(BENCHJSON) is committed
 # once per PR; the raw transcript in bench.out is scratch output and must
 # not be committed (CI fails the tree if it is).
-BENCHJSON ?= BENCH_7.json
+BENCHJSON ?= BENCH_8.json
 bench:
 	@$(GO) test -bench . -benchmem $(BENCHFLAGS) ./... > bench.out; status=$$?; \
 	cat bench.out; \
@@ -71,7 +73,9 @@ cover:
 	$(GO) tool cover -func=cover.out
 
 # docs fails when any package lacks a godoc package comment ("// Package x"
-# for libraries, "// Command x" for mains) in any of its non-test files.
+# for libraries, "// Command x" for mains) in any of its non-test files,
+# or when ARCHITECTURE.md §2.9's wire frame registry disagrees with the
+# binary codec's tag map (TestFrameRegistry in internal/wire).
 # The failure flag is checked in its own `if` statement: chaining it as
 # `[ $fail -eq 0 ] && echo ok || exit 1` would route a failed echo into the
 # exit-1 branch and make the target's status depend on the chain's last
@@ -86,6 +90,8 @@ docs: vet
 	done; \
 	if [ $$fail -ne 0 ]; then exit 1; fi; \
 	echo "docs: every package has a package comment"
+	@$(GO) test ./internal/wire -run TestFrameRegistry >/dev/null
+	@echo "docs: ARCHITECTURE.md §2.9 frame registry matches the codec"
 
 experiments:
 	$(GO) run ./cmd/experiments

@@ -21,6 +21,7 @@ import (
 	"trader/internal/diagnose"
 	"trader/internal/event"
 	"trader/internal/exper"
+	"trader/internal/federate"
 	"trader/internal/fleet"
 	"trader/internal/journal"
 	"trader/internal/sim"
@@ -653,5 +654,81 @@ func BenchmarkCheckpointReplay(b *testing.B) {
 				pool.Stop()
 			}
 		})
+	}
+}
+
+// BenchmarkFederationUplink measures the federation tier's steady-state
+// cost per rollup flush: the edge folds its cumulative sample into a signed
+// delta against the last acked flush, encodes it as a binary TypeRollup
+// frame, and the aggregator decodes and credits it into the merged view —
+// the complete uplink cycle of ARCHITECTURE.md §7.2 minus the network. The
+// counter set is the one a real edge flushes (fleet + server + control +
+// diagnosis planes, ~25 names), with a realistic handful changing per
+// flush. Reports deltas/s (full fold→encode→decode→credit cycles) and
+// bytes/delta (uplink bandwidth per flush).
+func BenchmarkFederationUplink(b *testing.B) {
+	// The cumulative sample a steady-state edge carries.
+	cur := federate.Counters{}
+	for _, name := range []string{
+		"inputs", "outputs", "comparisons", "deviations", "errors",
+		"model_errors", "silence_scans", "dispatched", "dropped",
+		"quarantined", "reports", "shed_obs", "shed_hb", "latency_count",
+		"latency_sum_ns", "frames", "conns_accepted", "conns_rejected",
+		"conns_disconnected", "credit_grants", "credit_violations",
+		"recovery_reports", "recovery_resets", "diagnosis_snapshots",
+		"diagnosis_fail_windows",
+	} {
+		cur[name] = 1_000_000
+	}
+	acked := cur.Clone()
+
+	var buf bytes.Buffer
+	enc := wire.NewEncoder(&buf)
+	enc.SetCodec(wire.Binary)
+	dec := wire.NewDecoder(&buf)
+	dec.SetCodec(wire.Binary)
+	merged := federate.Counters{}
+	var bytesTotal, seq uint64
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A flush interval's worth of activity: the hot counters advance.
+		cur["inputs"] += 40
+		cur["outputs"] += 40
+		cur["comparisons"] += 40
+		cur["frames"] += 41
+		cur["dispatched"] += 40
+		cur["latency_count"] += 40
+		cur["latency_sum_ns"] += 40 * 180_000
+		if i%16 == 0 {
+			cur["deviations"]++
+			cur["reports"]++
+		}
+
+		// Edge side: fold the delta, frame it, send.
+		seq++
+		d := cur.Diff(acked)
+		buf.Reset()
+		err := enc.Encode(wire.Message{Type: wire.TypeRollup, SUO: "edge-0",
+			Rollup: &wire.RollupDelta{Seq: seq, Devices: 512, Counters: d.ToWire()}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytesTotal += uint64(buf.Len())
+		acked = cur.Clone()
+
+		// Aggregator side: decode and credit.
+		m, err := dec.Decode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		merged.Add(federate.FromWire(m.Rollup.Counters))
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "deltas/s")
+	b.ReportMetric(float64(bytesTotal)/float64(b.N), "bytes/delta")
+
+	if got := merged["outputs"]; got != int64(b.N)*40 {
+		b.Fatalf("credited outputs = %d, want %d — conservation broken", got, int64(b.N)*40)
 	}
 }

@@ -1,0 +1,229 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"trader/internal/control"
+	"trader/internal/diagnose"
+	"trader/internal/federate"
+	"trader/internal/journal"
+	"trader/internal/metrics"
+	"trader/internal/wire"
+)
+
+// parseEdgeSpec parses the -edge flag: "upstream=ADDR,range=N/M" — the
+// aggregator address and this edge's claimed hash range (fleet.RangeOf over
+// M ranges equals N for every device it should serve).
+func parseEdgeSpec(spec string) (upstream string, rng, of int, err error) {
+	bad := func(why string) (string, int, int, error) {
+		return "", 0, 0, fmt.Errorf("-edge %q: %s (want upstream=ADDR,range=N/M)", spec, why)
+	}
+	for _, part := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return bad("missing '='")
+		}
+		switch k {
+		case "upstream":
+			upstream = v
+		case "range":
+			n, m, ok := strings.Cut(v, "/")
+			if !ok {
+				return bad("range is not N/M")
+			}
+			if rng, err = strconv.Atoi(n); err != nil {
+				return bad("bad range index")
+			}
+			if of, err = strconv.Atoi(m); err != nil {
+				return bad("bad range count")
+			}
+		default:
+			return bad(fmt.Sprintf("unknown key %q", k))
+		}
+	}
+	if upstream == "" {
+		return bad("missing upstream")
+	}
+	if of <= 0 || rng < 0 || rng >= of {
+		return bad("range index out of bounds")
+	}
+	return upstream, rng, of, nil
+}
+
+// startEdge layers the federation uplink on an ingest daemon: the pool and
+// server keep serving devices exactly as before; the Edge streams their
+// rollup deltas upstream and carries out migrations. The returned stop
+// function ends the uplink.
+func startEdge(spec, journalDir string, e *federate.Edge, ctl *control.Controller, eng *diagnose.Engine) (func(), error) {
+	upstream, rng, of, err := parseEdgeSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	e.ID = fmt.Sprintf("edge-%d", rng)
+	e.Upstream = upstream
+	e.Range, e.Of = rng, of
+	e.JournalDir = journalDir
+	e.Logf = log.Printf
+	base := e.Sample
+	// The delta carries the control and diagnosis planes' rollups next to
+	// the fleet counters — all order-independent folds, so the aggregator's
+	// sums stay exact.
+	e.Sample = func() federate.Sample {
+		s := base()
+		if ctl != nil {
+			cro := ctl.Rollup()
+			s.Counters["recovery_reports"] = int64(cro.Reports)
+			s.Counters["recovery_resets"] = int64(cro.Resets)
+			s.Counters["recovery_restarts"] = int64(cro.Restarts)
+			s.Counters["recovery_quarantines"] = int64(cro.Quarantines)
+		}
+		if eng != nil {
+			dro := eng.Rollup()
+			s.Counters["diagnosis_snapshots"] = int64(dro.Snapshots)
+			s.Counters["diagnosis_fail_windows"] = int64(dro.FailWindows)
+			s.Counters["diagnosis_pass_windows"] = int64(dro.PassWindows)
+		}
+		return s
+	}
+	done := make(chan struct{})
+	go e.Run(done)
+	log.Printf("traderd: edge uplink to %s as %s (range %d/%d)", upstream, e.ID, rng, of)
+	return func() { close(done) }, nil
+}
+
+// runAggregate is federation-aggregator mode: the -listen addresses accept
+// edge uplinks (RoleEdge Hellos) instead of devices, the merged fleet-wide
+// view is logged every -stats-seconds and served on -metrics, and -journal
+// persists the ownership record so a restarted aggregator recovers its
+// range map (credited totals re-feed themselves through resume baselines).
+func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int, metricsAddr string, verbose bool) error {
+	agg := &federate.Aggregator{
+		Ranges:   ranges,
+		Failover: time.Duration(failoverSecs) * time.Second,
+		Logf:     log.Printf,
+	}
+	if journalDir != "" {
+		// Recover the ownership journal before listening, then append to it.
+		if r, err := journal.OpenReader(journalDir); err == nil {
+			n, err := agg.Recover(r)
+			r.Close()
+			if err != nil {
+				return fmt.Errorf("recovering ownership journal %s: %w", journalDir, err)
+			}
+			if n > 0 {
+				log.Printf("traderd: aggregator: recovered %d ownership records from %s", n, journalDir)
+			}
+		}
+		jw, err := journal.Create(journalDir, journal.Options{})
+		if err != nil {
+			return err
+		}
+		defer jw.Close()
+		agg.Journal = jw
+		log.Printf("traderd: aggregator: journaling ownership changes to %s", journalDir)
+	}
+	if metricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", federationMetricsHandler(agg))
+		msrv := &http.Server{Addr: metricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("traderd: metrics: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		log.Printf("traderd: aggregator: serving merged fleet view on http://%s/metrics", metricsAddr)
+	}
+
+	errc := make(chan error, 8)
+	var listeners []net.Listener
+	for _, addr := range strings.Split(addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if network, path, err := wire.SplitAddr(addr); err == nil && network == "unix" {
+			_ = os.Remove(path)
+		}
+		ln, err := wire.Listen(addr)
+		if err != nil {
+			for _, l := range listeners {
+				l.Close()
+			}
+			return err
+		}
+		listeners = append(listeners, ln)
+		log.Printf("traderd: aggregating edge uplinks on %s (%d ranges, failover after %ds)",
+			addr, ranges, failoverSecs)
+		go func() { errc <- agg.Serve(ln) }()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	ticker := time.NewTicker(time.Duration(max(statsEvery, 1)) * time.Second)
+	if statsEvery <= 0 {
+		ticker.Stop()
+	}
+	defer ticker.Stop()
+	logView := func(prefix string) {
+		v := agg.View()
+		live := 0
+		for _, e := range v.Edges {
+			if e.Live {
+				live++
+			}
+		}
+		log.Printf("traderd: %s: %d devices across %d edges (%d live), %d outputs, %d deviations, %d reports; %d migrations, %d adoptions, %d handoffs",
+			prefix, v.Devices, len(v.Edges), live,
+			v.Counters["outputs"], v.Counters["deviations"], v.Counters["reports"],
+			v.Migrations, v.Adoptions, v.Handoffs)
+	}
+	for {
+		select {
+		case <-ticker.C:
+			logView("federation")
+		case sig := <-sigc:
+			log.Printf("traderd: %v: stopping aggregator", sig)
+			agg.Close()
+			logView("federation final")
+			return nil
+		case err := <-errc:
+			if err != nil {
+				agg.Close()
+				return err
+			}
+		}
+	}
+}
+
+// federationMetricsHandler renders the aggregator's merged view as
+// Prometheus text: the fleet-wide counter folds, the per-edge accounts
+// (labelled by edge), and the federation's own lifecycle counters.
+func federationMetricsHandler(agg *federate.Aggregator) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		v := agg.View()
+		fmt.Fprintln(w, "# HELP trader_federation Fleet-wide counter folds merged from every edge's rollup deltas.")
+		fmt.Fprintf(w, "trader_federation_devices %d\n", v.Devices)
+		metrics.WritePromCounters(w, "trader_federation", "", v.Counters)
+		for _, e := range v.Edges {
+			live := 0
+			if e.Live {
+				live = 1
+			}
+			label := fmt.Sprintf("edge=%q", e.ID)
+			fmt.Fprintf(w, "trader_federation_edge_live{%s} %d\n", label, live)
+			fmt.Fprintf(w, "trader_federation_edge_devices{%s} %d\n", label, e.Devices)
+			metrics.WritePromCounters(w, "trader_federation_edge", label, e.Counters)
+		}
+		fmt.Fprintf(w, "trader_federation_migrations_total %d\n", v.Migrations)
+		fmt.Fprintf(w, "trader_federation_adoptions_total %d\n", v.Adoptions)
+		fmt.Fprintf(w, "trader_federation_handoffs_total %d\n", v.Handoffs)
+	})
+}

@@ -44,12 +44,27 @@
 // top suspect code block and the FMEA-weighted component verdict; -replay
 // -diagnose reconstructs the identical ranking offline from the journal.
 //
+// With -edge upstream=ADDR,range=N/M the ingestion daemon joins a
+// federation (ARCHITECTURE.md §7): it serves the devices whose IDs hash
+// into range N of M (fleet.RangeOf), dials the aggregator at ADDR, and
+// streams rollup deltas of everything it counts — fleet, connection,
+// shed/latency, recovery and diagnosis rollups — upstream, carrying out
+// live device migrations and journal adoptions the aggregator directs.
+// With -aggregate the daemon is the other end: -listen accepts edge
+// uplinks instead of devices, the merged fleet-wide view is logged
+// periodically and served on -metrics, -ranges M fixes the hash-range
+// count, -failover-seconds G directs a surviving edge to adopt a dead
+// edge's journal after G seconds, and -journal DIR persists the ownership
+// record so a restarted aggregator recovers its range map.
+//
 // Usage:
 //
 //	traderd [-socket /tmp/trader.sock] [-suo tv|mediaplayer] [-v]
 //	traderd -listen unix:/tmp/trader-fleet.sock,tcp:127.0.0.1:7700 [-suo tv|light] [-shards 8] [-journal DIR] [-recover default] [-diagnose ochiai] [-v]
 //	traderd -fleet 1000 [-shards 8] [-fleet-seconds 5] [-v]
 //	traderd -replay DIR [-suo light] [-shards 8] [-diagnose ochiai] [-v]
+//	traderd -listen tcp:127.0.0.1:7801 -edge upstream=tcp:127.0.0.1:7800,range=0/2 [-journal DIR]
+//	traderd -aggregate -listen tcp:127.0.0.1:7800 [-ranges 2] [-failover-seconds 10] [-journal DIR] [-metrics ADDR]
 package main
 
 import (
@@ -70,6 +85,7 @@ import (
 	"trader/internal/core"
 	"trader/internal/diagnose"
 	"trader/internal/exper"
+	"trader/internal/federate"
 	"trader/internal/fleet"
 	"trader/internal/journal"
 	"trader/internal/mediaplayer"
@@ -100,13 +116,32 @@ func main() {
 	creditWindow := flag.Int("credit-window", 0, "frame-credit window granted to each -listen connection; compliant clients block when it is spent, violators are disconnected (0: flow control off)")
 	shed := flag.Bool("shed", false, "tiered load shedding in -listen mode: observations drop at 75% shard-queue pressure, heartbeats at 95%, control traffic never")
 	metricsAddr := flag.String("metrics", "", "serve the latency-SLO plane as Prometheus text on this HTTP address in -listen mode (e.g. 127.0.0.1:9464)")
+	edgeSpec := flag.String("edge", "", "federation edge uplink for -listen mode: upstream=ADDR,range=N/M — stream rollup deltas to an aggregator and accept live migrations")
+	aggregate := flag.Bool("aggregate", false, "run as the federation aggregator: -listen addresses accept edge uplinks instead of devices")
+	ranges := flag.Int("ranges", 2, "device-ID hash range count of the federation (-aggregate mode; must match every edge's range=N/M)")
+	failoverSecs := flag.Int("failover-seconds", 10, "grace period before the aggregator directs a survivor to adopt a dead edge's journal (-aggregate mode; 0: off)")
 	flag.Parse()
 
 	if *journalDir != "" && *listen == "" {
 		// Only -listen mode journals; silently accepting the flag elsewhere
 		// (including -replay, which only reads a journal) would leave an
 		// operator believing frames are durable when nothing is written.
-		log.Fatalf("traderd: -journal requires -listen (only the ingestion daemon journals frames)")
+		log.Fatalf("traderd: -journal requires -listen (only the ingestion daemon and the aggregator journal)")
+	}
+	if *aggregate {
+		if *listen == "" {
+			log.Fatalf("traderd: -aggregate requires -listen (the addresses edge uplinks dial)")
+		}
+		if *edgeSpec != "" {
+			log.Fatalf("traderd: -aggregate and -edge are different tiers of the federation; run them as separate processes")
+		}
+		if err := runAggregate(*listen, *journalDir, *ranges, *failoverSecs, *statsEvery, *metricsAddr, *verbose); err != nil {
+			log.Fatalf("traderd: aggregate: %v", err)
+		}
+		return
+	}
+	if *edgeSpec != "" && *listen == "" {
+		log.Fatalf("traderd: -edge requires -listen (the edge keeps ingesting devices; the uplink rides on top)")
 	}
 	if *replayDir != "" {
 		if err := runReplay(*replayDir, *suo, *shards, *diagCoeff, *verbose); err != nil {
@@ -135,7 +170,7 @@ func main() {
 	if *listen != "" {
 		diag := diagConfig{Coeff: *diagCoeff, Blocks: *diagBlocks, Cohort: *diagCohort}
 		over := overloadConfig{CreditWindow: *creditWindow, Shed: *shed, MetricsAddr: *metricsAddr}
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, over, *verbose); err != nil {
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, over, *edgeSpec, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
 		}
 		return
@@ -344,7 +379,7 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 // diagnosis plane additionally pulls coverage snapshots from escalated
 // devices and healthy cohorts, folds them into a fleet-level spectrum and
 // logs periodic top-suspect rollups.
-func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, cpSecs int, diag diagConfig, over overloadConfig, verbose bool) error {
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, cpSecs int, diag diagConfig, over overloadConfig, edgeSpec string, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -501,6 +536,21 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		defer close(cpDone)
 		go cper.Run(time.Duration(cpSecs)*time.Second, cpDone)
 		log.Printf("traderd: checkpointing fleet state every %ds (journal truncates to the newest checkpoint)", cpSecs)
+	}
+	if edgeSpec != "" {
+		e := &federate.Edge{
+			Sample:  federate.PoolSampler(pool, srv),
+			Pool:    pool,
+			Factory: factory,
+		}
+		if jw != nil {
+			e.Journal = jw
+		}
+		stopEdge, err := startEdge(edgeSpec, journalDir, e, ctl, eng)
+		if err != nil {
+			return err
+		}
+		defer stopEdge()
 	}
 
 	errc := make(chan error, 8)

@@ -83,7 +83,7 @@ func chaosObsMessage(id string, at sim.Time) wire.Message {
 // runChaos drives the soak: n devices, one goroutine each, playing their
 // role in a loop until the wall deadline. -duration is wall seconds here —
 // chaos is a wall-clock soak, not a virtual-time scenario.
-func runChaos(addr string, n int, codec string, seed int64, wallSecs int, dur wire.Durability) error {
+func runChaos(addr, prefix string, n int, codec string, seed int64, wallSecs int, dur wire.Durability) error {
 	log.Printf("tvsim: chaos soak: %d devices against %s for %ds (roles: flood, hostile, churn, flap, slowread, byzantine + steady baseline)",
 		n, addr, wallSecs)
 	deadline := time.Now().Add(time.Duration(wallSecs) * time.Second)
@@ -96,7 +96,7 @@ func runChaos(addr string, n int, codec string, seed int64, wallSecs int, dur wi
 	var wg sync.WaitGroup
 	for i := 0; i < n; i++ {
 		role := chaosRoles[i%len(chaosRoles)]
-		id := fmt.Sprintf("chaos-%s-%04d", role, i)
+		id := fmt.Sprintf("%s-%s-%04d", prefix, role, i)
 		t := tallies[role]
 		rng := sim.NewKernel(seed + int64(i)).Rand()
 		jitter := time.Duration(rng.Intn(20)) * time.Millisecond

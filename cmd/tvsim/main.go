@@ -83,6 +83,7 @@ func main() {
 	pace := flag.Float64("pace", 0, "in -connect mode, virtual seconds per wall second (0: run as fast as possible); paced fleets behave like real-time devices")
 	durability := flag.String("durability", string(wire.DurFsync), "in -connect mode, durability class to request in the Hello handshake: fsync (ack = journaled) or dispatch (ack = monitored; long-tail devices)")
 	chaos := flag.Bool("chaos", false, "in -connect mode, run the overload soak instead of the fleet scenario: floods, credit-hostile clients, connection churn, flapping, slow readers and byzantine frames around a steady baseline; -duration is wall seconds")
+	idPrefix := flag.String("id-prefix", "tvsim", "in -connect mode, device-ID prefix (IDs are PREFIX-000000…); give each tvsim instance its own prefix when several feed one fleet — e.g. one per federation edge — so their device identities stay disjoint")
 	flag.Parse()
 
 	schedule, err := parseFaults(*faultList)
@@ -98,14 +99,14 @@ func main() {
 		if *connect == "" {
 			log.Fatalf("tvsim: -chaos requires -connect (it soaks a live traderd)")
 		}
-		if err := runChaos(*connect, *n, *codec, *seed, *duration, dur); err != nil {
+		if err := runChaos(*connect, *idPrefix, *n, *codec, *seed, *duration, dur); err != nil {
 			log.Fatalf("tvsim: chaos: %v", err)
 		}
 		return
 	}
 
 	if *connect != "" {
-		if err := runFleet(*connect, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, dur, schedule); err != nil {
+		if err := runFleet(*connect, *idPrefix, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, dur, schedule); err != nil {
 			log.Fatalf("tvsim: connect: %v", err)
 		}
 		return
@@ -467,7 +468,7 @@ func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float
 }
 
 // runFleet drives n concurrent remote TVs against the ingestion daemon.
-func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, dur wire.Durability, schedule []faults.Fault) error {
+func runFleet(addr, prefix string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, dur wire.Durability, schedule []faults.Fault) error {
 	log.Printf("tvsim: connecting %d TVs to %s (codec %s, durability %s, faults on every %d'th)", n, addr, codec, dur, faultEvery)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -481,7 +482,7 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 			if faultEvery > 0 && i%faultEvery == 0 {
 				sched = schedule
 			}
-			id := fmt.Sprintf("tvsim-%06d", i)
+			id := fmt.Sprintf("%s-%06d", prefix, i)
 			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, blocks, pace, dur, sched)
 		}(i)
 	}
@@ -493,7 +494,7 @@ func runFleet(addr string, n int, codec string, seed int64, duration, faultEvery
 	for i := range stats {
 		if errs[i] != nil {
 			if firstErr == nil {
-				firstErr = fmt.Errorf("tvsim-%06d: %w", i, errs[i])
+				firstErr = fmt.Errorf("%s-%06d: %w", prefix, i, errs[i])
 			}
 			continue
 		}

@@ -24,6 +24,13 @@
 // and the fleet-folded program spectrum ranks the faulty code block with an
 // FMEA-weighted component verdict, reproducible byte-identically from the
 // journal (traderd -diagnose / -replay -diagnose).
+// internal/federate scales past one daemon — and carries the paper's E7
+// experiment (monitor migration between hosts) to production scale: edge
+// daemons own device-ID hash ranges and stream rollup deltas to an
+// aggregator serving the exact merged fleet view (traderd -edge /
+// -aggregate), devices migrate live between edges via checkpoint handoff,
+// and a SIGKILLed edge's devices are adopted from its journal by a
+// surviving peer with byte-identical monitor state.
 //
 // See ARCHITECTURE.md for the concept-to-package map and the full wire
 // protocol specification, README.md for the layout, DESIGN.md for the

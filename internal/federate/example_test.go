@@ -1,0 +1,35 @@
+package federate_test
+
+import (
+	"fmt"
+
+	"trader/internal/federate"
+)
+
+// The federation fold: per-edge cumulative counters merge by addition into
+// the fleet-wide view, and signed deltas against a credited baseline keep
+// the merged totals exact even while a migration moves state between edges.
+func Example() {
+	edgeA := federate.Counters{"outputs": 40, "deviations": 2}
+	edgeB := federate.Counters{"outputs": 20}
+
+	// The aggregator credits each edge's first (full-state) delta.
+	view := federate.Counters{}
+	view.Add(edgeA)
+	view.Add(edgeB)
+
+	// A live migration moves a device (30 outputs, 2 deviations) from A to
+	// B: A's cumulative state legitimately decreases — deltas are signed —
+	// and the two edges' next deltas cancel exactly in the merged view.
+	prevA, prevB := edgeA.Clone(), edgeB.Clone()
+	edgeA = federate.Counters{"outputs": 10}
+	edgeB = federate.Counters{"outputs": 50, "deviations": 2}
+	view.Add(edgeA.Diff(prevA))
+	view.Add(edgeB.Diff(prevB))
+
+	fmt.Println("outputs:", view["outputs"])
+	fmt.Println("deviations:", view["deviations"])
+	// Output:
+	// outputs: 60
+	// deviations: 2
+}

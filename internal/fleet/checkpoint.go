@@ -132,12 +132,11 @@ func (p *Pool) RestoreDeviceCheckpoint(id string, cp *wire.Checkpoint) error {
 	return <-errc
 }
 
-// RestoreShardBaseline re-applies a PlaneShard checkpoint record's traffic
-// counters as the shard's rollup baseline. Restoring the same shard again
-// (a later checkpoint in the same journal) overwrites, it does not add.
-func (p *Pool) RestoreShardBaseline(cp *wire.Checkpoint) {
+// baselineFromCounters parses the PlaneShard counter-name convention into a
+// baseline struct (unknown names are ignored, like unknown JSON fields).
+func baselineFromCounters(counters []wire.CheckpointCounter) shardBaseline {
 	var b shardBaseline
-	for _, c := range cp.Counters {
+	for _, c := range counters {
 		switch c.Name {
 		case "dispatched":
 			b.Dispatched = c.V
@@ -153,12 +152,27 @@ func (p *Pool) RestoreShardBaseline(cp *wire.Checkpoint) {
 			b.ShedHeartbeats = c.V
 		}
 	}
+	return b
+}
+
+// setBaseline installs a baseline under key, overwriting any previous value
+// for the same key; Rollup sums across keys.
+func (p *Pool) setBaseline(key string, b shardBaseline) {
 	p.baseMu.Lock()
 	if p.baselines == nil {
-		p.baselines = make(map[int]shardBaseline)
+		p.baselines = make(map[string]shardBaseline)
 	}
-	p.baselines[cp.Shard] = b
+	p.baselines[key] = b
 	p.baseMu.Unlock()
+}
+
+// RestoreShardBaseline re-applies a PlaneShard checkpoint record's traffic
+// counters as the shard's rollup baseline. Restoring the same shard again
+// (a later checkpoint in the same journal) overwrites, it does not add;
+// baselines adopted from another edge's journal (AdoptBaseline) live under
+// their own keys and are unaffected.
+func (p *Pool) RestoreShardBaseline(cp *wire.Checkpoint) {
+	p.setBaseline(fmt.Sprintf("shard-%d", cp.Shard), baselineFromCounters(cp.Counters))
 }
 
 // Checkpointer periodically writes global checkpoints: it freezes the

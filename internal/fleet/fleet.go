@@ -110,11 +110,13 @@ type Pool struct {
 
 	devices atomic.Int64
 
-	// baseMu guards baselines: per-shard counter values restored from
-	// checkpoint records (see checkpoint.go). Rollup adds them to the live
-	// shard counters, which restart from zero after a crash.
+	// baseMu guards baselines: counter values restored from checkpoint
+	// records ("shard-N" keys, overwritten by later checkpoints of the same
+	// shard) or adopted from another edge's journal after a federation
+	// failover ("adopt-<edge>" keys; see AdoptBaseline). Rollup adds them
+	// to the live shard counters, which restart from zero after a crash.
 	baseMu    sync.Mutex
-	baselines map[int]shardBaseline
+	baselines map[string]shardBaseline
 
 	// term is closed once every shard worker has exited; receiving from it
 	// orders reads of the shards' final counters after their last writes.
@@ -178,16 +180,27 @@ func (p *Pool) Shards() int { return p.opts.Shards }
 // Size returns the current device count.
 func (p *Pool) Size() int { return int(p.devices.Load()) }
 
-// ShardOf returns the shard index the device ID routes to. The mapping is a
-// pure function of the ID and the shard count. FNV-1a is inlined over the
-// string: this sits on the per-event dispatch path and must not allocate.
-func (p *Pool) ShardOf(id string) int {
+// RangeOf returns the bucket in [0,n) the device ID hashes to: the same
+// inlined FNV-1a that routes events to shards inside a pool (ShardOf), made
+// available as a pure function so the federation tier assigns device-ID
+// ranges to edge ingesters with the identical mapping. A device's edge and
+// its shard within that edge are the one hash taken modulo two different
+// counts.
+func RangeOf(id string, n int) int {
 	h := uint32(2166136261)
 	for i := 0; i < len(id); i++ {
 		h ^= uint32(id[i])
 		h *= 16777619
 	}
-	return int(h % uint32(len(p.shards)))
+	return int(h % uint32(n))
+}
+
+// ShardOf returns the shard index the device ID routes to. The mapping is a
+// pure function of the ID and the shard count (RangeOf over the shard
+// count). FNV-1a is inlined over the string: this sits on the per-event
+// dispatch path and must not allocate.
+func (p *Pool) ShardOf(id string) int {
+	return RangeOf(id, len(p.shards))
 }
 
 // send submits fn to shard i unless the pool is stopped.

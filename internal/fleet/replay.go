@@ -23,13 +23,14 @@ type ReplayStats struct {
 	Evidence    int // labeled diagnosis-evidence records (snapshot frames)
 	Checkpoints int // checkpoint records restored (all planes)
 	Sheds       int // shed-marker records re-applied to the shard counters
+	Handoffs    int // handoff records re-applied (departures, arrivals, adopted baselines)
 	Devices     int // devices rebuilt through the factory
 	Skipped     int // records with nothing to replay (no ID, no event, foreign type)
 }
 
 func (st ReplayStats) String() string {
-	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions + %d evidence + %d checkpoint + %d shed records into %d devices (%d skipped)",
-		st.Frames, st.Heartbeats, st.Actions, st.Evidence, st.Checkpoints, st.Sheds, st.Devices, st.Skipped)
+	return fmt.Sprintf("%d frames + %d heartbeats + %d recovery actions + %d evidence + %d checkpoint + %d shed + %d handoff records into %d devices (%d skipped)",
+		st.Frames, st.Heartbeats, st.Actions, st.Evidence, st.Checkpoints, st.Sheds, st.Handoffs, st.Devices, st.Skipped)
 }
 
 // Replay rebuilds fleet state from a journal written by Server.Journal: the
@@ -90,6 +91,46 @@ func (p *Pool) Replay(r *journal.Reader, factory MonitorFactory) (ReplayStats, e
 			}
 			p.AddShed(id, *m.Shed)
 			st.Sheds++
+			continue
+		case wire.TypeHandoff:
+			// A federation migration record (ARCHITECTURE.md §7.3/§7.4),
+			// journaled write-ahead on both sides of a device's move so
+			// replay reconstructs ownership exactly:
+			//   - departure (Out=true): the device left this edge; remove it
+			//     and let any later record rebuild it from scratch.
+			//   - arrival (Out=false, device checkpoint): the device joined
+			//     this edge mid-history; build it and assign the handed-over
+			//     state absolutely, like a PlaneDevice checkpoint.
+			//   - adopted baseline (no SUO, PlaneFleet checkpoint): a dead
+			//     peer's pool counters absorbed during failover.
+			if m.Handoff == nil {
+				st.Skipped++
+				continue
+			}
+			switch {
+			case id != "" && m.Handoff.Out:
+				if _, err := p.RemoveDevice(id); err != nil {
+					return st, err
+				}
+				delete(seen, id)
+				st.Handoffs++
+			case id != "" && m.Checkpoint != nil:
+				if err := p.RestoreHandoff(id, m.Checkpoint, factory); err != nil {
+					return st, err
+				}
+				if !seen[id] {
+					st.Devices++
+					seen[id] = true
+				}
+				st.Handoffs++
+			case id == "" && m.Checkpoint != nil && m.Checkpoint.Plane == wire.PlaneFleet && m.Handoff.From != "":
+				p.AdoptBaseline(m.Handoff.From, m.Checkpoint.Counters)
+				st.Handoffs++
+			default:
+				// Aggregator range repoints and other ownership metadata:
+				// nothing to rebuild in a pool.
+				st.Skipped++
+			}
 			continue
 		case wire.TypeCheckpoint:
 			if m.Checkpoint == nil {

@@ -10,6 +10,7 @@ import (
 	"io"
 	"math"
 	"math/bits"
+	"sort"
 	"strconv"
 	"sync/atomic"
 	"time"
@@ -212,5 +213,25 @@ func (s *Snapshot) WriteProm(w io.Writer, name, labels string, edges []time.Dura
 	} else {
 		fmt.Fprintf(w, "%s_sum{%s} %s\n", name, labels, strconv.FormatFloat(s.Sum().Seconds(), 'g', -1, 64))
 		fmt.Fprintf(w, "%s_count{%s} %d\n", name, labels, s.count)
+	}
+}
+
+// WritePromCounters renders a named counter set as Prometheus text, one
+// `<prefix>_<name>` line per counter in sorted name order (scrape-stable
+// output). labels is rendered verbatim inside braces when non-empty. The
+// federation aggregator uses it to serve its merged fleet-wide view; any
+// map of order-independent integer folds renders the same way.
+func WritePromCounters(w io.Writer, prefix, labels string, counters map[string]int64) {
+	names := make([]string, 0, len(counters))
+	for name := range counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if labels == "" {
+			fmt.Fprintf(w, "%s_%s %d\n", prefix, name, counters[name])
+		} else {
+			fmt.Fprintf(w, "%s_%s{%s} %d\n", prefix, name, labels, counters[name])
+		}
 	}
 }

@@ -157,3 +157,18 @@ func TestWriteProm(t *testing.T) {
 		t.Errorf("unlabeled rendering wrong:\n%s", sb2.String())
 	}
 }
+
+// WritePromCounters renders sorted, label-correct counter lines.
+func TestWritePromCounters(t *testing.T) {
+	var sb strings.Builder
+	WritePromCounters(&sb, "trader_federation", "", map[string]int64{"outputs": 60, "deviations": 2})
+	want := "trader_federation_deviations 2\ntrader_federation_outputs 60\n"
+	if sb.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+	sb.Reset()
+	WritePromCounters(&sb, "trader_federation", `edge="edge-0"`, map[string]int64{"outputs": -3})
+	if got, want := sb.String(), "trader_federation_outputs{edge=\"edge-0\"} -3\n"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

@@ -95,6 +95,7 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //	str  Codec
 //	str  Durability
 //	uvar Credits
+//	str  Role
 //	-- if flags bit0, the event record:
 //	u8   kind; str name; str source; var at; uvar seq
 //	uvar n; n × (str name, 8-byte little-endian IEEE 754 value)
@@ -116,6 +117,11 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //	uvar n; n × (str id, var at, uvar k, k × uvar)   devices
 //	-- if flags bit4, the shed-marker record:
 //	uvar observations; uvar heartbeats
+//	-- if flags bit5, the rollup delta:
+//	uvar seq; var devices
+//	uvar n; n × (str name, var v)             signed counter deltas
+//	-- if flags bit6, the handoff record:
+//	str from; str to; uvar pos; uvar range; uvar of; str dir; u8 out
 //
 // Strings are length-checked against the remaining payload before any
 // allocation, so a hostile length cannot force a large allocation beyond
@@ -130,8 +136,13 @@ const (
 	flagSnapshot   = 1 << 2
 	flagCheckpoint = 1 << 3
 	flagShed       = 1 << 4
+	flagRollup     = 1 << 5
+	flagHandoff    = 1 << 6
 )
 
+// tagOfType assigns every message type its binary wire tag. ARCHITECTURE.md
+// §2.9 carries the normative frame registry; TestFrameRegistry (run by
+// `make docs`) fails the build when this map and that table disagree.
 var tagOfType = map[MsgType]byte{
 	TypeHello:       1,
 	TypeInput:       2,
@@ -147,6 +158,8 @@ var tagOfType = map[MsgType]byte{
 	TypeCheckpoint:  12,
 	TypeCredit:      13,
 	TypeShed:        14,
+	TypeRollup:      15,
+	TypeHandoff:     16,
 }
 
 var typeOfTag = func() map[byte]MsgType {
@@ -187,6 +200,12 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	if m.Shed != nil {
 		flags |= flagShed
 	}
+	if m.Rollup != nil {
+		flags |= flagRollup
+	}
+	if m.Handoff != nil {
+		flags |= flagHandoff
+	}
 	dst = append(dst, tag, flags)
 	dst = appendStr(dst, m.SUO)
 	dst = binary.AppendVarint(dst, int64(m.At))
@@ -195,6 +214,7 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	dst = appendStr(dst, m.Codec)
 	dst = appendStr(dst, string(m.Durability))
 	dst = binary.AppendUvarint(dst, uint64(m.Credits))
+	dst = appendStr(dst, m.Role)
 	if e := m.Event; e != nil {
 		dst = append(dst, byte(e.Kind))
 		dst = appendStr(dst, e.Name)
@@ -297,6 +317,28 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 		dst = binary.AppendUvarint(dst, sh.Observations)
 		dst = binary.AppendUvarint(dst, sh.Heartbeats)
 	}
+	if ro := m.Rollup; ro != nil {
+		dst = binary.AppendUvarint(dst, ro.Seq)
+		dst = binary.AppendVarint(dst, ro.Devices)
+		dst = binary.AppendUvarint(dst, uint64(len(ro.Counters)))
+		for _, c := range ro.Counters {
+			dst = appendStr(dst, c.Name)
+			dst = binary.AppendVarint(dst, c.V)
+		}
+	}
+	if h := m.Handoff; h != nil {
+		dst = appendStr(dst, h.From)
+		dst = appendStr(dst, h.To)
+		dst = binary.AppendUvarint(dst, h.Pos)
+		dst = binary.AppendUvarint(dst, uint64(h.Range))
+		dst = binary.AppendUvarint(dst, uint64(h.Of))
+		dst = appendStr(dst, h.Dir)
+		var out byte
+		if h.Out {
+			out = 1
+		}
+		dst = append(dst, out)
+	}
 	return dst, nil
 }
 
@@ -395,6 +437,7 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 	m.Codec = r.str("codec")
 	m.Durability = Durability(r.str("durability"))
 	m.Credits = uint32(r.uvar("credits"))
+	m.Role = r.str("role")
 	if flags&flagEvent != 0 {
 		e := &event.Event{}
 		e.Kind = event.Kind(r.u8("event kind"))
@@ -583,6 +626,39 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 		sh.Heartbeats = r.uvar("shed heartbeats")
 		if r.err == nil {
 			m.Shed = sh
+		}
+	}
+	if flags&flagRollup != 0 {
+		ro := &RollupDelta{}
+		ro.Seq = r.uvar("rollup seq")
+		ro.Devices = r.varint("rollup devices")
+		n := r.uvar("rollup counter count")
+		// A counter takes ≥ 2 bytes; length-check before allocation.
+		if r.err == nil && n > uint64(len(r.b))/2 {
+			r.fail("rollup counter count")
+		}
+		if r.err == nil && n > 0 {
+			ro.Counters = make([]RollupCounter, n)
+			for i := range ro.Counters {
+				ro.Counters[i].Name = r.str("rollup counter name")
+				ro.Counters[i].V = r.varint("rollup counter value")
+			}
+		}
+		if r.err == nil {
+			m.Rollup = ro
+		}
+	}
+	if flags&flagHandoff != 0 {
+		h := &HandoffRecord{}
+		h.From = r.str("handoff from")
+		h.To = r.str("handoff to")
+		h.Pos = r.uvar("handoff pos")
+		h.Range = int(r.uvar("handoff range"))
+		h.Of = int(r.uvar("handoff of"))
+		h.Dir = r.str("handoff dir")
+		h.Out = r.u8("handoff out") != 0
+		if r.err == nil {
+			m.Handoff = h
 		}
 	}
 	if r.err != nil {

@@ -44,6 +44,16 @@ func sampleMessages() []Message {
 		{Type: TypeHeartbeat, SUO: "tv-0001", At: 2000, Credits: 64},
 		{Type: TypeShed, SUO: "tv-0001", At: 2100, Shed: &ShedRecord{Observations: 17, Heartbeats: 2}},
 		{Type: TypeShed, SUO: "tv-0001", Shed: &ShedRecord{}},
+		{Type: TypeHello, SUO: "edge-0", Codec: CodecBinary, Role: RoleEdge,
+			Handoff: &HandoffRecord{From: "edge-0", Range: 0, Of: 2, Dir: "/tmp/edge0"}},
+		{Type: TypeRollup, SUO: "edge-0", Rollup: &RollupDelta{Seq: 3, Devices: 16,
+			Counters: []RollupCounter{{Name: "dispatched", V: 120}, {Name: "comparisons", V: -7}}}},
+		{Type: TypeRollup, SUO: "edge-1", Rollup: &RollupDelta{}}, // empty resume baseline
+		{Type: TypeHandoff, SUO: "dev-000007", At: 910,
+			Handoff: &HandoffRecord{From: "edge-0", To: "edge-1", Pos: 4321},
+			Checkpoint: &Checkpoint{Plane: PlaneDevice, At: 910,
+				Counters: []CheckpointCounter{{Name: "comparisons", V: 12}}}},
+		{Type: TypeHandoff, SUO: "dev-000007", Handoff: &HandoffRecord{From: "edge-0", Out: true}},
 	}
 }
 
@@ -231,6 +241,56 @@ func TestHandshakeUnknownCodecFallsBackToJSON(t *testing.T) {
 	}
 	if client.Encoder.codec.Name() != CodecJSON {
 		t.Fatalf("client switched to %s, want json", client.Encoder.codec.Name())
+	}
+}
+
+// HandshakeEdge negotiates the edge role: the claim rides the Hello, the
+// reply must echo RoleEdge, and the codec switch still happens.
+func TestHandshakeEdge(t *testing.T) {
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	client, server := NewConn(a), NewConn(b)
+	done := make(chan error, 1)
+	var hello Message
+	go func() {
+		var err error
+		hello, err = server.ReadHello()
+		if err == nil {
+			_, err = server.ReplyHello(hello)
+		}
+		done <- err
+	}()
+	claim := HandoffRecord{From: "edge-0", Range: 1, Of: 2, Dir: "/tmp/e0"}
+	codec, err := client.HandshakeEdge("edge-0", CodecBinary, claim)
+	if err != nil {
+		t.Fatalf("HandshakeEdge: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("server side: %v", err)
+	}
+	if codec.Name() != CodecBinary {
+		t.Fatalf("accepted codec = %s, want binary", codec.Name())
+	}
+	if hello.Role != RoleEdge || hello.Handoff == nil || *hello.Handoff != claim {
+		t.Fatalf("server saw hello = %+v", hello)
+	}
+}
+
+// A pre-federation server replies without echoing the role; the edge must
+// refuse to treat it as an aggregator.
+func TestHandshakeEdgeRejectsRolelessServer(t *testing.T) {
+	a, b := net.Pipe()
+	t.Cleanup(func() { a.Close(); b.Close() })
+	client, server := NewConn(a), NewConn(b)
+	go func() {
+		hello, err := server.ReadHello()
+		if err == nil {
+			hello.Role = "" // a server from before roles existed
+			_, _ = server.ReplyHello(hello)
+		}
+	}()
+	if _, err := client.HandshakeEdge("edge-0", CodecBinary, HandoffRecord{}); err == nil {
+		t.Fatal("HandshakeEdge should fail when the reply lacks the edge role")
 	}
 }
 

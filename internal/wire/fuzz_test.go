@@ -85,6 +85,13 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeCredit, SUO: "fuzz-dev", Credits: 1 << 31},
 		{Type: TypeHeartbeat, SUO: "fuzz-dev", At: 103, Credits: 7},
 		{Type: TypeShed, SUO: "fuzz-dev", At: 104, Shed: &ShedRecord{Observations: 1 << 40, Heartbeats: 3}},
+		{Type: TypeHello, SUO: "fuzz-edge", Codec: CodecBinary, Role: RoleEdge,
+			Handoff: &HandoffRecord{From: "fuzz-edge", Range: 1, Of: 2, Dir: "/tmp/j"}},
+		{Type: TypeRollup, SUO: "fuzz-edge", Rollup: &RollupDelta{Seq: 9, Devices: 1 << 20,
+			Counters: []RollupCounter{{Name: "dispatched", V: -1 << 40}, {Name: "reports", V: 3}}}},
+		{Type: TypeHandoff, SUO: "fuzz-dev", At: 105,
+			Handoff:    &HandoffRecord{From: "fuzz-edge", To: "other", Pos: 1 << 33},
+			Checkpoint: &Checkpoint{Plane: PlaneDevice, Counters: []CheckpointCounter{{Name: "c", V: 1}}}},
 	}
 	for _, codec := range []Codec{JSON, Binary} {
 		var buf bytes.Buffer

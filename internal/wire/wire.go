@@ -62,6 +62,35 @@ const (
 	// fleet rollups still balance. Shed markers never cross a live
 	// connection.
 	TypeShed MsgType = "shed"
+	// TypeRollup (edge ⇄ aggregator) streams the federation tier's
+	// rollup-delta protocol: an edge periodically flushes the signed delta
+	// of its cumulative fleet counters since the last acknowledged flush
+	// (the Rollup payload), and the aggregator replies with a TypeAck whose
+	// At field echoes Rollup.Seq. The aggregator also sends one TypeRollup
+	// downstream right after the Hello exchange — the resume baseline: the
+	// cumulative totals it has already credited to that edge, so a
+	// reconnecting edge resumes the delta stream without double counting.
+	// See ARCHITECTURE.md §7.2.
+	TypeRollup MsgType = "rollup"
+	// TypeHandoff carries a live device migration (edge ⇄ aggregator) and
+	// doubles as the journal record that makes ownership changes
+	// replayable: the Handoff payload names source and destination edge,
+	// SUO names the device, and the frame-level Checkpoint payload carries
+	// the device's monitor snapshot captured behind the migration barrier.
+	// Journaled write-ahead on both edges (Handoff.Out distinguishes the
+	// departure record from the arrival record) and on the aggregator (the
+	// range-map repoint). See ARCHITECTURE.md §7.3.
+	TypeHandoff MsgType = "handoff"
+)
+
+// Role is the connection role a client declares in its Hello. Empty means a
+// device (SUO) connection — the only role that existed before the
+// federation tier — so every pre-federation client remains valid.
+const (
+	// RoleEdge marks an edge-ingester uplink to an aggregator: the
+	// connection speaks the rollup-delta and handoff protocol of
+	// ARCHITECTURE.md §7 instead of the device observation protocol.
+	RoleEdge = "edge"
 )
 
 // Durability is the ack class a connection negotiates in the Hello
@@ -116,6 +145,20 @@ const (
 	// dispatching to it and its connection is closed; the SUO must stop
 	// streaming.
 	CtrlQuarantine ControlCommand = "quarantine"
+	// CtrlMigrate (aggregator → edge, federation tier) asks the edge to
+	// migrate the device named in SUO to the edge named in Target: drain
+	// behind the shard barrier, capture, journal the departure, send a
+	// TypeHandoff frame upstream. The destination edge acks the completed
+	// restore with a TypeAck echoing this command. ARCHITECTURE.md §7.3.
+	CtrlMigrate ControlCommand = "migrate"
+	// CtrlAdopt (aggregator → edge, federation tier) asks a surviving edge
+	// to absorb a dead peer: SUO names the dead edge, Target its
+	// advertised journal directory. The survivor replays the journal,
+	// re-journals every recovered device as a handoff arrival plus the
+	// peer's pool counters as an adopted baseline, and acks with a TypeAck
+	// echoing this command — at which point the aggregator repoints the
+	// dead edge's ranges. ARCHITECTURE.md §7.4.
+	CtrlAdopt ControlCommand = "adopt"
 )
 
 // Ack builds the SUO-side acknowledgement frame for a control command the
@@ -203,6 +246,70 @@ type Message struct {
 	Credits uint32 `json:"credits,omitempty"`
 	// Shed carries a shed-marker record (TypeShed frames, journal-only).
 	Shed *ShedRecord `json:"shed,omitempty"`
+	// Role is carried by Hello frames only: the client's declared
+	// connection role (RoleEdge for an edge uplink), echoed in the server's
+	// reply when accepted. Empty means a device connection.
+	Role string `json:"role,omitempty"`
+	// Rollup carries a federation rollup delta (TypeRollup frames).
+	Rollup *RollupDelta `json:"rollup,omitempty"`
+	// Handoff carries a device-migration handoff (TypeHandoff frames and
+	// journal records; also attached to edge Hello frames as the range
+	// claim — see HandoffRecord).
+	Handoff *HandoffRecord `json:"handoff,omitempty"`
+}
+
+// RollupDelta is the payload of a TypeRollup frame: the signed change in an
+// edge's cumulative fleet counters since its last acknowledged flush. Every
+// fleet-level statistic in this repo is an order-independent integer fold,
+// so deltas compose exactly: the aggregator's merged view is the plain sum
+// of the deltas it has credited, regardless of arrival order across edges.
+// Deltas are signed because live migration moves a device's monitor
+// counters to another edge — the source's cumulative rollup legitimately
+// decreases by exactly what the destination's gains.
+type RollupDelta struct {
+	// Seq numbers the edge's flushes monotonically from 1; the aggregator
+	// acks a delta with a TypeAck frame whose At field carries Seq, and
+	// ignores (but still acks) any Seq it has already credited, making the
+	// delta stream idempotent across reconnects. In the aggregator's resume
+	// baseline Seq is the last sequence number it credited (0 if none).
+	Seq uint64 `json:"seq,omitempty"`
+	// Devices is the edge's absolute live-device count at flush time — a
+	// gauge, not a delta, so a restarted aggregator cannot drift it.
+	Devices int64 `json:"devices,omitempty"`
+	// Counters are the named signed counter deltas (cumulative in the
+	// resume baseline). Zero-delta counters are omitted.
+	Counters []RollupCounter `json:"counters,omitempty"`
+}
+
+// RollupCounter is one named signed counter delta.
+type RollupCounter struct {
+	Name string `json:"name"`
+	V    int64  `json:"v"`
+}
+
+// HandoffRecord is the payload of a TypeHandoff frame or journal record —
+// and, attached to an edge's Hello, the edge's range claim. The three uses
+// share the struct so the codec and the journal speak one layout:
+//
+//   - Edge Hello claim: From is the edge ID, Range/Of the contiguous
+//     device-ID hash range it serves (range Range of Of, fleet.RangeOf),
+//     Dir its journal directory (advertised so the aggregator can direct a
+//     surviving edge to adopt it after a crash; empty when not journaling).
+//   - Migration frame: SUO on the enclosing Message names the device, From
+//     and To the edges, Pos the source journal's record count at capture,
+//     and the Message's Checkpoint payload the monitor snapshot.
+//   - Journal record: the source edge journals the frame with Out=true
+//     before releasing the device (replay removes it); the destination
+//     journals it with Out=false before restoring (replay rebuilds it).
+//     The aggregator journals range repoints (Range set, no checkpoint).
+type HandoffRecord struct {
+	From  string `json:"from,omitempty"`
+	To    string `json:"to,omitempty"`
+	Pos   uint64 `json:"pos,omitempty"`
+	Range int    `json:"range,omitempty"`
+	Of    int    `json:"of,omitempty"`
+	Dir   string `json:"dir,omitempty"`
+	Out   bool   `json:"out,omitempty"`
 }
 
 // ShedRecord is the payload of a TypeShed journal record: how many of one
@@ -225,6 +332,12 @@ const (
 	PlaneShard = "shard"
 	// PlaneControl: the recovery controller's escalation ladder and tally.
 	PlaneControl = "control"
+	// PlaneFleet: a whole pool's summed traffic counters, carried on the
+	// TypeHandoff baseline record an edge journals when it adopts a dead
+	// peer's journal (ARCHITECTURE.md §7.4). Replay re-applies it as an
+	// additive rollup baseline keyed by the source edge, never colliding
+	// with the pool's own PlaneShard baselines.
+	PlaneFleet = "fleet"
 	// PlaneDiagnose: the fleet diagnosis spectrum, fold watermarks and
 	// tally.
 	PlaneDiagnose = "diagnose"
@@ -502,6 +615,36 @@ func (c *Conn) HandshakeFlow(suo, codec string, dur Durability) (Codec, Durabili
 	return accepted, granted, reply.Credits, nil
 }
 
+// HandshakeEdge performs the client side of the Hello exchange for an edge
+// uplink (federation tier, ARCHITECTURE.md §7.1): the Hello declares
+// RoleEdge, names the edge in SUO, and attaches the edge's range claim as a
+// Handoff payload. The aggregator's reply must echo RoleEdge — an empty
+// role in the reply means the server predates (or refuses) federation and
+// the uplink must not proceed. Returns the accepted codec.
+func (c *Conn) HandshakeEdge(edgeID, codec string, claim HandoffRecord) (Codec, error) {
+	err := c.Encode(Message{Type: TypeHello, SUO: edgeID, Codec: codec,
+		Role: RoleEdge, Handoff: &claim})
+	if err != nil {
+		return nil, fmt.Errorf("wire: edge handshake send: %w", err)
+	}
+	reply, err := c.Decode()
+	if err != nil {
+		return nil, fmt.Errorf("wire: edge handshake reply: %w", err)
+	}
+	if reply.Type == TypeError && reply.Error != nil {
+		return nil, fmt.Errorf("wire: edge handshake rejected: %s", reply.Error.Detail)
+	}
+	if reply.Type != TypeHello {
+		return nil, fmt.Errorf("wire: edge handshake reply has type %q, want %q", reply.Type, TypeHello)
+	}
+	if reply.Role != RoleEdge {
+		return nil, fmt.Errorf("wire: server did not grant the edge role (role %q)", reply.Role)
+	}
+	accepted, _ := CodecByName(reply.Codec)
+	c.SetCodec(accepted)
+	return accepted, nil
+}
+
 // ReadHello performs the first half of the server side of the Hello
 // exchange: it reads and checks the client's Hello frame without replying,
 // so the server can vet the identification (ID present, not a duplicate,
@@ -526,11 +669,13 @@ func (c *Conn) ReadHello() (Message, error) {
 // connection to the codec. hello.Credits is echoed the same way: a server
 // enforcing flow control overwrites it with the connection's initial
 // credit window before calling (clients request nothing — the window is
-// the server's to grant).
+// the server's to grant). hello.Role is echoed verbatim: a server that
+// grants an edge uplink leaves it as RoleEdge, a server that does not
+// understand roles never sees a non-empty one from its own clients.
 func (c *Conn) ReplyHello(hello Message) (Codec, error) {
 	codec, _ := CodecByName(hello.Codec)
 	reply := Message{Type: TypeHello, SUO: hello.SUO, Codec: codec.Name(),
-		Durability: hello.Durability, Credits: hello.Credits}
+		Durability: hello.Durability, Credits: hello.Credits, Role: hello.Role}
 	if err := c.Encode(reply); err != nil {
 		return nil, fmt.Errorf("wire: hello reply: %w", err)
 	}
