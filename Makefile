@@ -51,7 +51,7 @@ test-race:
 # so the perf trajectory is tracked across PRs. $(BENCHJSON) is committed
 # once per PR; the raw transcript in bench.out is scratch output and must
 # not be committed (CI fails the tree if it is).
-BENCHJSON ?= BENCH_8.json
+BENCHJSON ?= BENCH_9.json
 bench:
 	@$(GO) test -bench . -benchmem $(BENCHFLAGS) ./... > bench.out; status=$$?; \
 	cat bench.out; \

@@ -112,6 +112,7 @@ func main() {
 	diagCoeff := flag.String("diagnose", "", "fleet diagnosis coefficient for -listen mode (requires -recover; e.g. ochiai) or for -replay output; empty: off")
 	diagBlocks := flag.Int("diagnose-blocks", diagnose.DefaultBlocks, "instrumented block count of the fleet's spectral recorders (must match the clients)")
 	diagCohort := flag.Int("diagnose-cohort", diagnose.DefaultCohort, "healthy peers sampled per diagnosis episode")
+	diagCont := flag.Bool("diagnose-continuous", false, "continuous diagnosis: fold spectrum deltas piggybacked on client heartbeats as they arrive, with per-verdict partition rankings (requires -diagnose)")
 	cpSecs := flag.Int("checkpoint-seconds", 0, "write a global journal checkpoint every N seconds in -listen -journal mode, truncating covered segments (0: off)")
 	creditWindow := flag.Int("credit-window", 0, "frame-credit window granted to each -listen connection; compliant clients block when it is spent, violators are disconnected (0: flow control off)")
 	shed := flag.Bool("shed", false, "tiered load shedding in -listen mode: observations drop at 75% shard-queue pressure, heartbeats at 95%, control traffic never")
@@ -161,6 +162,9 @@ func main() {
 	if *diagCoeff != "" && *recoverPol == "" {
 		log.Fatalf("traderd: -diagnose requires -recover (diagnosis pulls evidence when the controller escalates) or -replay (offline)")
 	}
+	if *diagCont && *diagCoeff == "" {
+		log.Fatalf("traderd: -diagnose-continuous requires -diagnose (it feeds the diagnosis engine)")
+	}
 	if *cpSecs > 0 && *journalDir == "" {
 		log.Fatalf("traderd: -checkpoint-seconds requires -journal (checkpoints are journal resume points)")
 	}
@@ -168,7 +172,7 @@ func main() {
 		log.Fatalf("traderd: -credit-window, -shed and -metrics require -listen (they are ingestion-server overload controls)")
 	}
 	if *listen != "" {
-		diag := diagConfig{Coeff: *diagCoeff, Blocks: *diagBlocks, Cohort: *diagCohort}
+		diag := diagConfig{Coeff: *diagCoeff, Blocks: *diagBlocks, Cohort: *diagCohort, Continuous: *diagCont}
 		over := overloadConfig{CreditWindow: *creditWindow, Shed: *shed, MetricsAddr: *metricsAddr}
 		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, over, *edgeSpec, *verbose); err != nil {
 			log.Fatalf("traderd: ingest: %v", err)
@@ -268,9 +272,10 @@ func checkJournalProfile(dir, suo string) error {
 
 // diagConfig carries the -diagnose knobs into ingest mode.
 type diagConfig struct {
-	Coeff  string
-	Blocks int
-	Cohort int
+	Coeff      string
+	Blocks     int
+	Cohort     int
+	Continuous bool
 }
 
 // overloadConfig carries the overload-control knobs into ingest mode:
@@ -331,8 +336,8 @@ func runReplay(dir, suo string, shards int, diagCoeff string, verbose bool) erro
 			log.Printf("traderd: replay: journal holds no diagnosis evidence")
 			return nil
 		}
-		log.Printf("traderd: replayed diagnosis from %d evidence snapshots (%d windows, %d skipped):\n%s",
-			st.Snapshots, st.Windows, st.Skipped, res)
+		log.Printf("traderd: replayed diagnosis from %d evidence snapshots + %d deltas (%d windows, %d skipped):\n%s",
+			st.Snapshots, st.Deltas, st.Windows, st.Skipped, res)
 	}
 	return nil
 }
@@ -436,25 +441,14 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			log.Printf("traderd: %s: %s", device, r)
 		})
 	}
-	if over.MetricsAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", metricsHandler(pool, srv, jw))
-		msrv := &http.Server{Addr: over.MetricsAddr, Handler: mux}
-		go func() {
-			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("traderd: metrics: %v", err)
-			}
-		}()
-		defer msrv.Close()
-		log.Printf("traderd: serving latency-SLO metrics on http://%s/metrics", over.MetricsAddr)
-	}
 	var eng *diagnose.Engine
 	if diag.Coeff != "" {
 		coeff, ok := spectrum.CoefficientByName(diag.Coeff)
 		if !ok {
 			return fmt.Errorf("unknown coefficient %q", diag.Coeff)
 		}
-		opts := diagnose.Options{Requester: srv, Coeff: coeff, Blocks: diag.Blocks, Cohort: diag.Cohort}
+		opts := diagnose.Options{Requester: srv, Coeff: coeff, Blocks: diag.Blocks,
+			Cohort: diag.Cohort, Continuous: diag.Continuous}
 		if jw != nil {
 			opts.Journal = jw
 		}
@@ -464,7 +458,13 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		eng = diagnose.Attach(pool, opts)
 		defer eng.Close()
 		srv.OnSnapshot = eng.HandleSnapshot
-		log.Printf("traderd: fleet diagnosis on (%s over %d blocks, cohort %d)", coeff.Name, diag.Blocks, diag.Cohort)
+		mode := "episodic pulls"
+		if diag.Continuous {
+			srv.OnSpectrumDelta = eng.HandleSpectrumDelta
+			mode = "continuous heartbeat deltas + episodic pulls"
+		}
+		log.Printf("traderd: fleet diagnosis on (%s over %d blocks, cohort %d, %s)",
+			coeff.Name, diag.Blocks, diag.Cohort, mode)
 		if journalDir != "" {
 			// Warm-start from the journal's labeled evidence, so the live
 			// ranking resumes where the pre-restart engine stopped and a
@@ -479,9 +479,21 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 				return err
 			}
 			if n > 0 {
-				log.Printf("traderd: recovered %d diagnosis evidence snapshots from %s", n, journalDir)
+				log.Printf("traderd: recovered %d diagnosis evidence records from %s", n, journalDir)
 			}
 		}
+	}
+	if over.MetricsAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", metricsHandler(pool, srv, jw, eng))
+		msrv := &http.Server{Addr: over.MetricsAddr, Handler: mux}
+		go func() {
+			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				log.Printf("traderd: metrics: %v", err)
+			}
+		}()
+		defer msrv.Close()
+		log.Printf("traderd: serving latency-SLO metrics on http://%s/metrics", over.MetricsAddr)
 	}
 	var ctl *control.Controller
 	if recoverPol != "" {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 
+	"trader/internal/diagnose"
 	"trader/internal/fleet"
 	"trader/internal/journal"
 )
@@ -12,9 +13,10 @@ import (
 // (exposition format 0.0.4, stdlib only): the ingest-to-dispatch latency
 // histogram — aggregate and per shard, with the p50/p99/p999 the SLO is
 // stated over — next to the shed tiers, the flow-control counters, the
-// fleet rollup and the journal's group-commit ratio. One scrape answers
-// "is the fleet inside its SLO, and if not, what is it shedding?".
-func metricsHandler(pool *fleet.Pool, srv *fleet.Server, jw *journal.Sharded) http.Handler {
+// fleet rollup, the diagnosis plane (when -diagnose is on) and the
+// journal's group-commit ratio. One scrape answers "is the fleet inside
+// its SLO, and if not, what is it shedding?".
+func metricsHandler(pool *fleet.Pool, srv *fleet.Server, jw *journal.Sharded, eng *diagnose.Engine) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -55,6 +57,21 @@ func metricsHandler(pool *fleet.Pool, srv *fleet.Server, jw *journal.Sharded) ht
 		fmt.Fprintf(w, "trader_conns_accepted_total %d\n", cs.Accepted)
 		fmt.Fprintf(w, "trader_conns_rejected_total %d\n", cs.Rejected)
 		fmt.Fprintf(w, "trader_conns_disconnected_total %d\n", cs.Disconnected)
+
+		if eng != nil {
+			dro := eng.Rollup()
+			fmt.Fprintln(w, "# HELP trader_diagnose_dropped_total Diagnosis items shed on engine-inbox overflow. Nonzero means evidence was lost before folding.")
+			fmt.Fprintln(w, "# TYPE trader_diagnose_dropped_total counter")
+			fmt.Fprintf(w, "trader_diagnose_dropped_total %d\n", dro.Dropped)
+			fmt.Fprintf(w, "trader_diagnose_episodes_total %d\n", dro.Episodes)
+			fmt.Fprintf(w, "trader_diagnose_snapshots_total %d\n", dro.Snapshots)
+			fmt.Fprintf(w, "trader_diagnose_deltas_total %d\n", dro.Deltas)
+			fmt.Fprintln(w, "# TYPE trader_diagnose_windows_total counter")
+			fmt.Fprintf(w, "trader_diagnose_windows_total{label=\"fail\"} %d\n", dro.FailWindows)
+			fmt.Fprintf(w, "trader_diagnose_windows_total{label=\"pass\"} %d\n", dro.PassWindows)
+			fmt.Fprintf(w, "trader_diagnose_malformed_total %d\n", dro.Malformed)
+			fmt.Fprintf(w, "trader_diagnose_journal_errors_total %d\n", dro.JournalErrors)
+		}
 
 		if jw != nil {
 			js := jw.Stats()

@@ -83,9 +83,12 @@ func chaosObsMessage(id string, at sim.Time) wire.Message {
 // runChaos drives the soak: n devices, one goroutine each, playing their
 // role in a loop until the wall deadline. -duration is wall seconds here —
 // chaos is a wall-clock soak, not a virtual-time scenario.
-func runChaos(addr, prefix string, n int, codec string, seed int64, wallSecs int, dur wire.Durability) error {
+func runChaos(addr, prefix string, n int, codec string, seed int64, wallSecs int, dur wire.Durability, deltas bool, blocks int) error {
 	log.Printf("tvsim: chaos soak: %d devices against %s for %ds (roles: flood, hostile, churn, flap, slowread, byzantine + steady baseline)",
 		n, addr, wallSecs)
+	if deltas {
+		log.Printf("tvsim: chaos: compliant roles piggyback spectrum deltas (%d blocks) on their heartbeats", blocks)
+	}
 	deadline := time.Now().Add(time.Duration(wallSecs) * time.Second)
 	tallies := make(map[string]*chaosTally, len(chaosRoles))
 	for _, r := range chaosRoles {
@@ -107,9 +110,9 @@ func runChaos(addr, prefix string, n int, codec string, seed int64, wallSecs int
 			for time.Now().Before(deadline) {
 				switch role {
 				case "steady":
-					chaosCompliant(addr, id, codec, dur, t, deadline, time.Millisecond)
+					chaosCompliant(addr, id, codec, dur, t, deadline, time.Millisecond, deltas, blocks)
 				case "flood":
-					chaosCompliant(addr, id, codec, dur, t, deadline, 0)
+					chaosCompliant(addr, id, codec, dur, t, deadline, 0, deltas, blocks)
 				case "hostile":
 					chaosHostile(addr, id, codec, dur, t, deadline)
 				case "churn":
@@ -145,8 +148,12 @@ func runChaos(addr, prefix string, n int, codec string, seed int64, wallSecs int
 // chaosCompliant is one compliant session: stream observations honoring the
 // credit window (solicit-and-drain on exhaustion), heartbeat periodically,
 // disconnect cleanly at the deadline. pace 0 floods as fast as grants
-// allow; otherwise it sleeps pace per frame.
-func chaosCompliant(addr, id, codec string, dur wire.Durability, t *chaosTally, deadline time.Time, pace time.Duration) {
+// allow; otherwise it sleeps pace per frame. With deltas on, every drain
+// heartbeat carries a small spectrum delta first — the continuous-diagnosis
+// traffic a real device piggybacks, kept flowing while the hostile roles
+// rage, so the soak proves the diagnosis inbox sheds nothing
+// (trader_diagnose_dropped_total stays 0).
+func chaosCompliant(addr, id, codec string, dur wire.Durability, t *chaosTally, deadline time.Time, pace time.Duration, deltas bool, blocks int) {
 	raw, wc, credits, err := chaosDial(addr, id, codec, dur)
 	if err != nil {
 		t.dialErrs.Add(1)
@@ -162,6 +169,17 @@ func chaosCompliant(addr, id, codec string, dur wire.Durability, t *chaosTally, 
 	// waiting out the daemon's backpressure.
 	drain := func() bool {
 		at += 10 * sim.Millisecond
+		if deltas {
+			// Seq tracks virtual time, so it is strictly increasing within
+			// the session; a later session's restart from low Seqs is simply
+			// deduped by the engine's fold mark, never an error.
+			d := &wire.SpectrumDelta{Seq: uint64(at), Blocks: blocks,
+				Index: []uint32{0}, Words: []uint64{1}}
+			if wc.Encode(wire.Message{Type: wire.TypeSpectrumDelta, SUO: id, At: at, Delta: d}) != nil {
+				t.drops.Add(1)
+				return false
+			}
+		}
 		if wc.Encode(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: at}) != nil {
 			t.drops.Add(1)
 			return false

@@ -80,6 +80,7 @@ func main() {
 	faultEvery := flag.Int("fault-every", 10, "in -connect mode, run the fault schedule on every k'th device (0: none)")
 	faultList := flag.String("faults", "txt-sync", "comma-separated fault schedule; available: video-crash,txt-sync,audio-skew,overload,bad-input")
 	blocks := flag.Int("blocks", diagnose.DefaultBlocks, "in -connect mode, spectral-recorder block count (must match traderd -diagnose-blocks)")
+	deltas := flag.Bool("deltas", false, "in -connect mode, piggyback a sparse spectrum delta on every heartbeat (traderd -diagnose-continuous folds them as they arrive; also enables delta traffic from chaos baseline clients)")
 	pace := flag.Float64("pace", 0, "in -connect mode, virtual seconds per wall second (0: run as fast as possible); paced fleets behave like real-time devices")
 	durability := flag.String("durability", string(wire.DurFsync), "in -connect mode, durability class to request in the Hello handshake: fsync (ack = journaled) or dispatch (ack = monitored; long-tail devices)")
 	chaos := flag.Bool("chaos", false, "in -connect mode, run the overload soak instead of the fleet scenario: floods, credit-hostile clients, connection churn, flapping, slow readers and byzantine frames around a steady baseline; -duration is wall seconds")
@@ -99,14 +100,14 @@ func main() {
 		if *connect == "" {
 			log.Fatalf("tvsim: -chaos requires -connect (it soaks a live traderd)")
 		}
-		if err := runChaos(*connect, *idPrefix, *n, *codec, *seed, *duration, dur); err != nil {
+		if err := runChaos(*connect, *idPrefix, *n, *codec, *seed, *duration, dur, *deltas, *blocks); err != nil {
 			log.Fatalf("tvsim: chaos: %v", err)
 		}
 		return
 	}
 
 	if *connect != "" {
-		if err := runFleet(*connect, *idPrefix, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, dur, schedule); err != nil {
+		if err := runFleet(*connect, *idPrefix, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, dur, *deltas, schedule); err != nil {
 			log.Fatalf("tvsim: connect: %v", err)
 		}
 		return
@@ -138,7 +139,7 @@ type deviceStats struct {
 	keys, frames          int
 	reports, ctrls        uint64
 	restarts, quarantines uint64
-	snapshots             uint64
+	snapshots, deltas     uint64
 	stalls                uint64
 }
 
@@ -379,7 +380,7 @@ func (d *fleetTV) close() {
 // coverage window, and a faulty device's schedule marks the targeted
 // feature's code as defective — so a traderd -diagnose pull can localize
 // the fault block across the fleet.
-func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float64, dur wire.Durability, schedule []faults.Fault) (deviceStats, error) {
+func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float64, dur wire.Durability, deltas bool, schedule []faults.Fault) (deviceStats, error) {
 	var st deviceStats
 	d := &fleetTV{addr: addr, id: id, codec: codec, durability: dur,
 		creditc: make(chan struct{}, 1),
@@ -415,12 +416,23 @@ func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float
 	defer sub.Unsubscribe()
 
 	// A heartbeat every virtual second: the flush-barrier pacing for the
-	// daemon and the window boundary for the spectral recorder.
+	// daemon and the window boundary for the spectral recorder. With -deltas
+	// the closing window rides along as a sparse spectrum delta just before
+	// the heartbeat — continuous diagnosis evidence, no pull required. Deltas
+	// spend no credit: like heartbeats they are bounded per virtual second,
+	// not per observation, and the daemon sheds them under pressure instead.
 	hb := k.Every(sim.Second, func() {
 		at := k.Now()
 		d.lastAt.Store(int64(at))
+		if deltas {
+			delta := d.rec.RotateDelta(at)
+			if d.send(wire.Message{Type: wire.TypeSpectrumDelta, SUO: id, At: at, Delta: delta}) == nil {
+				st.deltas++
+			}
+		} else {
+			d.rec.Rotate(at)
+		}
 		_ = d.send(wire.Message{Type: wire.TypeHeartbeat, SUO: id, At: at})
-		d.rec.Rotate(at)
 	})
 	defer hb.Stop()
 
@@ -460,15 +472,15 @@ func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float
 		}
 	}
 	d.close()
-	st = deviceStats{keys: int(tv.KeysHandled), frames: frames,
-		reports: d.reports.Load(), ctrls: d.ctrls.Load(),
-		restarts: d.restarts.Load(), quarantines: d.quarantines.Load(),
-		snapshots: d.snapshots.Load(), stalls: d.creditStalls.Load()}
+	st.keys, st.frames = int(tv.KeysHandled), frames
+	st.reports, st.ctrls = d.reports.Load(), d.ctrls.Load()
+	st.restarts, st.quarantines = d.restarts.Load(), d.quarantines.Load()
+	st.snapshots, st.stalls = d.snapshots.Load(), d.creditStalls.Load()
 	return st, nil
 }
 
 // runFleet drives n concurrent remote TVs against the ingestion daemon.
-func runFleet(addr, prefix string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, dur wire.Durability, schedule []faults.Fault) error {
+func runFleet(addr, prefix string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, dur wire.Durability, deltas bool, schedule []faults.Fault) error {
 	log.Printf("tvsim: connecting %d TVs to %s (codec %s, durability %s, faults on every %d'th)", n, addr, codec, dur, faultEvery)
 	start := time.Now()
 	var wg sync.WaitGroup
@@ -483,13 +495,13 @@ func runFleet(addr, prefix string, n int, codec string, seed int64, duration, fa
 				sched = schedule
 			}
 			id := fmt.Sprintf("%s-%06d", prefix, i)
-			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, blocks, pace, dur, sched)
+			stats[i], errs[i] = runOne(addr, id, codec, seed+int64(i), duration, blocks, pace, dur, deltas, sched)
 		}(i)
 	}
 	wg.Wait()
 
 	var ok, keys, frames int
-	var reports, ctrls, restarts, quarantines, snapshots, stalls uint64
+	var reports, ctrls, restarts, quarantines, snapshots, sentDeltas, stalls uint64
 	var firstErr error
 	for i := range stats {
 		if errs[i] != nil {
@@ -506,10 +518,11 @@ func runFleet(addr, prefix string, n int, codec string, seed int64, duration, fa
 		restarts += stats[i].restarts
 		quarantines += stats[i].quarantines
 		snapshots += stats[i].snapshots
+		sentDeltas += stats[i].deltas
 		stalls += stats[i].stalls
 	}
-	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received (%d restarts honored, %d quarantined), %d coverage snapshots served",
-		time.Since(start), ok, n, keys, frames, reports, ctrls, restarts, quarantines, snapshots)
+	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received (%d restarts honored, %d quarantined), %d coverage snapshots served, %d spectrum deltas piggybacked",
+		time.Since(start), ok, n, keys, frames, reports, ctrls, restarts, quarantines, snapshots, sentDeltas)
 	if stalls > 0 {
 		log.Printf("tvsim: flow control: blocked on an exhausted credit window %d times (the daemon's backpressure, honored)", stalls)
 	}

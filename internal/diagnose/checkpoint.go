@@ -22,7 +22,7 @@ import (
 var diagCounters = [...]string{
 	"Escalations", "Episodes", "Coalesced",
 	"Requests", "RequestFailures",
-	"Snapshots", "FailWindows", "PassWindows", "SkippedWindows",
+	"Snapshots", "Deltas", "FailWindows", "PassWindows", "SkippedWindows",
 	"Unsolicited", "Malformed", "Expired", "JournalErrors", "Dropped",
 }
 
@@ -60,6 +60,8 @@ func (e *Engine) checkpoint() wire.Message {
 			return e.tally.RequestFailures
 		case "Snapshots":
 			return e.tally.Snapshots
+		case "Deltas":
+			return e.tally.Deltas
 		case "FailWindows":
 			return e.tally.FailWindows
 		case "PassWindows":
@@ -82,13 +84,43 @@ func (e *Engine) checkpoint() wire.Message {
 	for _, name := range diagCounters {
 		cp.Counters = append(cp.Counters, wire.CheckpointCounter{Name: name, V: val(name)})
 	}
-	ids := make([]string, 0, len(e.fold.next))
+	// Per-device stats: the fold high-water mark, plus a flags word (bit 0:
+	// the device is in the continuous-mode suspect set). The union with the
+	// suspect set matters: a device escalated before any of its evidence
+	// folded has a flag to persist but no mark yet.
+	union := make(map[string]bool, len(e.fold.next)+len(e.suspects))
 	for id := range e.fold.next {
+		union[id] = true
+	}
+	for id := range e.suspects {
+		union[id] = true
+	}
+	ids := make([]string, 0, len(union))
+	for id := range union {
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
 	for _, id := range ids {
-		cp.Devices = append(cp.Devices, wire.CheckpointDevice{ID: id, Stats: []uint64{e.fold.next[id]}})
+		stats := []uint64{e.fold.next[id]}
+		if e.suspects[id] {
+			stats = append(stats, 1)
+		}
+		cp.Devices = append(cp.Devices, wire.CheckpointDevice{ID: id, Stats: stats})
+	}
+	// Per-verdict partitions (continuous multi-fault split), each exported
+	// sparsely like the merged spectrum above.
+	pids := make([]string, 0, len(e.fold.parts))
+	for id := range e.fold.parts {
+		pids = append(pids, id)
+	}
+	sort.Strings(pids)
+	for _, id := range pids {
+		cells, nFail, nPass := e.fold.parts[id].Export()
+		part := wire.CheckpointPart{ID: id, NFail: nFail, NPass: nPass}
+		for _, c := range cells {
+			part.Cells = append(part.Cells, wire.CheckpointCell{Block: c.Block, Fail: c.Fail, Pass: c.Pass})
+		}
+		cp.Parts = append(cp.Parts, part)
 	}
 	return wire.Message{Type: wire.TypeCheckpoint, Checkpoint: cp}
 }
@@ -105,13 +137,34 @@ func (e *Engine) restoreCheckpoint(cp *wire.Checkpoint) error {
 	for i, c := range cp.Cells {
 		cells[i] = spectrum.Cell{Block: c.Block, Fail: c.Fail, Pass: c.Pass}
 	}
-	e.spectra.Import(cells, cp.NFail, cp.NPass)
+	if err := e.spectra.Import(cells, cp.NFail, cp.NPass); err != nil {
+		return err
+	}
 	e.fold.next = make(map[string]uint64, len(cp.Devices))
+	e.suspects = make(map[string]bool)
 	for _, d := range cp.Devices {
-		if len(d.Stats) != 1 {
-			return fmt.Errorf("diagnose: device %q checkpoint has %d stats, want 1", d.ID, len(d.Stats))
+		// Stats: [fold high-water mark] or [mark, flags] (bit 0: suspect;
+		// single-element records predate the continuous plane).
+		if len(d.Stats) < 1 || len(d.Stats) > 2 {
+			return fmt.Errorf("diagnose: device %q checkpoint has %d stats, want 1 or 2", d.ID, len(d.Stats))
 		}
 		e.fold.next[d.ID] = d.Stats[0]
+		if len(d.Stats) == 2 && d.Stats[1]&1 != 0 {
+			e.suspects[d.ID] = true
+		}
+	}
+	// Partitions are restored absolutely too: drop whatever partial split
+	// replayed before the record and import the checkpointed one.
+	e.fold.parts = make(map[string]*spectrum.Spectra, len(cp.Parts))
+	for _, p := range cp.Parts {
+		pcells := make([]spectrum.Cell, len(p.Cells))
+		for i, c := range p.Cells {
+			pcells[i] = spectrum.Cell{Block: c.Block, Fail: c.Fail, Pass: c.Pass}
+		}
+		part := e.fold.part(p.ID)
+		if err := part.Import(pcells, p.NFail, p.NPass); err != nil {
+			return fmt.Errorf("diagnose: partition %q: %w", p.ID, err)
+		}
 	}
 	for _, ct := range cp.Counters {
 		switch ct.Name {
@@ -127,6 +180,8 @@ func (e *Engine) restoreCheckpoint(cp *wire.Checkpoint) error {
 			e.tally.RequestFailures = ct.V
 		case "Snapshots":
 			e.tally.Snapshots = ct.V
+		case "Deltas":
+			e.tally.Deltas = ct.V
 		case "FailWindows":
 			e.tally.FailWindows = ct.V
 		case "PassWindows":

@@ -79,6 +79,20 @@ type Options struct {
 	// Inbox is the work queue length (default 1024). Items beyond it are
 	// shed and counted in Rollup().Dropped.
 	Inbox int
+	// Continuous enables the always-on diagnosis mode: devices piggyback
+	// sparse spectrum deltas on their heartbeat cadence
+	// (TypeSpectrumDelta; wire HandleSpectrumDelta to
+	// fleet.Server.OnSpectrumDelta) and the engine folds each delta the
+	// moment it arrives, labeled by the live suspect set — a device the
+	// control plane has escalated folds as "fail", everyone else as
+	// "pass". Escalation pulls still run; the fold high-water marks keep
+	// deltas and pulled snapshots from ever double-counting a window.
+	Continuous bool
+	// TrackTop is the incremental top-K depth the accumulators maintain
+	// under continuous folds (default DefaultTrackTop when Continuous,
+	// else off). Result calls with n ≤ TrackTop answer from the tracked
+	// candidates in O(K log K) instead of re-scanning every block.
+	TrackTop int
 }
 
 // itemKind discriminates inbox items.
@@ -87,6 +101,7 @@ type itemKind int
 const (
 	itemAction itemKind = iota
 	itemSnapshot
+	itemDelta
 	itemEvidence
 	itemResult
 	itemRollup
@@ -119,6 +134,7 @@ type tally struct {
 	Requests        uint64 // snapshot pulls pushed
 	RequestFailures uint64 // pulls that could not be delivered
 	Snapshots       uint64 // labeled snapshots folded
+	Deltas          uint64 // heartbeat spectrum deltas accepted (continuous mode)
 	FailWindows     uint64
 	PassWindows     uint64
 	SkippedWindows  uint64 // windows not folded: no coverage, still open, or already folded
@@ -148,7 +164,13 @@ type Engine struct {
 	fold    *folder
 	pending map[string]pull     // device → outstanding pull awaiting its snapshot
 	lastEp  map[string]sim.Time // device → virtual time of its last episode
-	tally   tally
+	// suspects is the live fail-label set of continuous mode: devices the
+	// control plane has escalated. A suspect's heartbeat deltas fold as
+	// "fail" into its own verdict partition; everyone else's fold as
+	// "pass". The label is journaled on each delta record, so Replay never
+	// needs this set.
+	suspects map[string]bool
+	tally    tally
 
 	inbox chan item
 	done  chan struct{}
@@ -178,18 +200,22 @@ func Attach(pool *fleet.Pool, opts Options) *Engine {
 	if opts.Requery == 0 {
 		opts.Requery = DefaultRequery
 	}
-	e := &Engine{
-		pool:    pool,
-		opts:    opts,
-		coeff:   opts.Coeff,
-		layout:  NewLayout(opts.Blocks),
-		spectra: spectrum.NewSpectra(opts.Blocks, opts.Stripes),
-		pending: make(map[string]pull),
-		lastEp:  make(map[string]sim.Time),
-		inbox:   make(chan item, opts.Inbox),
-		done:    make(chan struct{}),
+	if opts.Continuous && opts.TrackTop <= 0 {
+		opts.TrackTop = DefaultTrackTop
 	}
-	e.fold = newFolder(e.spectra)
+	e := &Engine{
+		pool:     pool,
+		opts:     opts,
+		coeff:    opts.Coeff,
+		layout:   NewLayout(opts.Blocks),
+		spectra:  spectrum.NewSpectra(opts.Blocks, opts.Stripes),
+		pending:  make(map[string]pull),
+		lastEp:   make(map[string]sim.Time),
+		suspects: make(map[string]bool),
+		inbox:    make(chan item, opts.Inbox),
+		done:     make(chan struct{}),
+	}
+	e.fold = newFolder(e.spectra, opts.TrackTop)
 	go e.loop()
 	return e
 }
@@ -234,6 +260,16 @@ func (e *Engine) HandleSnapshot(id string, m wire.Message) {
 	e.put(item{kind: itemSnapshot, device: id, msg: m}, false)
 }
 
+// HandleSpectrumDelta feeds one heartbeat spectrum delta into the engine;
+// wire it to fleet.Server.OnSpectrumDelta. Safe from any goroutine, never
+// blocks; outside continuous mode deltas are dropped unfolded.
+func (e *Engine) HandleSpectrumDelta(id string, m wire.Message) {
+	if !e.opts.Continuous {
+		return
+	}
+	e.put(item{kind: itemDelta, device: id, msg: m}, false)
+}
+
 // Sync blocks until every item enqueued before it has been processed.
 func (e *Engine) Sync() {
 	ch := make(chan struct{})
@@ -266,7 +302,7 @@ func (e *Engine) Result(n int) *Result {
 		return <-reply
 	}
 	<-e.done
-	return buildResult(e.spectra, e.layout, e.coeff, n)
+	return buildFolderResult(e.fold, e.layout, e.coeff, n)
 }
 
 func (e *Engine) loop() {
@@ -278,7 +314,7 @@ func (e *Engine) loop() {
 		case itemSync:
 			close(it.sync)
 		case itemResult:
-			it.result <- buildResult(e.spectra, e.layout, e.coeff, it.topN)
+			it.result <- buildFolderResult(e.fold, e.layout, e.coeff, it.topN)
 		case itemRollup:
 			it.rollup <- e.rollup()
 		case itemCheckpoint:
@@ -289,6 +325,8 @@ func (e *Engine) loop() {
 			e.handleAction(it.action)
 		case itemSnapshot:
 			e.handleSnapshot(it.device, it.msg)
+		case itemDelta:
+			e.handleDelta(it.device, it.msg)
 		case itemEvidence:
 			e.foldEvidence(it.msg)
 		}
@@ -303,9 +341,18 @@ func (e *Engine) loop() {
 // diagnosis — or block cohort membership — forever.
 func (e *Engine) handleAction(a control.Action) {
 	e.tally.Escalations++
+	e.suspects[a.Device] = true
+	// A negative Requery disables the episode gap, and with it the grace a
+	// pull gets before being written off: expiry 0 means any pull from an
+	// earlier instant is expired now. Only the unset (zero) value falls
+	// back to the default — previously a negative value did too, which
+	// left a device that vanished mid-pull pinned as in-flight for the
+	// full default window despite the caller asking for no gap at all.
 	expiry := e.opts.Requery
-	if expiry <= 0 {
+	if expiry == 0 {
 		expiry = DefaultRequery
+	} else if expiry < 0 {
+		expiry = 0
 	}
 	for id, p := range e.pending {
 		if a.At-p.at > expiry {
@@ -416,11 +463,61 @@ func (e *Engine) handleSnapshot(id string, m wire.Message) {
 		folded, p.label, id, len(e.pending))
 }
 
+// handleDelta labels, journals and folds one heartbeat spectrum delta
+// (continuous mode): the evidence analogue of handleSnapshot, but labeled
+// by the live suspect set instead of an episode's pull bookkeeping — no
+// pull is outstanding, the device volunteered the window on its heartbeat
+// cadence.
+func (e *Engine) handleDelta(id string, m wire.Message) {
+	d := m.Delta
+	if d == nil || d.Blocks != e.opts.Blocks {
+		e.tally.Malformed++
+		blocks := -1
+		if d != nil {
+			blocks = d.Blocks
+		}
+		e.logf("diagnose: %s: malformed delta (blocks %d, want %d)", id, blocks, e.opts.Blocks)
+		return
+	}
+	label := LabelPass
+	if e.suspects[id] {
+		label = LabelFail
+	}
+	evidence := DeltaFrame(id, label, m)
+	if e.opts.Journal != nil {
+		if err := e.opts.Journal.Append(evidence); err != nil {
+			e.tally.JournalErrors++
+			e.logf("diagnose: journal delta from %s: %v", id, err)
+		}
+	}
+	e.foldEvidence(evidence)
+}
+
 // foldEvidence folds one already-labeled evidence frame (Target carries the
-// label, SUO the device) into the accumulator and updates the tallies.
-// Shared by the live path and Recover's boot-time warm start.
+// label, SUO the device; the payload is a pulled snapshot or a heartbeat
+// delta) into the accumulator and updates the tallies. Shared by the live
+// path and Recover's boot-time warm start.
 func (e *Engine) foldEvidence(m wire.Message) int {
 	failed := m.Target == LabelFail
+	if failed {
+		// A fail label means the device was a suspect when the evidence
+		// was produced. Re-marking here keeps a Recover'd engine labeling
+		// the device's future deltas the way the pre-crash engine did.
+		e.suspects[m.SUO] = true
+	}
+	if m.Type == wire.TypeSpectrumDelta {
+		e.tally.Deltas++
+		if !e.fold.foldDelta(m.SUO, m.Delta, failed) {
+			e.tally.SkippedWindows++
+			return 0
+		}
+		if failed {
+			e.tally.FailWindows++
+		} else {
+			e.tally.PassWindows++
+		}
+		return 1
+	}
 	folded := e.fold.fold(m.SUO, m.Snapshot, failed)
 	e.tally.Snapshots++
 	e.tally.SkippedWindows += uint64(len(m.Snapshot.Windows) - folded)
@@ -467,13 +564,19 @@ func (e *Engine) Recover(r *journal.Reader) (int, error) {
 			}
 			continue
 		}
-		if m.Type != wire.TypeSnapshot || m.Snapshot == nil {
+		blocks := -1
+		switch {
+		case m.Type == wire.TypeSnapshot && m.Snapshot != nil:
+			blocks = m.Snapshot.Blocks
+		case m.Type == wire.TypeSpectrumDelta && m.Delta != nil:
+			blocks = m.Delta.Blocks
+		default:
 			continue
 		}
 		if m.Target != LabelFail && m.Target != LabelPass {
 			continue
 		}
-		if m.Snapshot.Blocks != e.opts.Blocks {
+		if blocks != e.opts.Blocks {
 			continue // a foreign layout cannot fold into this engine
 		}
 		if !e.put(item{kind: itemEvidence, msg: m}, true) {

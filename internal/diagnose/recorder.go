@@ -16,11 +16,12 @@ import (
 // engine must agree on it, since spectra are compared block-by-block across
 // devices.
 const (
-	DefaultBlocks  = 60000
-	DefaultWindows = 8
-	DefaultEvents  = 256
-	DefaultCohort  = 8
-	DefaultRequery = 2 * sim.Second
+	DefaultBlocks   = 60000
+	DefaultWindows  = 8
+	DefaultEvents   = 256
+	DefaultCohort   = 8
+	DefaultRequery  = 2 * sim.Second
+	DefaultTrackTop = 10
 )
 
 // RecorderOptions sizes a device-side Recorder.
@@ -160,6 +161,10 @@ func (r *Recorder) Observe(e event.Event) {
 func (r *Recorder) Rotate(at sim.Time) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	r.rotate(at)
+}
+
+func (r *Recorder) rotate(at sim.Time) {
 	r.ring = append(r.ring, wire.SpectrumWindow{Seq: r.curSeq, At: at, Words: r.cur.Words()})
 	if len(r.ring) > r.retain {
 		r.ring = r.ring[len(r.ring)-r.retain:]
@@ -167,6 +172,25 @@ func (r *Recorder) Rotate(at sim.Time) {
 	r.curSeq++
 	r.cur.Clear()
 	r.pressed = make(map[string]bool)
+}
+
+// RotateDelta closes the open window like Rotate and returns it as a sparse
+// spectrum delta for piggybacking on the heartbeat (continuous diagnosis,
+// TypeSpectrumDelta): only the nonzero coverage words, tagged with the
+// window's sequence number. The Seq shares the ring's numbering, so the
+// engine's per-device fold high-water mark deduplicates a delta against a
+// later pulled snapshot re-capturing the same window — each window folds at
+// most once however it travels. The frame is bounded: at most
+// ceil(blocks/64) pairs of ~11 bytes (≈10 KB at the paper's 60 000-block
+// scale), and in practice a window covers a small fraction of the program.
+// A quiet window yields a delta with no pairs.
+func (r *Recorder) RotateDelta(at sim.Time) *wire.SpectrumDelta {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	d := &wire.SpectrumDelta{Seq: r.curSeq, Blocks: r.cur.Len()}
+	d.Index, d.Words = r.cur.Sparse()
+	r.rotate(at)
+	return d
 }
 
 // Snapshot captures the retained closed windows plus the still-open one

@@ -11,21 +11,25 @@ import (
 
 // ReplayStats summarises one evidence replay.
 type ReplayStats struct {
-	Snapshots int // labeled evidence records folded
+	Snapshots int // labeled snapshot records folded
+	Deltas    int // labeled heartbeat-delta records folded
 	Windows   int // coverage windows folded
 	Skipped   int // evidence with a foreign block count
 }
 
 // Replay reconstructs a fleet diagnosis offline from a journal: every
-// labeled evidence record (a TypeSnapshot frame whose Target is "fail" or
-// "pass" — only the diagnosis engine journals those) folds exactly as it
-// did live, through the same fold path, into a fresh accumulator. Because
-// folding is an order-independent counter sum and the ranking is a pure
-// function of the counters, the returned Result formats byte-identically
-// to the live engine's at the moment the journal closed.
+// labeled evidence record (a TypeSnapshot or TypeSpectrumDelta frame whose
+// Target is "fail" or "pass" — only the diagnosis engine journals those)
+// folds exactly as it did live, through the same fold path — including the
+// per-device high-water marks that keep deltas and pulled snapshots from
+// double-counting a window, and the per-verdict partitions the fail labels
+// carve out. Because folding is an order-independent counter sum and the
+// ranking is a pure function of the counters, the returned Result —
+// partitions included — formats byte-identically to the live engine's at
+// the moment the journal closed.
 //
 // The block count is taken from the evidence itself (the engine only
-// journals snapshots matching its configured layout); records with a
+// journals evidence matching its configured layout); records with a
 // different count than the first are counted in Skipped. coeff.F == nil
 // picks Ochiai. A journal with no evidence yields (nil, nil).
 func Replay(r *journal.Reader, coeff spectrum.Coefficient, topN int) (*Result, ReplayStats, error) {
@@ -33,7 +37,6 @@ func Replay(r *journal.Reader, coeff spectrum.Coefficient, topN int) (*Result, R
 		coeff = spectrum.Ochiai
 	}
 	var st ReplayStats
-	var spectra *spectrum.Spectra
 	var fold *folder
 	blocks := 0
 	for {
@@ -44,30 +47,43 @@ func Replay(r *journal.Reader, coeff spectrum.Coefficient, topN int) (*Result, R
 		if err != nil {
 			return nil, st, fmt.Errorf("diagnose: replay: %w", err)
 		}
-		if m.Type != wire.TypeSnapshot || m.Snapshot == nil {
+		evBlocks := -1
+		switch {
+		case m.Type == wire.TypeSnapshot && m.Snapshot != nil:
+			evBlocks = m.Snapshot.Blocks
+		case m.Type == wire.TypeSpectrumDelta && m.Delta != nil:
+			evBlocks = m.Delta.Blocks
+		default:
 			continue
 		}
 		if m.Target != LabelFail && m.Target != LabelPass {
-			continue // an unlabeled snapshot is not engine evidence
+			continue // an unlabeled frame is not engine evidence
 		}
-		if spectra == nil {
-			blocks = m.Snapshot.Blocks
-			if blocks <= 0 {
+		if fold == nil {
+			if evBlocks <= 0 {
 				st.Skipped++
 				continue
 			}
-			spectra = spectrum.NewSpectra(blocks, 0)
-			fold = newFolder(spectra)
+			blocks = evBlocks
+			fold = newFolder(spectrum.NewSpectra(blocks, 0), 0)
 		}
-		if m.Snapshot.Blocks != blocks {
+		if evBlocks != blocks {
 			st.Skipped++
 			continue
 		}
-		st.Windows += fold.fold(m.SUO, m.Snapshot, m.Target == LabelFail)
-		st.Snapshots++
+		failed := m.Target == LabelFail
+		if m.Type == wire.TypeSpectrumDelta {
+			if fold.foldDelta(m.SUO, m.Delta, failed) {
+				st.Windows++
+			}
+			st.Deltas++
+		} else {
+			st.Windows += fold.fold(m.SUO, m.Snapshot, failed)
+			st.Snapshots++
+		}
 	}
-	if spectra == nil {
+	if fold == nil {
 		return nil, st, nil
 	}
-	return buildResult(spectra, NewLayout(blocks), coeff, topN), st, nil
+	return buildFolderResult(fold, NewLayout(blocks), coeff, topN), st, nil
 }

@@ -2,6 +2,7 @@ package diagnose
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
 	"trader/internal/fmea"
@@ -25,6 +26,16 @@ func EvidenceFrame(id, label string, m wire.Message) wire.Message {
 	return wire.Message{Type: wire.TypeSnapshot, SUO: id, Target: label, At: m.At, Snapshot: m.Snapshot}
 }
 
+// DeltaFrame builds the journal record for one labeled heartbeat spectrum
+// delta, EvidenceFrame's continuous-mode sibling: the TypeSpectrumDelta
+// frame as received, re-tagged with the handshaken device ID and the
+// engine's pass/fail label. The label rides in Target exactly like a
+// snapshot's, so Replay labels the delta without needing the live suspect
+// set that produced it.
+func DeltaFrame(id, label string, m wire.Message) wire.Message {
+	return wire.Message{Type: wire.TypeSpectrumDelta, SUO: id, Target: label, At: m.At, Delta: m.Delta}
+}
+
 // folder folds labeled evidence into a Spectra under the shared acceptance
 // rules: only closed windows (At != 0 — the open window is still growing
 // and would double-count when a later pull re-captures it complete), each
@@ -38,10 +49,68 @@ func EvidenceFrame(id, label string, m wire.Message) wire.Message {
 type folder struct {
 	spectra *spectrum.Spectra
 	next    map[string]uint64 // device → first not-yet-folded window Seq
+	// parts are the per-verdict partitions of the multi-fault split (§5.6):
+	// one accumulator per suspect device, created by its first fail-labeled
+	// window. A suspect's fail windows fold only into its own partition;
+	// pass windows (the fleet's exonerating evidence) fold into every
+	// partition — so each partition ranks one failure against the shared
+	// healthy baseline, and two devices failing in different components
+	// yield two clean rankings instead of one smeared one. Creation is
+	// record-driven (first fail label), so journal replay reconstructs the
+	// same partitions in the same order.
+	parts  map[string]*spectrum.Spectra
+	trackK int // incremental top-K depth applied to every accumulator (0: off)
 }
 
-func newFolder(s *spectrum.Spectra) *folder {
-	return &folder{spectra: s, next: make(map[string]uint64)}
+func newFolder(s *spectrum.Spectra, trackK int) *folder {
+	if trackK > 0 {
+		s.TrackTop(trackK)
+	}
+	return &folder{
+		spectra: s,
+		next:    make(map[string]uint64),
+		parts:   make(map[string]*spectrum.Spectra),
+		trackK:  trackK,
+	}
+}
+
+// part returns the suspect's per-verdict partition, creating it on first
+// use.
+func (f *folder) part(device string) *spectrum.Spectra {
+	p := f.parts[device]
+	if p == nil {
+		p = spectrum.NewSpectra(f.spectra.Blocks(), 1)
+		if f.trackK > 0 {
+			p.TrackTop(f.trackK)
+		}
+		f.parts[device] = p
+	}
+	return p
+}
+
+// foldWindow routes one accepted dense window into the merged accumulator
+// and the per-verdict partitions.
+func (f *folder) foldWindow(device string, words []uint64, failed bool) {
+	f.spectra.FoldWords(words, failed)
+	if failed {
+		f.part(device).FoldWords(words, true)
+		return
+	}
+	for _, p := range f.parts {
+		p.FoldWords(words, false)
+	}
+}
+
+// foldSparseWindow is foldWindow for a sparse (delta) window.
+func (f *folder) foldSparseWindow(device string, index []uint32, words []uint64, failed bool) {
+	f.spectra.FoldSparse(index, words, failed)
+	if failed {
+		f.part(device).FoldSparse(index, words, true)
+		return
+	}
+	for _, p := range f.parts {
+		p.FoldSparse(index, words, false)
+	}
 }
 
 // fold accumulates one device's labeled snapshot, returning how many of its
@@ -54,7 +123,7 @@ func (f *folder) fold(device string, snap *wire.Snapshot, failed bool) int {
 			continue // still-open window: not yet evidence
 		}
 		if w.Seq < next {
-			continue // already folded by an earlier pull of this device
+			continue // already folded by an earlier pull or delta of this device
 		}
 		next = w.Seq + 1
 		covered := false
@@ -67,11 +136,36 @@ func (f *folder) fold(device string, snap *wire.Snapshot, failed bool) int {
 		if !covered {
 			continue
 		}
-		f.spectra.FoldWords(w.Words, failed)
+		f.foldWindow(device, w.Words, failed)
 		folded++
 	}
 	f.next[device] = next
 	return folded
+}
+
+// foldDelta accumulates one device's labeled heartbeat delta — a single
+// closed window in sparse form — under the same high-water-mark scheme as
+// fold: the delta's Seq shares the recorder's window numbering, so a window
+// that already arrived (as an earlier delta or inside a pulled snapshot)
+// never folds twice. It reports whether the window folded; an already-seen
+// or empty window only advances the mark.
+func (f *folder) foldDelta(device string, d *wire.SpectrumDelta, failed bool) bool {
+	if d.Seq < f.next[device] {
+		return false // this window already folded via a snapshot or delta
+	}
+	f.next[device] = d.Seq + 1
+	covered := false
+	for _, word := range d.Words {
+		if word != 0 {
+			covered = true
+			break
+		}
+	}
+	if !covered {
+		return false
+	}
+	f.foldSparseWindow(device, d.Index, d.Words, failed)
+	return true
 }
 
 // Layout is the fleet-shared block→feature mapping: the synthetic program's
@@ -127,6 +221,20 @@ type Result struct {
 	// design-time severity and detectability per component class, sorted
 	// by risk priority. The top entry is the component verdict.
 	Verdict []fmea.Entry
+	// Parts are the per-verdict partitions of a multi-fault diagnosis:
+	// one sub-ranking per suspect device, over that device's failing
+	// windows plus the fleet's shared pass evidence, sorted by suspect ID.
+	// Two devices failing in different FMEA classes show up here as two
+	// separate rankings with two separate verdicts, where the merged
+	// ranking above smears both faults together.
+	Parts []PartDiagnosis
+}
+
+// PartDiagnosis is one per-verdict partition: the suspect device whose
+// failing evidence it isolates and the diagnosis over that partition.
+type PartDiagnosis struct {
+	Suspect string
+	Result  *Result
 }
 
 // RankedBlock is one ranking entry with its component attribution.
@@ -148,7 +256,20 @@ func buildResult(s *spectrum.Spectra, layout *Layout, coeff spectrum.Coefficient
 		Transactions: s.Transactions(),
 		Failures:     s.Failures(),
 	}
-	for _, rb := range s.TopN(coeff, topN) {
+	// A tracked accumulator answers from its incremental candidate set in
+	// O(K log K); Top == TopN exactly (the differential invariant in
+	// internal/spectrum), and the TopN order is total, so a shorter ranking
+	// is its prefix. Otherwise pay the full scan.
+	var ranked []spectrum.Ranked
+	if k := s.TrackedK(); k > 0 && topN <= k {
+		ranked = s.Top(coeff)
+		if len(ranked) > topN {
+			ranked = ranked[:topN]
+		}
+	} else {
+		ranked = s.TopN(coeff, topN)
+	}
+	for _, rb := range ranked {
 		r.Ranking = append(r.Ranking, RankedBlock{
 			Block: rb.Block, Score: rb.Score, Component: layout.FeatureOf(rb.Block),
 		})
@@ -187,6 +308,29 @@ func buildResult(s *spectrum.Spectra, layout *Layout, coeff spectrum.Coefficient
 	return r
 }
 
+// buildFolderResult derives the full diagnosis from a folder: the merged
+// ranking plus one per-verdict partition ranking per suspect, suspect-ID
+// ordered. Live Result calls and journal Replay both come through here, so
+// their Strings cannot diverge.
+func buildFolderResult(f *folder, layout *Layout, coeff spectrum.Coefficient, topN int) *Result {
+	r := buildResult(f.spectra, layout, coeff, topN)
+	if len(f.parts) == 0 {
+		return r
+	}
+	ids := make([]string, 0, len(f.parts))
+	for id := range f.parts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r.Parts = append(r.Parts, PartDiagnosis{
+			Suspect: id,
+			Result:  buildResult(f.parts[id], layout, coeff, topN),
+		})
+	}
+	return r
+}
+
 // String formats the result deterministically: the byte-identical artifact
 // the replay invariant is stated over.
 func (r *Result) String() string {
@@ -201,6 +345,9 @@ func (r *Result) String() string {
 			break
 		}
 		fmt.Fprintf(&b, "verdict %d: %s (RPN %.6f, occurrence %.6f)\n", i+1, v.Component, v.RPN, v.Occurrence)
+	}
+	for _, p := range r.Parts {
+		fmt.Fprintf(&b, "partition %s:\n%s", p.Suspect, p.Result)
 	}
 	return b.String()
 }

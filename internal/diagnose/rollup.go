@@ -15,10 +15,12 @@ type Rollup struct {
 	Requests        uint64
 	RequestFailures uint64
 	Pending         int
-	// Snapshots folded, split into fail/pass coverage windows; Skipped
-	// windows were not folded (no coverage, still open, or already folded
-	// by an earlier pull of the same device).
+	// Snapshots folded and heartbeat spectrum deltas accepted (continuous
+	// mode), split into fail/pass coverage windows; Skipped windows were
+	// not folded (no coverage, still open, or already folded by an earlier
+	// pull or delta of the same device).
 	Snapshots      uint64
+	Deltas         uint64
 	FailWindows    uint64
 	PassWindows    uint64
 	SkippedWindows uint64
@@ -38,9 +40,9 @@ type Rollup struct {
 
 func (ro Rollup) String() string {
 	return fmt.Sprintf(
-		"%d escalations → %d episodes (%d coalesced), %d pulls (%d failed, %d pending, %d expired) → %d snapshots: %d fail + %d pass windows (%d skipped, %d unsolicited, %d malformed, %d dropped, %d journal errors)",
+		"%d escalations → %d episodes (%d coalesced), %d pulls (%d failed, %d pending, %d expired) → %d snapshots + %d deltas: %d fail + %d pass windows (%d skipped, %d unsolicited, %d malformed, %d dropped, %d journal errors)",
 		ro.Escalations, ro.Episodes, ro.Coalesced, ro.Requests, ro.RequestFailures, ro.Pending, ro.Expired,
-		ro.Snapshots, ro.FailWindows, ro.PassWindows, ro.SkippedWindows, ro.Unsolicited, ro.Malformed,
+		ro.Snapshots, ro.Deltas, ro.FailWindows, ro.PassWindows, ro.SkippedWindows, ro.Unsolicited, ro.Malformed,
 		ro.Dropped, ro.JournalErrors)
 }
 
@@ -65,6 +67,7 @@ func (e *Engine) rollup() Rollup {
 		RequestFailures: e.tally.RequestFailures,
 		Pending:         len(e.pending),
 		Snapshots:       e.tally.Snapshots,
+		Deltas:          e.tally.Deltas,
 		FailWindows:     e.tally.FailWindows,
 		PassWindows:     e.tally.PassWindows,
 		SkippedWindows:  e.tally.SkippedWindows,

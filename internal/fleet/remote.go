@@ -146,6 +146,16 @@ type Server struct {
 	// not journaled by the server — the diagnosis engine journals the
 	// evidence it accepts, labeled, write-ahead of folding it.
 	OnSnapshot func(id string, m wire.Message)
+	// OnSpectrumDelta, when non-nil, receives every TypeSpectrumDelta frame
+	// a device sends — the continuous coverage window it piggybacks on its
+	// heartbeat cadence — tagged with the handshaken device ID. The
+	// continuous diagnosis plane hooks here. Like OnSnapshot it runs on the
+	// connection's read goroutine and must not block; delta frames are not
+	// journaled by the server — the diagnosis engine journals the deltas it
+	// accepts, labeled, write-ahead of folding them. Deltas shed with the
+	// observations tier (ShedObservationsAt): one lost delta costs the
+	// diagnosis plane a coverage window, never control.
+	OnSpectrumDelta func(id string, m wire.Message)
 	// Journal, when non-nil, receives every accepted frame — observations
 	// and heartbeats, after validation and the MaxAdvance vetting — tagged
 	// with the registered device ID and the frame's virtual time.
@@ -892,6 +902,29 @@ func (s *Server) handle(conn net.Conn) {
 			}
 			if s.OnSnapshot != nil {
 				s.OnSnapshot(id, msg)
+			}
+		case wire.TypeSpectrumDelta:
+			// Continuous coverage evidence riding the heartbeat cadence. It
+			// sheds with tier 1 (observations): a delta is diagnosis input,
+			// not control, and one lost window only thins the evidence. It
+			// spends no credit — like the heartbeat it rides on, its rate is
+			// bounded by the heartbeat cadence, not the observation firehose.
+			if msg.Delta == nil {
+				continue
+			}
+			if s.ShedObservationsAt > 0 && s.Pool.Pressure(id) >= s.ShedObservationsAt {
+				if s.Journal != nil {
+					pendingShed.Observations++
+				} else {
+					s.Pool.AddShed(id, wire.ShedRecord{Observations: 1})
+				}
+				continue
+			}
+			if !advance(msg.At) {
+				return
+			}
+			if s.OnSpectrumDelta != nil {
+				s.OnSpectrumDelta(id, msg)
 			}
 		case wire.TypeHello, wire.TypeControl, wire.TypeError, wire.TypeSpecInfo, wire.TypeSnapshotReq,
 			wire.TypeCredit, wire.TypeShed:

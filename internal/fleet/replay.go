@@ -72,9 +72,10 @@ func (p *Pool) Replay(r *journal.Reader, factory MonitorFactory) (ReplayStats, e
 			// record is a recovery action the controller journaled
 			// write-ahead (see internal/control), so replay reconstructs
 			// what the controller *did*, not just what it saw.
-		case wire.TypeSnapshot:
+		case wire.TypeSnapshot, wire.TypeSpectrumDelta:
 			// Labeled diagnosis evidence the engine journaled write-ahead of
-			// folding it. It carries no monitor state — diagnose.Replay
+			// folding it — pulled snapshots and continuous heartbeat deltas
+			// alike. It carries no monitor state — diagnose.Replay
 			// reconstructs the fleet ranking from these records — so the
 			// pool replay only counts it.
 			st.Evidence++

@@ -78,6 +78,20 @@ func (b *BitSet) Words() []uint64 {
 	return out
 }
 
+// Sparse returns the set's nonzero packed words as parallel slices of word
+// indices and word values, ascending — the compact wire representation of a
+// mostly-empty coverage window (wire.SpectrumDelta), folded back with
+// FoldSparse. An all-clear set yields two nil slices.
+func (b *BitSet) Sparse() (index []uint32, words []uint64) {
+	for w, word := range b.words {
+		if word != 0 {
+			index = append(index, uint32(w))
+			words = append(words, word)
+		}
+	}
+	return index, words
+}
+
 func popcount(x uint64) int {
 	// Hacker's Delight bit-twiddling popcount.
 	x -= (x >> 1) & 0x5555555555555555

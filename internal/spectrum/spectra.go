@@ -1,6 +1,7 @@
 package spectrum
 
 import (
+	"fmt"
 	"math/bits"
 	"runtime"
 	"sort"
@@ -22,11 +23,13 @@ import (
 // one cache-friendly sequential pass. Spectra is not safe for concurrent
 // use; the diagnosis engine owns one from a single goroutine.
 type Spectra struct {
-	blocks  int
-	words   int
-	stripes []stripe
-	nFail   int // failed transactions folded
-	nPass   int // passed transactions folded
+	blocks   int
+	words    int
+	wordsPer int // packed words per stripe (the last stripe may hold fewer)
+	stripes  []stripe
+	nFail    int // failed transactions folded
+	nPass    int // passed transactions folded
+	top      *topTracker
 }
 
 // stripe owns the counters of a word-aligned contiguous block range.
@@ -53,6 +56,7 @@ func NewSpectra(blocks, stripes int) *Spectra {
 	}
 	s := &Spectra{blocks: blocks, words: words}
 	wordsPer := (words + stripes - 1) / stripes
+	s.wordsPer = wordsPer
 	for lo := 0; lo < words; lo += wordsPer {
 		hi := lo + wordsPer
 		if hi > words {
@@ -101,6 +105,10 @@ func (s *Spectra) FoldWords(words []uint64, failed bool) {
 	} else {
 		s.nPass++
 	}
+	// Pass folds only lower rank keys, so the top-K tracker needs no
+	// structural work for them; only fail-touched blocks can climb into the
+	// candidate set (see topk.go).
+	track := failed && s.top != nil && s.top.valid
 	for si := range s.stripes {
 		st := &s.stripes[si]
 		counters := st.aep
@@ -117,8 +125,55 @@ func (s *Spectra) FoldWords(words []uint64, failed bool) {
 					break // capacity-padding bits of the last word
 				}
 				counters[b]++
+				if track {
+					s.admitTop(st.lo+b, counters[b], st.aep[b])
+				}
 				word &= word - 1
 			}
+		}
+	}
+}
+
+// FoldSparse accumulates one transaction given as a sparse coverage window:
+// parallel slices of packed-word indices and their nonzero 64-bit words —
+// the TypeSpectrumDelta wire representation, carrying only the words a
+// device's recorder actually touched. Word indices beyond the capacity are
+// ignored and a short words slice truncates the pair list, mirroring
+// FoldWords' posture toward malformed input: nothing a peer sends can write
+// out of range.
+func (s *Spectra) FoldSparse(index []uint32, words []uint64, failed bool) {
+	if failed {
+		s.nFail++
+	} else {
+		s.nPass++
+	}
+	track := failed && s.top != nil && s.top.valid
+	n := len(index)
+	if len(words) < n {
+		n = len(words)
+	}
+	for i := 0; i < n; i++ {
+		w := int(index[i])
+		if w >= s.words {
+			continue
+		}
+		st := &s.stripes[w/s.wordsPer]
+		counters := st.aep
+		if failed {
+			counters = st.aef
+		}
+		word := words[i]
+		base := w*64 - st.lo
+		for word != 0 {
+			b := base + bits.TrailingZeros64(word)
+			if b >= st.n {
+				break // capacity-padding bits of the last word
+			}
+			counters[b]++
+			if track {
+				s.admitTop(st.lo+b, counters[b], st.aep[b])
+			}
+			word &= word - 1
 		}
 	}
 }
@@ -223,11 +278,19 @@ func (s *Spectra) Export() (cells []Cell, nFail, nPass int) {
 }
 
 // Import resets the accumulator and loads a sparse export: counters for the
-// listed cells, zero everywhere else, and the given fold totals. Cells whose
-// block index exceeds the capacity are ignored (same out-of-range posture as
-// FoldWords). Import is absolute, not accumulating, so importing the same
-// checkpoint twice converges.
-func (s *Spectra) Import(cells []Cell, nFail, nPass int) {
+// listed cells, zero everywhere else, and the given fold totals. Import is
+// absolute, not accumulating, so importing the same checkpoint twice
+// converges. An export whose cells exceed this accumulator's capacity was
+// taken from a differently-sized program — silently truncating it would
+// corrupt every ranking derived from the counters, so Import validates
+// before touching any state and returns an error describing the mismatch;
+// on error the accumulator is unchanged.
+func (s *Spectra) Import(cells []Cell, nFail, nPass int) error {
+	for _, c := range cells {
+		if int(c.Block) >= s.blocks {
+			return fmt.Errorf("spectrum: import cell for block %d exceeds the %d-block capacity: export taken from a different program layout", c.Block, s.blocks)
+		}
+	}
 	for si := range s.stripes {
 		st := &s.stripes[si]
 		clear(st.aef)
@@ -236,18 +299,16 @@ func (s *Spectra) Import(cells []Cell, nFail, nPass int) {
 	s.nFail, s.nPass = nFail, nPass
 	for _, c := range cells {
 		b := int(c.Block)
-		if b < 0 || b >= s.blocks {
-			continue
-		}
-		for si := range s.stripes {
-			st := &s.stripes[si]
-			if b < st.lo+st.n {
-				st.aef[b-st.lo] = c.Fail
-				st.aep[b-st.lo] = c.Pass
-				break
-			}
-		}
+		st := &s.stripes[(b/64)/s.wordsPer]
+		st.aef[b-st.lo] = c.Fail
+		st.aep[b-st.lo] = c.Pass
 	}
+	if s.top != nil {
+		// The counters just changed wholesale; the candidate set is stale.
+		// Rebuild lazily on the next Top.
+		s.top.valid = false
+	}
+	return nil
 }
 
 // RankOf returns the 1-based pessimistic rank of the block (ties counted

@@ -121,11 +121,19 @@ var (
 	// Ochiai is the coefficient the Zoeteweij et al. line of work found
 	// most effective for embedded software diagnosis.
 	Ochiai = Coefficient{"ochiai", func(c Counts) float64 {
-		d := math.Sqrt(float64(c.Aef+c.Anf) * float64(c.Aef+c.Aep))
+		d := float64(c.Aef+c.Anf) * float64(c.Aef+c.Aep)
 		if d == 0 {
 			return 0
 		}
-		return float64(c.Aef) / d
+		// Computed as sqrt(aef²/d) rather than aef/sqrt(d): both round of
+		// the ratio before the root, so counter pairs with the same exact
+		// ratio — e.g. (1 fail, 1 pass) and (2 fails, 6 passes), both
+		// aef²/(aef+aep) = 1/2 — score bit-identically, and because each
+		// step is correctly rounded and monotone, a larger exact ratio can
+		// never round below a smaller one. The incremental top-K
+		// certificate (topk.go) compares those exact ratios, so this form
+		// keeps Top() equal to TopN through ties at the ranking boundary.
+		return math.Sqrt(float64(c.Aef) * float64(c.Aef) / d)
 	}}
 	// Tarantula is the classic visualization-derived coefficient.
 	Tarantula = Coefficient{"tarantula", func(c Counts) float64 {

@@ -1,0 +1,353 @@
+package spectrum
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// Incremental top-K ranking. TopN re-scores every block on every call —
+// ~O(blocks log n) and a fresh allocation per ranking, which is fine for an
+// on-escalation pull but not for a continuous plane re-ranking after every
+// heartbeat delta. TrackTop instead maintains a small candidate superset of
+// the true top-k under counter updates, so a fold touching m blocks pays
+// O(m) extra comparisons and Top() is O(K log K) over the candidates alone.
+//
+// The scheme leans on a property specific to Ochiai's ranking: for a fixed
+// fold history the order of two blocks under Ochiai is the order of the
+// exact rational key
+//
+//	key(b) = aef(b)² / (aef(b) + aep(b))
+//
+// (score = sqrt(key/nFail), and nFail is the same for every block), so the
+// order is invariant under changes to the global totals. Keys are compared
+// exactly by 128-bit cross-multiplication — no floats, no rounding — with
+// ties broken toward the lower block index, exactly TopN's tie order. Under
+// a fold, a block's key moves monotonically: a pass touch can only lower it,
+// a fail touch can only raise it. The tracker therefore keeps
+//
+//   - a candidate set of cap = max(2k, k+16) blocks (bitmap + list), and
+//   - a guard: the highest key' (key, block) ever rejected or evicted since
+//     the last rebuild.
+//
+// Invariant: every non-candidate's key' is ≤ the guard. Pass folds preserve
+// it for free (non-candidate keys only fall); a fail touch on a
+// non-candidate runs an admission check whose rejection raises the guard.
+// Top() certifies the candidate set by checking that the k-th candidate
+// key' still exceeds the guard strictly — then the true top-k is provably
+// inside the candidates — and falls back to a full O(blocks) rebuild when
+// the certificate fails (candidates sank or the guard caught up), which
+// resets the guard to the best non-kept key'. The emitted ranking is
+// computed with the coefficient's float scores and TopN's exact comparator,
+// so Top() == TopN block for block and score for score.
+//
+// For coefficients whose order is not key-invariant under total changes
+// (Tarantula, DStar, ... — their relative order genuinely shifts as nPass
+// and nFail grow, so no incremental certificate can exist) Top transparently
+// degrades to a full TopN.
+
+// topTrackerSlack is the minimum candidate headroom above k: enough that
+// routine churn re-sorts inside the set instead of forcing rebuilds.
+const topTrackerSlack = 16
+
+// topTracker is the incremental top-K state riding on a Spectra.
+type topTracker struct {
+	k   int
+	cap int
+	// member is a bitmap over blocks: bit set ⇔ block is a candidate.
+	member []uint64
+	// cand lists the candidate blocks, unordered.
+	cand []int32
+	// The guard key', stored as the counter pair and block index that
+	// produced it (the key is derived, never stored). guardSet false means
+	// -inf: nothing has been rejected or evicted since the last rebuild.
+	guAef, guAep uint32
+	guBlock      int32
+	guardSet     bool
+	// valid false forces a rebuild before the next certification (set by
+	// Import, which rewrites the counters wholesale).
+	valid bool
+}
+
+// cmpKey compares the exact rational rank keys aefA²/(aefA+aepA) and
+// aefB²/(aefB+aepB) by 128-bit cross-multiplication, returning -1, 0 or +1.
+// aef is at most 32 bits so aef² fits a uint64 and each cross product fits
+// the (hi, lo) pair bits.Mul64 yields. A zero aef means a zero key
+// regardless of aep (including the 0/0 case), handled up front so no
+// denominator below is ever zero.
+func cmpKey(aefA, aepA, aefB, aepB uint32) int {
+	if aefA == 0 || aefB == 0 {
+		switch {
+		case aefA == aefB:
+			return 0
+		case aefA == 0:
+			return -1
+		default:
+			return 1
+		}
+	}
+	hiA, loA := bits.Mul64(uint64(aefA)*uint64(aefA), uint64(aefB)+uint64(aepB))
+	hiB, loB := bits.Mul64(uint64(aefB)*uint64(aefB), uint64(aefA)+uint64(aepA))
+	switch {
+	case hiA != hiB:
+		if hiA < hiB {
+			return -1
+		}
+		return 1
+	case loA != loB:
+		if loA < loB {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// outranks reports whether block A strictly precedes block B in the exact
+// ranking order: higher key first, lower block index on key ties. Distinct
+// blocks are never equal, so key' is a strict total order.
+func outranks(aefA, aepA uint32, blockA int32, aefB, aepB uint32, blockB int32) bool {
+	if c := cmpKey(aefA, aepA, aefB, aepB); c != 0 {
+		return c > 0
+	}
+	return blockA < blockB
+}
+
+// countersAt returns one block's raw counters. Stripes cover uniform
+// wordsPer-sized word ranges, so the owning stripe is a division away.
+func (s *Spectra) countersAt(b int) (aef, aep uint32) {
+	st := &s.stripes[(b/64)/s.wordsPer]
+	return st.aef[b-st.lo], st.aep[b-st.lo]
+}
+
+// TrackTop enables incremental maintenance of the top k blocks, rebuilding
+// the candidate set from the current counters. k <= 0 disables tracking.
+// Tracking costs each fail fold O(1) exact key comparisons per touched
+// block (pass folds pay nothing) and makes Top O(K log K).
+func (s *Spectra) TrackTop(k int) {
+	if k <= 0 {
+		s.top = nil
+		return
+	}
+	c := 2 * k
+	if c < k+topTrackerSlack {
+		c = k + topTrackerSlack
+	}
+	if c > s.blocks {
+		c = s.blocks
+	}
+	s.top = &topTracker{
+		k: k, cap: c,
+		member: make([]uint64, (s.blocks+63)/64),
+		cand:   make([]int32, 0, c),
+	}
+	s.rebuildTop()
+}
+
+// TrackedK returns the k TrackTop is maintaining, or 0 when tracking is
+// off. Callers wanting a ranking of exactly that depth can take Top()
+// instead of paying a TopN full scan.
+func (s *Spectra) TrackedK() int {
+	if s.top == nil {
+		return 0
+	}
+	return s.top.k
+}
+
+// isCandidate tests the membership bitmap.
+func (t *topTracker) isCandidate(b int) bool {
+	return t.member[b>>6]>>(uint(b)&63)&1 == 1
+}
+
+func (t *topTracker) setMember(b int32)   { t.member[b>>6] |= 1 << (uint(b) & 63) }
+func (t *topTracker) clearMember(b int32) { t.member[b>>6] &^= 1 << (uint(b) & 63) }
+
+// raiseGuard lifts the guard to at least the given key'.
+func (t *topTracker) raiseGuard(aef, aep uint32, block int32) {
+	if !t.guardSet || outranks(aef, aep, block, t.guAef, t.guAep, t.guBlock) {
+		t.guAef, t.guAep, t.guBlock, t.guardSet = aef, aep, block, true
+	}
+}
+
+// admitTop runs the admission check for a fail-touched block with its
+// just-updated counters. Candidates need nothing (their key only rose);
+// a non-candidate still under the guard is rejected in O(1); only a
+// non-candidate that climbed past the guard pays the O(cap) min-scan.
+func (s *Spectra) admitTop(block int, aef, aep uint32) {
+	t := s.top
+	if t.isCandidate(block) {
+		return
+	}
+	b := int32(block)
+	if t.guardSet && !outranks(aef, aep, b, t.guAef, t.guAep, t.guBlock) {
+		return // still at or under the guard: the invariant holds untouched
+	}
+	if len(t.cand) < t.cap {
+		t.cand = append(t.cand, b)
+		t.setMember(b)
+		return
+	}
+	// Full: the weakest candidate competes with the newcomer; whichever
+	// loses becomes the new guard floor.
+	minI := 0
+	mAef, mAep := s.countersAt(int(t.cand[0]))
+	for i := 1; i < len(t.cand); i++ {
+		caef, caep := s.countersAt(int(t.cand[i]))
+		if outranks(mAef, mAep, t.cand[minI], caef, caep, t.cand[i]) {
+			minI, mAef, mAep = i, caef, caep
+		}
+	}
+	evict := t.cand[minI]
+	if outranks(aef, aep, b, mAef, mAep, evict) {
+		t.clearMember(evict)
+		t.cand[minI] = b
+		t.setMember(b)
+		t.raiseGuard(mAef, mAep, evict)
+	} else {
+		t.raiseGuard(aef, aep, b)
+	}
+}
+
+// rebuildTop rescans every counter, keeps the cap best blocks with aef > 0
+// as candidates and anchors the guard at the best non-kept key'. Blocks
+// with aef == 0 all score zero under Ochiai and are reconstructed as
+// index-ordered padding by Top, so they never need candidate slots; if
+// every positive block fits, the guard stays -inf and certification is
+// trivially true.
+func (s *Spectra) rebuildTop() {
+	t := s.top
+	clear(t.member)
+	t.cand = t.cand[:0]
+	t.guardSet = false
+	// bestOut is the best key' seen that did not fit the candidate set.
+	var outAef, outAep uint32
+	var outBlock int32
+	outSet := false
+	for si := range s.stripes {
+		st := &s.stripes[si]
+		for i := 0; i < st.n; i++ {
+			aef := st.aef[i]
+			if aef == 0 {
+				continue
+			}
+			aep := st.aep[i]
+			b := int32(st.lo + i)
+			if len(t.cand) < t.cap {
+				t.cand = append(t.cand, b)
+				t.setMember(b)
+				continue
+			}
+			minI := 0
+			mAef, mAep := s.countersAt(int(t.cand[0]))
+			for j := 1; j < len(t.cand); j++ {
+				caef, caep := s.countersAt(int(t.cand[j]))
+				if outranks(mAef, mAep, t.cand[minI], caef, caep, t.cand[j]) {
+					minI, mAef, mAep = j, caef, caep
+				}
+			}
+			lAef, lAep, lBlock := aef, aep, b
+			if outranks(aef, aep, b, mAef, mAep, t.cand[minI]) {
+				lAef, lAep, lBlock = mAef, mAep, t.cand[minI]
+				t.clearMember(t.cand[minI])
+				t.cand[minI] = b
+				t.setMember(b)
+			}
+			if !outSet || outranks(lAef, lAep, lBlock, outAef, outAep, outBlock) {
+				outAef, outAep, outBlock, outSet = lAef, lAep, lBlock, true
+			}
+		}
+	}
+	if outSet {
+		t.guAef, t.guAep, t.guBlock, t.guardSet = outAef, outAep, outBlock, true
+	}
+	t.valid = true
+}
+
+// Top returns the current top-k ranking under c, equal to TopN(c, k) block
+// for block and score for score but computed from the tracked candidates in
+// O(K log K). It returns nil when TrackTop has not enabled tracking. For
+// coefficients other than Ochiai no incremental certificate exists (their
+// block order shifts with the global totals) and Top degrades to a full
+// TopN scan.
+func (s *Spectra) Top(c Coefficient) []Ranked {
+	t := s.top
+	if t == nil {
+		return nil
+	}
+	if c.Name != Ochiai.Name {
+		return s.TopN(c, t.k)
+	}
+	if !t.valid {
+		s.rebuildTop()
+	}
+	if !s.certifiedTop() {
+		s.rebuildTop()
+	}
+	return s.topFromCandidates(c)
+}
+
+// certifiedTop checks the candidate-completeness certificate: the k-th best
+// candidate key' strictly outranks the guard, so no non-candidate (all of
+// which sit at or under the guard) can belong to the true top-k. With fewer
+// than k candidates nothing was ever rejected (the set never filled), so
+// the guard is -inf and the certificate is vacuous.
+func (s *Spectra) certifiedTop() bool {
+	t := s.top
+	if !t.guardSet || len(t.cand) < t.k {
+		return !t.guardSet
+	}
+	// Find the k-th best candidate by key' without sorting the whole set:
+	// k and cap are both small, so a selection sort over a scratch copy is
+	// cheaper than it looks.
+	type ckey struct {
+		aef, aep uint32
+		block    int32
+	}
+	keys := make([]ckey, len(t.cand))
+	for i, b := range t.cand {
+		aef, aep := s.countersAt(int(b))
+		keys[i] = ckey{aef, aep, b}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		return outranks(keys[i].aef, keys[i].aep, keys[i].block, keys[j].aef, keys[j].aep, keys[j].block)
+	})
+	kth := keys[t.k-1]
+	return outranks(kth.aef, kth.aep, kth.block, t.guAef, t.guAep, t.guBlock)
+}
+
+// topFromCandidates emits the ranking: candidates scored with the
+// coefficient and ordered by TopN's exact comparator (score descending,
+// block ascending), padded with index-ordered zero-score blocks when fewer
+// than k candidates exist (possible only while the set never filled, when
+// every non-candidate provably has aef == 0 and thus score 0).
+func (s *Spectra) topFromCandidates(c Coefficient) []Ranked {
+	t := s.top
+	n := t.k
+	if n > s.blocks {
+		n = s.blocks
+	}
+	ranked := make([]Ranked, 0, len(t.cand))
+	for _, b := range t.cand {
+		aef, aep := s.countersAt(int(b))
+		cnt := Counts{Aef: int(aef), Aep: int(aep), Anf: s.nFail - int(aef), Anp: s.nPass - int(aep)}
+		ranked = append(ranked, Ranked{Block: int(b), Score: c.F(cnt)})
+	}
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Score != ranked[j].Score {
+			return ranked[i].Score > ranked[j].Score
+		}
+		return ranked[i].Block < ranked[j].Block
+	})
+	if len(ranked) > n {
+		return ranked[:n]
+	}
+	zero := Counts{Anf: s.nFail, Anp: s.nPass}
+	zeroScore := c.F(zero)
+	for b := 0; len(ranked) < n && b < s.blocks; b++ {
+		if t.isCandidate(b) {
+			continue
+		}
+		ranked = append(ranked, Ranked{Block: b, Score: zeroScore})
+	}
+	return ranked
+}

@@ -1,0 +1,220 @@
+package spectrum
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomWindows builds a deterministic transaction workload shaped like the
+// synthetic TV program: a hot common core, a faulty region correlated with
+// failures, and sparse background noise — enough structure that the top-K
+// boundary lands inside large tie groups, the hard case for certification.
+func randomWindows(blocks, txns int, seed int64) []struct {
+	words  []uint64
+	failed bool
+} {
+	rng := rand.New(rand.NewSource(seed))
+	rows := make([]struct {
+		words  []uint64
+		failed bool
+	}, txns)
+	for i := range rows {
+		hits := NewBitSet(blocks)
+		for b := 0; b < blocks/10; b++ {
+			hits.Set(b) // common core: identical counters, giant tie group
+		}
+		failed := rng.Float64() < 0.3
+		if failed {
+			for b := blocks / 2; b < blocks/2+5; b++ {
+				if rng.Float64() < 0.8 {
+					hits.Set(b)
+				}
+			}
+		}
+		for b := 0; b < blocks; b++ {
+			if rng.Float64() < 0.05 {
+				hits.Set(b)
+			}
+		}
+		rows[i].words = hits.Words()
+		rows[i].failed = failed
+	}
+	return rows
+}
+
+// The incremental Top must equal TopN exactly — block for block, score for
+// score — after every fold, across fold-order permutations, stripe counts
+// and k values. This is the differential property the continuous diagnosis
+// plane rests on.
+func TestTopMatchesTopNDifferential(t *testing.T) {
+	const blocks, txns = 513, 60
+	rows := randomWindows(blocks, txns, 42)
+	rng := rand.New(rand.NewSource(99))
+	for _, stripes := range []int{1, 3, 8} {
+		for _, k := range []int{1, 5, 10, 40} {
+			for perm := 0; perm < 4; perm++ {
+				order := rng.Perm(len(rows))
+				s := NewSpectra(blocks, stripes)
+				s.TrackTop(k)
+				for _, i := range order {
+					s.FoldWords(rows[i].words, rows[i].failed)
+					got, want := s.Top(Ochiai), s.TopN(Ochiai, k)
+					if len(got) != len(want) {
+						t.Fatalf("stripes=%d k=%d: Top len %d, TopN len %d", stripes, k, len(got), len(want))
+					}
+					for j := range want {
+						if got[j] != want[j] {
+							t.Fatalf("stripes=%d k=%d after fold %d, entry %d: Top %+v, TopN %+v",
+								stripes, k, i, j, got[j], want[j])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Enabling tracking mid-history (rebuild from live counters) and after an
+// Import must converge to the same ranking as a fresh scan.
+func TestTopAfterRebuildAndImport(t *testing.T) {
+	const blocks, k = 301, 10
+	rows := randomWindows(blocks, 50, 7)
+	s := NewSpectra(blocks, 4)
+	for _, r := range rows[:30] {
+		s.FoldWords(r.words, r.failed)
+	}
+	s.TrackTop(k) // mid-history enable: rebuild path
+	for _, r := range rows[30:] {
+		s.FoldWords(r.words, r.failed)
+	}
+	want := s.TopN(Ochiai, k)
+	if got := s.Top(Ochiai); len(got) != len(want) {
+		t.Fatalf("Top len %d, want %d", len(got), len(want))
+	} else {
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("entry %d: %+v, want %+v", i, got[i], want[i])
+			}
+		}
+	}
+	// Round-trip through Export/Import: the tracker must notice the wholesale
+	// counter rewrite and still match.
+	cells, nf, np := s.Export()
+	s2 := NewSpectra(blocks, 4)
+	s2.TrackTop(k)
+	for _, r := range rows[:10] {
+		s2.FoldWords(r.words, r.failed) // stale state the import overwrites
+	}
+	if err := s2.Import(cells, nf, np); err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	got := s2.Top(Ochiai)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("post-import entry %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+// Non-Ochiai coefficients have no incremental certificate; Top must degrade
+// to an exact full scan, never a wrong ranking.
+func TestTopNonOchiaiFallsBack(t *testing.T) {
+	const blocks, k = 200, 8
+	s := NewSpectra(blocks, 3)
+	s.TrackTop(k)
+	for _, r := range randomWindows(blocks, 40, 3) {
+		s.FoldWords(r.words, r.failed)
+	}
+	for _, c := range []Coefficient{Tarantula, DStar, Op2} {
+		got, want := s.Top(c), s.TopN(c, k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s entry %d: %+v, want %+v", c.Name, i, got[i], want[i])
+			}
+		}
+	}
+	if got := NewSpectra(blocks, 3).Top(Ochiai); got != nil {
+		t.Fatalf("Top without TrackTop = %v, want nil", got)
+	}
+}
+
+// FoldSparse must agree with FoldWords fed the equivalent dense window, must
+// keep the tracker exact, and must ignore out-of-range word indices.
+func TestFoldSparseMatchesFoldWords(t *testing.T) {
+	const blocks, k = 513, 10
+	rows := randomWindows(blocks, 40, 21)
+	dense, sparse := NewSpectra(blocks, 4), NewSpectra(blocks, 4)
+	sparse.TrackTop(k)
+	for _, r := range rows {
+		dense.FoldWords(r.words, r.failed)
+		var idx []uint32
+		var words []uint64
+		for w, word := range r.words {
+			if word != 0 {
+				idx = append(idx, uint32(w))
+				words = append(words, word)
+			}
+		}
+		sparse.FoldSparse(idx, words, r.failed)
+	}
+	for b := 0; b < blocks; b++ {
+		if dense.CountsFor(b) != sparse.CountsFor(b) {
+			t.Fatalf("block %d: dense %+v, sparse %+v", b, dense.CountsFor(b), sparse.CountsFor(b))
+		}
+	}
+	want := dense.TopN(Ochiai, k)
+	got := sparse.Top(Ochiai)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Hostile shapes: an out-of-range word index and a truncated words slice
+	// must fold nothing and panic nothing.
+	before := sparse.Transactions()
+	sparse.FoldSparse([]uint32{9999}, []uint64{^uint64(0)}, true)
+	sparse.FoldSparse([]uint32{0, 1}, []uint64{1}, false)
+	if sparse.Transactions() != before+2 {
+		t.Fatalf("hostile folds: transactions %d, want %d", sparse.Transactions(), before+2)
+	}
+	if got := sparse.CountsFor(64); got.Aep != dense.CountsFor(64).Aep {
+		t.Fatalf("truncated pair list folded word 1: %+v", got)
+	}
+}
+
+// Import must refuse an export whose cells exceed the receiver's capacity —
+// a mismatched program layout — leaving the accumulator untouched, and must
+// accept a matching one absolutely (twice converges).
+func TestImportValidatesCapacity(t *testing.T) {
+	src := NewSpectra(300, 2)
+	for _, r := range randomWindows(300, 20, 5) {
+		src.FoldWords(r.words, r.failed)
+	}
+	cells, nf, np := src.Export()
+
+	dst := NewSpectra(300, 3)
+	if err := dst.Import(cells, nf, np); err != nil {
+		t.Fatalf("matching import: %v", err)
+	}
+	if err := dst.Import(cells, nf, np); err != nil {
+		t.Fatalf("repeated import: %v", err)
+	}
+	for b := 0; b < 300; b++ {
+		if dst.CountsFor(b) != src.CountsFor(b) {
+			t.Fatalf("block %d: %+v, want %+v", b, dst.CountsFor(b), src.CountsFor(b))
+		}
+	}
+
+	small := NewSpectra(100, 2)
+	if err := small.Import(cells, nf, np); err == nil {
+		t.Fatal("mismatched import accepted")
+	}
+	if small.Transactions() != 0 {
+		t.Fatalf("failed import mutated totals: %d transactions", small.Transactions())
+	}
+	for b := 0; b < 100; b++ {
+		if c := small.CountsFor(b); c.Aef != 0 || c.Aep != 0 {
+			t.Fatalf("failed import mutated block %d: %+v", b, c)
+		}
+	}
+}

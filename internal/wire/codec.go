@@ -122,6 +122,16 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //	uvar n; n × (str name, var v)             signed counter deltas
 //	-- if flags bit6, the handoff record:
 //	str from; str to; uvar pos; uvar range; uvar of; str dir; u8 out
+//	-- if flags bit7, the spectrum delta:
+//	uvar seq; uvar blocks
+//	uvar n; n × (uvar index, var word)        sparse coverage words,
+//	                                          strictly ascending indices
+//
+// The checkpoint record (bit3) additionally carries, after the devices
+// list, the per-verdict partitions of a continuous diagnosis engine:
+//
+//	uvar n; n × (str id, uvar nfail, uvar npass,
+//	             uvar k, k × (uvar block, uvar fail, uvar pass))
 //
 // Strings are length-checked against the remaining payload before any
 // allocation, so a hostile length cannot force a large allocation beyond
@@ -131,13 +141,14 @@ type binaryCodec struct{}
 func (binaryCodec) Name() string { return CodecBinary }
 
 const (
-	flagEvent      = 1 << 0
-	flagError      = 1 << 1
-	flagSnapshot   = 1 << 2
-	flagCheckpoint = 1 << 3
-	flagShed       = 1 << 4
-	flagRollup     = 1 << 5
-	flagHandoff    = 1 << 6
+	flagEvent         = 1 << 0
+	flagError         = 1 << 1
+	flagSnapshot      = 1 << 2
+	flagCheckpoint    = 1 << 3
+	flagShed          = 1 << 4
+	flagRollup        = 1 << 5
+	flagHandoff       = 1 << 6
+	flagSpectrumDelta = 1 << 7
 )
 
 // tagOfType assigns every message type its binary wire tag. ARCHITECTURE.md
@@ -156,10 +167,11 @@ var tagOfType = map[MsgType]byte{
 	TypeSnapshotReq: 10,
 	TypeSnapshot:    11,
 	TypeCheckpoint:  12,
-	TypeCredit:      13,
-	TypeShed:        14,
-	TypeRollup:      15,
-	TypeHandoff:     16,
+	TypeCredit:        13,
+	TypeShed:          14,
+	TypeRollup:        15,
+	TypeHandoff:       16,
+	TypeSpectrumDelta: 17,
 }
 
 var typeOfTag = func() map[byte]MsgType {
@@ -205,6 +217,9 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	}
 	if m.Handoff != nil {
 		flags |= flagHandoff
+	}
+	if m.Delta != nil {
+		flags |= flagSpectrumDelta
 	}
 	dst = append(dst, tag, flags)
 	dst = appendStr(dst, m.SUO)
@@ -312,6 +327,18 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 				dst = binary.AppendUvarint(dst, s)
 			}
 		}
+		dst = binary.AppendUvarint(dst, uint64(len(cp.Parts)))
+		for _, p := range cp.Parts {
+			dst = appendStr(dst, p.ID)
+			dst = binary.AppendUvarint(dst, uint64(p.NFail))
+			dst = binary.AppendUvarint(dst, uint64(p.NPass))
+			dst = binary.AppendUvarint(dst, uint64(len(p.Cells)))
+			for _, c := range p.Cells {
+				dst = binary.AppendUvarint(dst, uint64(c.Block))
+				dst = binary.AppendUvarint(dst, uint64(c.Fail))
+				dst = binary.AppendUvarint(dst, uint64(c.Pass))
+			}
+		}
 	}
 	if sh := m.Shed; sh != nil {
 		dst = binary.AppendUvarint(dst, sh.Observations)
@@ -338,6 +365,19 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 			out = 1
 		}
 		dst = append(dst, out)
+	}
+	if d := m.Delta; d != nil {
+		dst = binary.AppendUvarint(dst, d.Seq)
+		dst = binary.AppendUvarint(dst, uint64(d.Blocks))
+		n := len(d.Index)
+		if len(d.Words) < n {
+			n = len(d.Words)
+		}
+		dst = binary.AppendUvarint(dst, uint64(n))
+		for i := 0; i < n; i++ {
+			dst = binary.AppendUvarint(dst, uint64(d.Index[i]))
+			dst = binary.AppendVarint(dst, int64(d.Words[i]))
+		}
 	}
 	return dst, nil
 }
@@ -616,6 +656,36 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 				}
 			}
 		}
+		n = r.uvar("checkpoint part count")
+		// A partition takes ≥ 4 bytes (id len, nfail, npass, cell count);
+		// length-check before allocation.
+		if r.err == nil && n > uint64(len(r.b))/4 {
+			r.fail("checkpoint part count")
+		}
+		if r.err == nil && n > 0 {
+			cp.Parts = make([]CheckpointPart, n)
+			for i := range cp.Parts {
+				p := &cp.Parts[i]
+				p.ID = r.str("part id")
+				p.NFail = int(r.uvar("part nfail"))
+				p.NPass = int(r.uvar("part npass"))
+				k := r.uvar("part cell count")
+				if r.err == nil && k > uint64(len(r.b))/3 {
+					r.fail("part cell count")
+				}
+				if r.err != nil {
+					break
+				}
+				if k > 0 {
+					p.Cells = make([]CheckpointCell, k)
+					for j := range p.Cells {
+						p.Cells[j].Block = uint32(r.uvar("part cell block"))
+						p.Cells[j].Fail = uint32(r.uvar("part cell fail"))
+						p.Cells[j].Pass = uint32(r.uvar("part cell pass"))
+					}
+				}
+			}
+		}
 		if r.err == nil {
 			m.Checkpoint = cp
 		}
@@ -659,6 +729,35 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 		h.Out = r.u8("handoff out") != 0
 		if r.err == nil {
 			m.Handoff = h
+		}
+	}
+	if flags&flagSpectrumDelta != 0 {
+		d := &SpectrumDelta{}
+		d.Seq = r.uvar("delta seq")
+		d.Blocks = int(r.uvar("delta blocks"))
+		n := r.uvar("delta word count")
+		// A pair takes ≥ 2 bytes (uvar index + var word); length-check
+		// before allocation.
+		if r.err == nil && n > uint64(len(r.b))/2 {
+			r.fail("delta word count")
+		}
+		if r.err == nil && n > 0 {
+			d.Index = make([]uint32, n)
+			d.Words = make([]uint64, n)
+			for i := range d.Index {
+				idx := r.uvar("delta word index")
+				// Indices are strictly ascending by construction; anything
+				// else is a malformed or hostile frame, rejected before the
+				// fold layer ever sees it.
+				if r.err == nil && (idx > math.MaxUint32 || (i > 0 && uint32(idx) <= d.Index[i-1])) {
+					r.fail("delta word index order")
+				}
+				d.Index[i] = uint32(idx)
+				d.Words[i] = uint64(r.varint("delta word"))
+			}
+		}
+		if r.err == nil {
+			m.Delta = d
 		}
 	}
 	if r.err != nil {

@@ -54,6 +54,16 @@ func sampleMessages() []Message {
 			Checkpoint: &Checkpoint{Plane: PlaneDevice, At: 910,
 				Counters: []CheckpointCounter{{Name: "comparisons", V: 12}}}},
 		{Type: TypeHandoff, SUO: "dev-000007", Handoff: &HandoffRecord{From: "edge-0", Out: true}},
+		{Type: TypeSpectrumDelta, SUO: "tv-0001", At: 3000, Delta: &SpectrumDelta{
+			Seq: 12, Blocks: 130, Index: []uint32{0, 1, 2}, Words: []uint64{0x1, 0xffffffffffffffff, 0x3}}},
+		{Type: TypeSpectrumDelta, SUO: "tv-0001", Target: "fail", At: 3100,
+			Delta: &SpectrumDelta{Seq: 13, Blocks: 130}}, // empty closed window
+		{Type: TypeCheckpoint, At: 4000, Checkpoint: &Checkpoint{Plane: "diagnosis", At: 4000,
+			Counters: []CheckpointCounter{{Name: "nfail", V: 2}},
+			Parts: []CheckpointPart{
+				{ID: "tv-0001", NFail: 2, NPass: 1, Cells: []CheckpointCell{{Block: 7, Fail: 2, Pass: 1}, {Block: 64, Fail: 1}}},
+				{ID: "tv-0002"}, // partition with no evidence yet
+			}}},
 	}
 }
 

@@ -92,6 +92,12 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeHandoff, SUO: "fuzz-dev", At: 105,
 			Handoff:    &HandoffRecord{From: "fuzz-edge", To: "other", Pos: 1 << 33},
 			Checkpoint: &Checkpoint{Plane: PlaneDevice, Counters: []CheckpointCounter{{Name: "c", V: 1}}}},
+		{Type: TypeSpectrumDelta, SUO: "fuzz-dev", Target: "fail", At: 106,
+			Delta: &SpectrumDelta{Seq: 5, Blocks: 60000,
+				Index: []uint32{0, 7, 937}, Words: []uint64{1, 0xdeadbeef, 1 << 63}}},
+		{Type: TypeCheckpoint, At: 107, Checkpoint: &Checkpoint{Plane: "diagnosis",
+			Parts: []CheckpointPart{{ID: "fuzz-dev", NFail: 1,
+				Cells: []CheckpointCell{{Block: 937, Fail: 1, Pass: 2}}}}}},
 	}
 	for _, codec := range []Codec{JSON, Binary} {
 		var buf bytes.Buffer

@@ -81,6 +81,18 @@ const (
 	// departure record from the arrival record) and on the aggregator (the
 	// range-map repoint). See ARCHITECTURE.md §7.3.
 	TypeHandoff MsgType = "handoff"
+	// TypeSpectrumDelta (SUO → monitor) piggybacks one closed coverage
+	// window of the device's spectral flight recorder on the heartbeat
+	// cadence, as a sparse delta: only the packed words the window actually
+	// touched (the Delta payload). It is the continuous-diagnosis
+	// counterpart of the pulled TypeSnapshot — bounded bytes per frame,
+	// every heartbeat, no request needed. Deltas share the recorder's
+	// window sequence space with snapshots, so the diagnosis engine's fold
+	// watermark dedups the two evidence paths. The server sheds deltas with
+	// observations (tier 1), never with control traffic; accepted deltas
+	// are journaled by the diagnosis engine, labeled, write-ahead of
+	// folding — not by the server. See ARCHITECTURE.md §5.5.
+	TypeSpectrumDelta MsgType = "spectrum_delta"
 )
 
 // Role is the connection role a client declares in its Hello. Empty means a
@@ -196,6 +208,23 @@ type SpectrumWindow struct {
 	Words []uint64 `json:"words,omitempty"`
 }
 
+// SpectrumDelta is the payload of a TypeSpectrumDelta frame: one closed
+// coverage window as a sparse word list. Seq is the window's sequence
+// number in the device recorder's window space (shared with the windows a
+// TypeSnapshot carries, so one per-device fold watermark orders both
+// evidence paths); Blocks is the instrumented block count, vetted against
+// the fleet's program layout exactly like Snapshot.Blocks. Index holds the
+// strictly ascending packed-word indices whose 64-bit coverage words are
+// nonzero, Words the matching words — only what the window touched, which
+// is what keeps the per-heartbeat cost bounded: a window touching b blocks
+// costs at most b/64+b words on the wire regardless of program size.
+type SpectrumDelta struct {
+	Seq    uint64   `json:"seq"`
+	Blocks int      `json:"blocks"`
+	Index  []uint32 `json:"index,omitempty"`
+	Words  []uint64 `json:"words,omitempty"`
+}
+
 // Snapshot is the payload of a TypeSnapshot frame: the device's retained
 // coverage windows plus flight-recorder context. Blocks is the instrumented
 // block count the windows are sized for — fleet-level folding only accepts
@@ -256,6 +285,10 @@ type Message struct {
 	// journal records; also attached to edge Hello frames as the range
 	// claim — see HandoffRecord).
 	Handoff *HandoffRecord `json:"handoff,omitempty"`
+	// Delta carries one sparse coverage-window delta (TypeSpectrumDelta
+	// frames; in journals the Target field labels it "fail" or "pass",
+	// exactly like labeled snapshot evidence).
+	Delta *SpectrumDelta `json:"delta,omitempty"`
 }
 
 // RollupDelta is the payload of a TypeRollup frame: the signed change in an
@@ -379,6 +412,11 @@ type Checkpoint struct {
 	NFail  int              `json:"nfail,omitempty"`
 	NPass  int              `json:"npass,omitempty"`
 	Cells  []CheckpointCell `json:"cells,omitempty"`
+
+	// Parts are the per-verdict evidence partitions of a continuous
+	// diagnosis engine (multi-fault disambiguation): each carries its own
+	// sparse spectrum alongside the merged Cells above.
+	Parts []CheckpointPart `json:"parts,omitempty"`
 }
 
 // CheckpointCounter is one named uint64 counter.
@@ -425,6 +463,16 @@ type CheckpointCell struct {
 	Block uint32 `json:"block"`
 	Fail  uint32 `json:"fail,omitempty"`
 	Pass  uint32 `json:"pass,omitempty"`
+}
+
+// CheckpointPart is one evidence partition of a continuous diagnosis
+// checkpoint: the suspect device the partition tracks and its own sparse
+// spectrum (same cell representation as the merged spectrum).
+type CheckpointPart struct {
+	ID    string           `json:"id"`
+	NFail int              `json:"nfail,omitempty"`
+	NPass int              `json:"npass,omitempty"`
+	Cells []CheckpointCell `json:"cells,omitempty"`
 }
 
 // MaxFrame bounds a frame's payload size; oversized frames indicate protocol
