@@ -39,8 +39,10 @@ test-race:
 # and the snapshot-frame pair BenchmarkSnapshotJSON / BenchmarkSnapshotBinary),
 # the networked fleet-ingestion benchmark (journal off/flat/sharded, the
 # relaxed ack-on-dispatch durability tier, recovery controller and diagnosis
-# engine attached, and the flow=on credit-window variant, each reporting the
-# latency-SLO plane's p50/p99/p999 ingest-to-dispatch quantiles),
+# engine attached, the flow=on credit-window variant, and the trace=on
+# tracing-plane variant — held within 5% of the untraced baseline — each
+# reporting the latency-SLO plane's p50/p99/p999 ingest-to-dispatch
+# quantiles),
 # BenchmarkJournalAppend, BenchmarkCheckpointReplay (cold boot with and
 # without a checkpoint resume point), BenchmarkControllerReport,
 # BenchmarkFleetDiagnosis (evidence fold + parallel ranking at the paper's
@@ -51,7 +53,7 @@ test-race:
 # so the perf trajectory is tracked across PRs. $(BENCHJSON) is committed
 # once per PR; the raw transcript in bench.out is scratch output and must
 # not be committed (CI fails the tree if it is).
-BENCHJSON ?= BENCH_9.json
+BENCHJSON ?= BENCH_10.json
 bench:
 	@$(GO) test -bench . -benchmem $(BENCHFLAGS) ./... > bench.out; status=$$?; \
 	cat bench.out; \

@@ -27,6 +27,7 @@ import (
 	"trader/internal/sim"
 	"trader/internal/spectrum"
 	"trader/internal/statemachine"
+	"trader/internal/trace"
 	"trader/internal/wire"
 )
 
@@ -408,9 +409,14 @@ func BenchmarkFleetIngestion(b *testing.B) {
 		diagnosis  bool
 		continuous bool
 		flow       bool
+		trace      bool
 	}{
 		{codec: wire.CodecJSON},
 		{codec: wire.CodecBinary},
+		// trace=on is the tracing plane at its default 1-in-128 sampling;
+		// the acceptance bar is frames/s within 5% of the trace=off binary
+		// baseline — the unsampled path must stay the pre-tracing path.
+		{codec: wire.CodecBinary, trace: true},
 		{codec: wire.CodecBinary, flow: true},
 		{codec: wire.CodecJSON, journal: true},
 		{codec: wire.CodecBinary, journal: true},
@@ -444,10 +450,19 @@ func BenchmarkFleetIngestion(b *testing.B) {
 		if cfg.flow {
 			name += "/flow=on"
 		}
+		if cfg.trace {
+			name += "/trace=on"
+		}
 		b.Run(name, func(b *testing.B) {
-			pool := fleet.NewPool(fleet.Options{})
+			popts := fleet.Options{}
+			if cfg.trace {
+				popts.Tracer = trace.New(trace.Options{
+					Shards: runtime.GOMAXPROCS(0), SampleN: trace.DefaultSampleN})
+			}
+			pool := fleet.NewPool(popts)
 			defer pool.Stop()
-			srv := &fleet.Server{Pool: pool, Factory: fleet.LightMonitorFactory()}
+			srv := &fleet.Server{Pool: pool, Factory: fleet.LightMonitorFactory(),
+				Tracer: popts.Tracer}
 			defer srv.Close()
 			if cfg.flow {
 				srv.CreditWindow = flowWindow

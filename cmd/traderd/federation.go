@@ -2,7 +2,7 @@ package main
 
 import (
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -17,6 +17,7 @@ import (
 	"trader/internal/federate"
 	"trader/internal/journal"
 	"trader/internal/metrics"
+	"trader/internal/trace"
 	"trader/internal/wire"
 )
 
@@ -72,7 +73,7 @@ func startEdge(spec, journalDir string, e *federate.Edge, ctl *control.Controlle
 	e.Upstream = upstream
 	e.Range, e.Of = rng, of
 	e.JournalDir = journalDir
-	e.Logf = log.Printf
+	e.Logf = logfAdapter("edge")
 	base := e.Sample
 	// The delta carries the control and diagnosis planes' rollups next to
 	// the fleet counters — all order-independent folds, so the aggregator's
@@ -96,7 +97,8 @@ func startEdge(spec, journalDir string, e *federate.Edge, ctl *control.Controlle
 	}
 	done := make(chan struct{})
 	go e.Run(done)
-	log.Printf("traderd: edge uplink to %s as %s (range %d/%d)", upstream, e.ID, rng, of)
+	slog.Info("edge uplink started", "component", "edge",
+		"upstream", upstream, "edge", e.ID, "range", rng, "of", of)
 	return func() { close(done) }, nil
 }
 
@@ -105,11 +107,16 @@ func startEdge(spec, journalDir string, e *federate.Edge, ctl *control.Controlle
 // view is logged every -stats-seconds and served on -metrics, and -journal
 // persists the ownership record so a restarted aggregator recovers its
 // range map (credited totals re-feed themselves through resume baselines).
-func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int, metricsAddr string, verbose bool) error {
+func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int, metricsAddr string, obs obsConfig, verbose bool) error {
+	// The aggregator traces too: the receive side of each uplink span lands
+	// here, so an exemplar surfaced on the merged view resolves to the span
+	// chain that began on an edge's ingest path.
+	tracer := trace.New(trace.Options{Shards: 1, SampleN: obs.TraceSample})
 	agg := &federate.Aggregator{
 		Ranges:   ranges,
 		Failover: time.Duration(failoverSecs) * time.Second,
-		Logf:     log.Printf,
+		Logf:     logfAdapter("aggregator"),
+		Tracer:   tracer,
 	}
 	if journalDir != "" {
 		// Recover the ownership journal before listening, then append to it.
@@ -120,7 +127,8 @@ func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int
 				return fmt.Errorf("recovering ownership journal %s: %w", journalDir, err)
 			}
 			if n > 0 {
-				log.Printf("traderd: aggregator: recovered %d ownership records from %s", n, journalDir)
+				slog.Info("recovered ownership records", "component", "aggregator",
+					"records", n, "dir", journalDir)
 			}
 		}
 		jw, err := journal.Create(journalDir, journal.Options{})
@@ -129,19 +137,21 @@ func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int
 		}
 		defer jw.Close()
 		agg.Journal = jw
-		log.Printf("traderd: aggregator: journaling ownership changes to %s", journalDir)
+		slog.Info("journaling ownership changes", "component", "aggregator", "dir", journalDir)
 	}
 	if metricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", federationMetricsHandler(agg))
+		mux.Handle("/metrics", federationMetricsHandler(agg, tracer))
+		registerObservability(mux, tracer, obs.Pprof)
 		msrv := &http.Server{Addr: metricsAddr, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("traderd: metrics: %v", err)
+				slog.Error("metrics listener failed", "component", "metrics", "err", err)
 			}
 		}()
 		defer msrv.Close()
-		log.Printf("traderd: aggregator: serving merged fleet view on http://%s/metrics", metricsAddr)
+		slog.Info("serving merged fleet view", "component", "aggregator",
+			"addr", metricsAddr, "pprof", obs.Pprof)
 	}
 
 	errc := make(chan error, 8)
@@ -159,8 +169,8 @@ func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int
 			return err
 		}
 		listeners = append(listeners, ln)
-		log.Printf("traderd: aggregating edge uplinks on %s (%d ranges, failover after %ds)",
-			addr, ranges, failoverSecs)
+		slog.Info("aggregating edge uplinks", "component", "aggregator",
+			"addr", addr, "ranges", ranges, "failover_seconds", failoverSecs)
 		go func() { errc <- agg.Serve(ln) }()
 	}
 
@@ -171,7 +181,7 @@ func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int
 		ticker.Stop()
 	}
 	defer ticker.Stop()
-	logView := func(prefix string) {
+	logView := func(msg string) {
 		v := agg.View()
 		live := 0
 		for _, e := range v.Edges {
@@ -179,19 +189,20 @@ func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int
 				live++
 			}
 		}
-		log.Printf("traderd: %s: %d devices across %d edges (%d live), %d outputs, %d deviations, %d reports; %d migrations, %d adoptions, %d handoffs",
-			prefix, v.Devices, len(v.Edges), live,
-			v.Counters["outputs"], v.Counters["deviations"], v.Counters["reports"],
-			v.Migrations, v.Adoptions, v.Handoffs)
+		slog.Info(msg, "component", "federation",
+			"devices", v.Devices, "edges", len(v.Edges), "live", live,
+			"outputs", v.Counters["outputs"], "deviations", v.Counters["deviations"],
+			"reports", v.Counters["reports"], "migrations", v.Migrations,
+			"adoptions", v.Adoptions, "handoffs", v.Handoffs)
 	}
 	for {
 		select {
 		case <-ticker.C:
-			logView("federation")
+			logView("federation rollup")
 		case sig := <-sigc:
-			log.Printf("traderd: %v: stopping aggregator", sig)
+			slog.Info("stopping aggregator", "component", "aggregator", "signal", sig.String())
 			agg.Close()
-			logView("federation final")
+			logView("final federation rollup")
 			return nil
 		case err := <-errc:
 			if err != nil {
@@ -205,7 +216,7 @@ func runAggregate(addrs, journalDir string, ranges, failoverSecs, statsEvery int
 // federationMetricsHandler renders the aggregator's merged view as
 // Prometheus text: the fleet-wide counter folds, the per-edge accounts
 // (labelled by edge), and the federation's own lifecycle counters.
-func federationMetricsHandler(agg *federate.Aggregator) http.Handler {
+func federationMetricsHandler(agg *federate.Aggregator, tr *trace.Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		v := agg.View()
@@ -225,5 +236,12 @@ func federationMetricsHandler(agg *federate.Aggregator) http.Handler {
 		fmt.Fprintf(w, "trader_federation_migrations_total %d\n", v.Migrations)
 		fmt.Fprintf(w, "trader_federation_adoptions_total %d\n", v.Adoptions)
 		fmt.Fprintf(w, "trader_federation_handoffs_total %d\n", v.Handoffs)
+		if tr != nil {
+			fmt.Fprintln(w, "# TYPE trader_trace_forced_overflow_total counter")
+			fmt.Fprintf(w, "trader_trace_forced_overflow_total %d\n", tr.ForcedOverflow())
+			fmt.Fprintln(w, "# TYPE trader_trace_spans_written_total counter")
+			fmt.Fprintf(w, "trader_trace_spans_written_total %d\n", tr.Written())
+		}
+		writeProcessMetrics(w)
 	})
 }

@@ -70,7 +70,7 @@ package main
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net"
 	"net/http"
@@ -92,6 +92,7 @@ import (
 	"trader/internal/sim"
 	"trader/internal/spectrum"
 	"trader/internal/statemachine"
+	"trader/internal/trace"
 	"trader/internal/tvsim"
 	"trader/internal/wire"
 )
@@ -121,61 +122,77 @@ func main() {
 	aggregate := flag.Bool("aggregate", false, "run as the federation aggregator: -listen addresses accept edge uplinks instead of devices")
 	ranges := flag.Int("ranges", 2, "device-ID hash range count of the federation (-aggregate mode; must match every edge's range=N/M)")
 	failoverSecs := flag.Int("failover-seconds", 10, "grace period before the aggregator directs a survivor to adopt a dead edge's journal (-aggregate mode; 0: off)")
+	logFormat := flag.String("log-format", "text", "structured log output: text or json")
+	traceSample := flag.Int("trace-sample", trace.DefaultSampleN, "frame-lifecycle trace sampling: 1 in N ingested frames starts a trace (control traffic is always traced; 0: sampling off)")
+	incidentDir := flag.String("incident-dir", "", "write an incident bundle (spans, counters, ladder, top-K spectrum) to this directory whenever the recovery ladder reaches restart (requires -recover)")
+	pprofOn := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the -metrics listener")
 	flag.Parse()
 
+	if err := setupLogging(*logFormat); err != nil {
+		fmt.Fprintf(os.Stderr, "traderd: %v\n", err)
+		os.Exit(1)
+	}
 	if *journalDir != "" && *listen == "" {
 		// Only -listen mode journals; silently accepting the flag elsewhere
 		// (including -replay, which only reads a journal) would leave an
 		// operator believing frames are durable when nothing is written.
-		log.Fatalf("traderd: -journal requires -listen (only the ingestion daemon and the aggregator journal)")
+		fatal("-journal requires -listen (only the ingestion daemon and the aggregator journal)")
+	}
+	if *pprofOn && *metricsAddr == "" {
+		fatal("-pprof requires -metrics (pprof rides on the metrics listener)")
 	}
 	if *aggregate {
 		if *listen == "" {
-			log.Fatalf("traderd: -aggregate requires -listen (the addresses edge uplinks dial)")
+			fatal("-aggregate requires -listen (the addresses edge uplinks dial)")
 		}
 		if *edgeSpec != "" {
-			log.Fatalf("traderd: -aggregate and -edge are different tiers of the federation; run them as separate processes")
+			fatal("-aggregate and -edge are different tiers of the federation; run them as separate processes")
 		}
-		if err := runAggregate(*listen, *journalDir, *ranges, *failoverSecs, *statsEvery, *metricsAddr, *verbose); err != nil {
-			log.Fatalf("traderd: aggregate: %v", err)
+		obs := obsConfig{TraceSample: *traceSample, Pprof: *pprofOn}
+		if err := runAggregate(*listen, *journalDir, *ranges, *failoverSecs, *statsEvery, *metricsAddr, obs, *verbose); err != nil {
+			fatal("aggregate failed", "err", err)
 		}
 		return
 	}
 	if *edgeSpec != "" && *listen == "" {
-		log.Fatalf("traderd: -edge requires -listen (the edge keeps ingesting devices; the uplink rides on top)")
+		fatal("-edge requires -listen (the edge keeps ingesting devices; the uplink rides on top)")
 	}
 	if *replayDir != "" {
 		if err := runReplay(*replayDir, *suo, *shards, *diagCoeff, *verbose); err != nil {
-			log.Fatalf("traderd: replay: %v", err)
+			fatal("replay failed", "err", err)
 		}
 		return
 	}
 	if *fleetN > 0 {
 		if err := runFleet(*fleetN, *shards, *fleetSecs, *verbose); err != nil {
-			log.Fatalf("traderd: fleet: %v", err)
+			fatal("fleet run failed", "err", err)
 		}
 		return
 	}
 	if *recoverPol != "" && *listen == "" {
-		log.Fatalf("traderd: -recover requires -listen (the controller actuates through the ingestion server)")
+		fatal("-recover requires -listen (the controller actuates through the ingestion server)")
 	}
 	if *diagCoeff != "" && *recoverPol == "" {
-		log.Fatalf("traderd: -diagnose requires -recover (diagnosis pulls evidence when the controller escalates) or -replay (offline)")
+		fatal("-diagnose requires -recover (diagnosis pulls evidence when the controller escalates) or -replay (offline)")
 	}
 	if *diagCont && *diagCoeff == "" {
-		log.Fatalf("traderd: -diagnose-continuous requires -diagnose (it feeds the diagnosis engine)")
+		fatal("-diagnose-continuous requires -diagnose (it feeds the diagnosis engine)")
 	}
 	if *cpSecs > 0 && *journalDir == "" {
-		log.Fatalf("traderd: -checkpoint-seconds requires -journal (checkpoints are journal resume points)")
+		fatal("-checkpoint-seconds requires -journal (checkpoints are journal resume points)")
+	}
+	if *incidentDir != "" && *recoverPol == "" {
+		fatal("-incident-dir requires -recover (incidents open when the recovery ladder escalates)")
 	}
 	if (*creditWindow != 0 || *shed || *metricsAddr != "") && *listen == "" {
-		log.Fatalf("traderd: -credit-window, -shed and -metrics require -listen (they are ingestion-server overload controls)")
+		fatal("-credit-window, -shed and -metrics require -listen (they are ingestion-server overload controls)")
 	}
 	if *listen != "" {
 		diag := diagConfig{Coeff: *diagCoeff, Blocks: *diagBlocks, Cohort: *diagCohort, Continuous: *diagCont}
 		over := overloadConfig{CreditWindow: *creditWindow, Shed: *shed, MetricsAddr: *metricsAddr}
-		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, over, *edgeSpec, *verbose); err != nil {
-			log.Fatalf("traderd: ingest: %v", err)
+		obs := obsConfig{TraceSample: *traceSample, IncidentDir: *incidentDir, Pprof: *pprofOn}
+		if err := runIngest(*listen, *suo, *shards, *statsEvery, *maxAdvance, *journalDir, *recoverPol, *cpSecs, diag, over, obs, *edgeSpec, *verbose); err != nil {
+			fatal("ingest failed", "err", err)
 		}
 		return
 	}
@@ -183,15 +200,15 @@ func main() {
 	_ = os.Remove(*socket)
 	ln, err := net.Listen("unix", *socket)
 	if err != nil {
-		log.Fatalf("traderd: listen: %v", err)
+		fatal("listen failed", "socket", *socket, "err", err)
 	}
 	defer ln.Close()
-	log.Printf("traderd: monitoring %q SUOs on %s", *suo, *socket)
+	slog.Info("monitoring SUOs", "component", "monitor", "suo", *suo, "socket", *socket)
 
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("traderd: accept: %v", err)
+			slog.Error("accept failed", "component", "monitor", "err", err)
 			return
 		}
 		go serve(conn, *suo, *verbose)
@@ -287,6 +304,14 @@ type overloadConfig struct {
 	MetricsAddr  string
 }
 
+// obsConfig carries the observability knobs: trace sampling, the incident
+// bundle directory and the pprof toggle.
+type obsConfig struct {
+	TraceSample int
+	IncidentDir string
+	Pprof       bool
+}
+
 // Shed-tier thresholds -shed enables: observations (tier 1) drop first,
 // heartbeats (tier 2) only near saturation, control traffic (tier 3) never.
 const (
@@ -309,15 +334,17 @@ func runReplay(dir, suo string, shards int, diagCoeff string, verbose bool) erro
 	defer pool.Stop()
 	if verbose {
 		pool.OnReport(func(device string, r wire.ErrorReport) {
-			log.Printf("traderd: replay: %s: %s", device, r)
+			slog.Info("error report", "component", "replay", "device", device, "report", r.String())
 		})
 	}
 	if _, err := recoverJournal(dir, suo, pool, factory); err != nil {
 		return err
 	}
 	ro := pool.Rollup()
-	log.Printf("traderd: replay rollup: %d devices, %d dispatched, %d comparisons, %d deviations, %d error reports",
-		ro.Devices, ro.Dispatched, ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports)
+	slog.Info("replay rollup", "component", "replay",
+		"devices", ro.Devices, "dispatched", ro.Dispatched,
+		"comparisons", ro.Monitor.Comparisons, "deviations", ro.Monitor.Deviations,
+		"reports", ro.Reports)
 	if diagCoeff != "" {
 		coeff, ok := spectrum.CoefficientByName(diagCoeff)
 		if !ok {
@@ -333,11 +360,12 @@ func runReplay(dir, suo string, shards int, diagCoeff string, verbose bool) erro
 			return err
 		}
 		if res == nil {
-			log.Printf("traderd: replay: journal holds no diagnosis evidence")
+			slog.Info("journal holds no diagnosis evidence", "component", "replay")
 			return nil
 		}
-		log.Printf("traderd: replayed diagnosis from %d evidence snapshots + %d deltas (%d windows, %d skipped):\n%s",
-			st.Snapshots, st.Deltas, st.Windows, st.Skipped, res)
+		slog.Info("replayed diagnosis", "component", "replay",
+			"snapshots", st.Snapshots, "deltas", st.Deltas,
+			"windows", st.Windows, "skipped", st.Skipped, "result", res.String())
 	}
 	return nil
 }
@@ -368,7 +396,8 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 		if n := r.SegmentsSkipped(); n > 0 {
 			note += fmt.Sprintf(" (%d fully-checkpointed segments skipped)", n)
 		}
-		log.Printf("traderd: replayed %s from %s in %v%s", st, dir, time.Since(start), note)
+		slog.Info("journal replayed", "component", "journal",
+			"stats", fmt.Sprint(st), "dir", dir, "took", time.Since(start).String(), "note", note)
 	}
 	return st, nil
 }
@@ -384,7 +413,7 @@ func recoverJournal(dir, suo string, pool *fleet.Pool, factory fleet.MonitorFact
 // diagnosis plane additionally pulls coverage snapshots from escalated
 // devices and healthy cohorts, folds them into a fleet-level spectrum and
 // logs periodic top-suspect rollups.
-func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, cpSecs int, diag diagConfig, over overloadConfig, edgeSpec string, verbose bool) error {
+func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir, recoverPol string, cpSecs int, diag diagConfig, over overloadConfig, obs obsConfig, edgeSpec string, verbose bool) error {
 	factory, err := monitorFactory(suo)
 	if err != nil {
 		return err
@@ -396,7 +425,10 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 	if int64(maxAdvance) <= math.MaxInt64/int64(sim.Second) {
 		adv = sim.Time(maxAdvance) * sim.Second
 	}
-	pool := fleet.NewPool(fleet.Options{Shards: shards})
+	// The frame-lifecycle tracer is always on: 1-in-N sampling on the
+	// ingest path, forced recording for control traffic (§6.2).
+	tracer := trace.New(trace.Options{Shards: shards, SampleN: obs.TraceSample})
+	pool := fleet.NewPool(fleet.Options{Shards: shards, Tracer: tracer})
 	defer pool.Stop()
 	srv := &fleet.Server{
 		Pool:         pool,
@@ -404,15 +436,16 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		HelloTimeout: 10 * time.Second,
 		MaxAdvance:   adv,
 		CreditWindow: over.CreditWindow,
+		Tracer:       tracer,
 	}
 	if over.Shed {
 		srv.ShedObservationsAt = shedObservationsAt
 		srv.ShedHeartbeatsAt = shedHeartbeatsAt
-		log.Printf("traderd: load shedding on (observations at %.0f%% queue pressure, heartbeats at %.0f%%, control never)",
-			shedObservationsAt*100, shedHeartbeatsAt*100)
+		slog.Info("load shedding on", "component", "ingest",
+			"observations_at", shedObservationsAt, "heartbeats_at", shedHeartbeatsAt)
 	}
 	if over.CreditWindow > 0 {
-		log.Printf("traderd: flow control on (%d-frame credit window per connection)", over.CreditWindow)
+		slog.Info("flow control on", "component", "ingest", "credit_window", over.CreditWindow)
 	}
 	var jw *journal.Sharded
 	if journalDir != "" {
@@ -433,12 +466,13 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			return err
 		}
 		srv.Journal = jw
-		log.Printf("traderd: journaling accepted frames to %s (%d streams, write-ahead, group-commit fsync)", journalDir, jw.Shards())
+		slog.Info("journaling accepted frames", "component", "journal",
+			"dir", journalDir, "streams", jw.Shards())
 	}
 	if verbose {
-		srv.Logf = log.Printf
+		srv.Logf = logfAdapter("ingest")
 		pool.OnReport(func(device string, r wire.ErrorReport) {
-			log.Printf("traderd: %s: %s", device, r)
+			slog.Info("error report", "component", "fleet", "device", device, "report", r.String())
 		})
 	}
 	var eng *diagnose.Engine
@@ -448,12 +482,12 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			return fmt.Errorf("unknown coefficient %q", diag.Coeff)
 		}
 		opts := diagnose.Options{Requester: srv, Coeff: coeff, Blocks: diag.Blocks,
-			Cohort: diag.Cohort, Continuous: diag.Continuous}
+			Cohort: diag.Cohort, Continuous: diag.Continuous, Tracer: tracer}
 		if jw != nil {
 			opts.Journal = jw
 		}
 		if verbose {
-			opts.Logf = log.Printf
+			opts.Logf = logfAdapter("diagnosis")
 		}
 		eng = diagnose.Attach(pool, opts)
 		defer eng.Close()
@@ -463,8 +497,8 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			srv.OnSpectrumDelta = eng.HandleSpectrumDelta
 			mode = "continuous heartbeat deltas + episodic pulls"
 		}
-		log.Printf("traderd: fleet diagnosis on (%s over %d blocks, cohort %d, %s)",
-			coeff.Name, diag.Blocks, diag.Cohort, mode)
+		slog.Info("fleet diagnosis on", "component", "diagnosis",
+			"coeff", coeff.Name, "blocks", diag.Blocks, "cohort", diag.Cohort, "mode", mode)
 		if journalDir != "" {
 			// Warm-start from the journal's labeled evidence, so the live
 			// ranking resumes where the pre-restart engine stopped and a
@@ -479,21 +513,24 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 				return err
 			}
 			if n > 0 {
-				log.Printf("traderd: recovered %d diagnosis evidence records from %s", n, journalDir)
+				slog.Info("recovered diagnosis evidence", "component", "diagnosis",
+					"records", n, "dir", journalDir)
 			}
 		}
 	}
 	if over.MetricsAddr != "" {
 		mux := http.NewServeMux()
-		mux.Handle("/metrics", metricsHandler(pool, srv, jw, eng))
+		mux.Handle("/metrics", metricsHandler(pool, srv, jw, eng, tracer))
+		registerObservability(mux, tracer, obs.Pprof)
 		msrv := &http.Server{Addr: over.MetricsAddr, Handler: mux}
 		go func() {
 			if err := msrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-				log.Printf("traderd: metrics: %v", err)
+				slog.Error("metrics listener failed", "component", "metrics", "err", err)
 			}
 		}()
 		defer msrv.Close()
-		log.Printf("traderd: serving latency-SLO metrics on http://%s/metrics", over.MetricsAddr)
+		slog.Info("serving metrics and traces", "component", "metrics",
+			"addr", over.MetricsAddr, "pprof", obs.Pprof)
 	}
 	var ctl *control.Controller
 	if recoverPol != "" {
@@ -506,16 +543,21 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			opts.Journal = jw
 		}
 		if verbose {
-			opts.Logf = log.Printf
+			opts.Logf = logfAdapter("recovery")
 		}
 		if eng != nil {
 			opts.OnEscalate = eng.HandleAction
 		}
+		if obs.IncidentDir != "" {
+			opts.OnIncident = incidentRecorder(obs.IncidentDir, journalDir, tracer, pool, srv, eng)
+			slog.Info("incident bundles on", "component", "trace", "dir", obs.IncidentDir)
+		}
 		ctl = control.Attach(pool, opts)
 		defer ctl.Close()
 		srv.OnAck = ctl.HandleAck
-		log.Printf("traderd: recovery controller on (policy %s: tolerate %d, resets %d, restarts %d, restart latency %s)",
-			pol.Name, pol.Tolerate, pol.Resets, pol.Restarts, pol.RestartLatency)
+		slog.Info("recovery controller on", "component", "recovery",
+			"policy", pol.Name, "tolerate", pol.Tolerate, "resets", pol.Resets,
+			"restarts", pol.Restarts, "restart_latency", pol.RestartLatency.String())
 		if journalDir != "" {
 			// Resume the ladder from the journal's newest control-plane
 			// checkpoint, so escalation history survives the restart.
@@ -529,7 +571,8 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 				return err
 			}
 			if found {
-				log.Printf("traderd: recovered recovery-controller checkpoint from %s: %s", journalDir, ctl.Rollup())
+				slog.Info("recovered controller checkpoint", "component", "recovery",
+					"dir", journalDir, "rollup", fmt.Sprint(ctl.Rollup()))
 			}
 		}
 	}
@@ -542,18 +585,19 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			cper.Planes = append(cper.Planes, eng.Checkpoint)
 		}
 		if verbose {
-			cper.Logf = log.Printf
+			cper.Logf = logfAdapter("checkpoint")
 		}
 		cpDone := make(chan struct{})
 		defer close(cpDone)
 		go cper.Run(time.Duration(cpSecs)*time.Second, cpDone)
-		log.Printf("traderd: checkpointing fleet state every %ds (journal truncates to the newest checkpoint)", cpSecs)
+		slog.Info("checkpointing fleet state", "component", "checkpoint", "every_seconds", cpSecs)
 	}
 	if edgeSpec != "" {
 		e := &federate.Edge{
 			Sample:  federate.PoolSampler(pool, srv),
 			Pool:    pool,
 			Factory: factory,
+			Tracer:  tracer,
 		}
 		if jw != nil {
 			e.Journal = jw
@@ -580,7 +624,8 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 			return err
 		}
 		listeners = append(listeners, ln)
-		log.Printf("traderd: ingesting fleet SUOs on %s (%d shards, %q monitors)", addr, pool.Shards(), suo)
+		slog.Info("ingesting fleet SUOs", "component", "ingest",
+			"addr", addr, "shards", pool.Shards(), "suo", suo)
 		go func() { errc <- srv.Serve(ln) }()
 	}
 
@@ -596,63 +641,72 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 		case <-ticker.C:
 			ro := pool.Rollup()
 			cs := srv.Stats()
-			log.Printf("traderd: fleet: %d devices, %d frames ingested, %d dispatched, %d comparisons, %d deviations, %d reports (%d accepted, %d rejected, %d disconnected)",
-				ro.Devices, cs.Frames, ro.Dispatched, ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports,
-				cs.Accepted, cs.Rejected, cs.Disconnected)
+			slog.Info("fleet rollup", "component", "fleet",
+				"devices", ro.Devices, "frames", cs.Frames, "dispatched", ro.Dispatched,
+				"comparisons", ro.Monitor.Comparisons, "deviations", ro.Monitor.Deviations,
+				"reports", ro.Reports, "accepted", cs.Accepted, "rejected", cs.Rejected,
+				"disconnected", cs.Disconnected)
 			if ro.ShedObservations+ro.ShedHeartbeats+cs.CreditGrants+cs.CreditViolations > 0 {
 				lat := pool.Latency()
-				log.Printf("traderd: overload: %d observations + %d heartbeats shed, %d credit grants, %d violations; dispatch latency p50 %s p99 %s p999 %s",
-					ro.ShedObservations, ro.ShedHeartbeats, cs.CreditGrants, cs.CreditViolations,
-					lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999))
+				slog.Info("overload rollup", "component", "ingest",
+					"shed_observations", ro.ShedObservations, "shed_heartbeats", ro.ShedHeartbeats,
+					"credit_grants", cs.CreditGrants, "credit_violations", cs.CreditViolations,
+					"latency_p50", lat.Quantile(0.5).String(), "latency_p99", lat.Quantile(0.99).String(),
+					"latency_p999", lat.Quantile(0.999).String())
 			}
 			if ctl != nil {
 				cro := ctl.Rollup()
-				log.Printf("traderd: recovery: %s", cro)
+				slog.Info("recovery rollup", "component", "recovery", "rollup", fmt.Sprint(cro))
 				if crit := control.Criticality(cro); len(crit) > 0 {
-					log.Printf("traderd: recovery: most critical failure class: %s (RPN %.3f)",
-						crit[0].Component, crit[0].RPN)
+					slog.Info("most critical failure class", "component", "recovery",
+						"class", crit[0].Component, "rpn", crit[0].RPN)
 				}
 			}
 			if eng != nil {
 				dro := eng.Rollup()
-				log.Printf("traderd: diagnosis: %s", dro)
+				slog.Info("diagnosis rollup", "component", "diagnosis", "rollup", fmt.Sprint(dro))
 				if dro.Failures > 0 {
 					if res := eng.Result(3); len(res.Ranking) > 0 && len(res.Verdict) > 0 {
 						top := res.Ranking[0]
-						log.Printf("traderd: diagnosis: top suspect block %d (%s, score %.4f); verdict %s",
-							top.Block, top.Component, top.Score, res.Verdict[0].Component)
+						slog.Info("top suspect", "component", "diagnosis",
+							"block", top.Block, "suspect_component", top.Component,
+							"score", top.Score, "verdict", res.Verdict[0].Component)
 					}
 				}
 			}
 		case sig := <-sigc:
-			log.Printf("traderd: %v: draining fleet", sig)
+			slog.Info("draining fleet", "component", "ingest", "signal", sig.String())
 			srv.Close()
 			for _, ln := range listeners {
 				ln.Close()
 			}
 			ro := pool.Rollup()
 			cs := srv.Stats()
-			log.Printf("traderd: final: %d frames ingested, %d comparisons, %d error reports, %d connections served",
-				cs.Frames, ro.Monitor.Comparisons, ro.Reports, cs.Accepted)
+			slog.Info("final fleet rollup", "component", "fleet",
+				"frames", cs.Frames, "comparisons", ro.Monitor.Comparisons,
+				"reports", ro.Reports, "connections", cs.Accepted)
 			if ro.ShedObservations+ro.ShedHeartbeats+cs.CreditGrants+cs.CreditViolations > 0 {
 				lat := pool.Latency()
-				log.Printf("traderd: overload final: %d observations + %d heartbeats shed (control: %d, always), %d credit grants, %d violations; dispatch latency p50 %s p99 %s p999 %s",
-					ro.ShedObservations, ro.ShedHeartbeats, ro.ShedControl, cs.CreditGrants, cs.CreditViolations,
-					lat.Quantile(0.5), lat.Quantile(0.99), lat.Quantile(0.999))
+				slog.Info("final overload rollup", "component", "ingest",
+					"shed_observations", ro.ShedObservations, "shed_heartbeats", ro.ShedHeartbeats,
+					"shed_control", ro.ShedControl, "credit_grants", cs.CreditGrants,
+					"credit_violations", cs.CreditViolations,
+					"latency_p50", lat.Quantile(0.5).String(), "latency_p99", lat.Quantile(0.99).String(),
+					"latency_p999", lat.Quantile(0.999).String())
 			}
 			if ctl != nil {
-				log.Printf("traderd: recovery final: %s", ctl.Rollup())
+				slog.Info("final recovery rollup", "component", "recovery", "rollup", fmt.Sprint(ctl.Rollup()))
 			}
 			if eng != nil {
-				log.Printf("traderd: diagnosis final: %s", eng.Rollup())
+				slog.Info("final diagnosis rollup", "component", "diagnosis", "rollup", fmt.Sprint(eng.Rollup()))
 				if res := eng.Result(10); res.Failures > 0 {
-					log.Printf("traderd: diagnosis final ranking:\n%s", res)
+					slog.Info("final diagnosis ranking", "component", "diagnosis", "ranking", res.String())
 				}
 			}
 			if jw != nil {
 				js := jw.Stats()
-				log.Printf("traderd: journal: %d records in %d fsync batches across %d segments",
-					js.Appends, js.Syncs, js.Segments)
+				slog.Info("journal totals", "component", "journal",
+					"appends", js.Appends, "fsync_batches", js.Syncs, "segments", js.Segments)
 			}
 			return nil
 		case err := <-errc:
@@ -670,7 +724,7 @@ func runIngest(addrs, suo string, shards, statsEvery, maxAdvance int, journalDir
 func runFleet(n, shards, seconds int, verbose bool) error {
 	pool := fleet.NewPool(fleet.Options{Shards: shards})
 	defer pool.Stop()
-	log.Printf("traderd: fleet mode: %d TVs on %d shards, %d virtual seconds", n, shards, seconds)
+	slog.Info("fleet mode", "component", "fleet", "tvs", n, "shards", shards, "virtual_seconds", seconds)
 
 	// The observable set is the reference TV configuration the experiments
 	// use, so socket-mode, fleet-mode and E1–E13 monitors judge alike.
@@ -682,7 +736,7 @@ func runFleet(n, shards, seconds int, verbose bool) error {
 	}
 	if verbose {
 		pool.OnReport(func(device string, r wire.ErrorReport) {
-			log.Printf("traderd: fleet: %s: %s", device, r)
+			slog.Info("error report", "component", "fleet", "device", device, "report", r.String())
 		})
 	}
 	if err := pool.Broadcast(fleet.KeyEvent(tvsim.KeyPower)); err != nil {
@@ -709,9 +763,11 @@ func runFleet(n, shards, seconds int, verbose bool) error {
 	}
 	wall := time.Since(start)
 	ro := pool.Rollup()
-	log.Printf("traderd: fleet done in %v: %d devices, %d events dispatched (%.0f/s), %d comparisons, %d deviations, %d error reports",
-		wall, ro.Devices, ro.Dispatched, float64(ro.Dispatched)/wall.Seconds(),
-		ro.Monitor.Comparisons, ro.Monitor.Deviations, ro.Reports)
+	slog.Info("fleet done", "component", "fleet",
+		"took", wall.String(), "devices", ro.Devices, "dispatched", ro.Dispatched,
+		"dispatch_rate", float64(ro.Dispatched)/wall.Seconds(),
+		"comparisons", ro.Monitor.Comparisons, "deviations", ro.Monitor.Deviations,
+		"reports", ro.Reports)
 	return nil
 }
 
@@ -752,17 +808,20 @@ func serve(conn net.Conn, suo string, verbose bool) {
 	defer conn.Close()
 	mon, err := newMonitor(suo)
 	if err != nil {
-		log.Printf("traderd: %v", err)
+		slog.Error("monitor setup failed", "component", "monitor", "err", err)
 		return
 	}
 	if verbose {
-		mon.OnError(func(r wire.ErrorReport) { log.Printf("traderd: %s", r) })
+		mon.OnError(func(r wire.ErrorReport) {
+			slog.Info("error report", "component", "monitor", "report", r.String())
+		})
 	}
 	wc := wire.NewConn(conn)
 	if err := mon.ServeConn(wc); err != nil {
-		log.Printf("traderd: connection ended: %v", err)
+		slog.Info("connection ended", "component", "monitor", "err", err)
 	}
 	st := mon.Stats()
-	log.Printf("traderd: session done: %d inputs, %d outputs, %d comparisons, %d errors",
-		st.InputsSeen, st.OutputsSeen, st.Comparisons, st.Errors)
+	slog.Info("session done", "component", "monitor",
+		"inputs", st.InputsSeen, "outputs", st.OutputsSeen,
+		"comparisons", st.Comparisons, "errors", st.Errors)
 }

@@ -7,16 +7,18 @@ import (
 	"trader/internal/diagnose"
 	"trader/internal/fleet"
 	"trader/internal/journal"
+	"trader/internal/trace"
 )
 
 // metricsHandler renders the daemon's latency-SLO plane as Prometheus text
 // (exposition format 0.0.4, stdlib only): the ingest-to-dispatch latency
 // histogram — aggregate and per shard, with the p50/p99/p999 the SLO is
 // stated over — next to the shed tiers, the flow-control counters, the
-// fleet rollup, the diagnosis plane (when -diagnose is on) and the
-// journal's group-commit ratio. One scrape answers "is the fleet inside
-// its SLO, and if not, what is it shedding?".
-func metricsHandler(pool *fleet.Pool, srv *fleet.Server, jw *journal.Sharded, eng *diagnose.Engine) http.Handler {
+// fleet rollup, the diagnosis plane (when -diagnose is on), the journal's
+// group-commit ratio, the trace plane's health (forced-ring overflow,
+// latency exemplars) and the process self-metrics. One scrape answers "is
+// the fleet inside its SLO, and if not, what is it shedding?".
+func metricsHandler(pool *fleet.Pool, srv *fleet.Server, jw *journal.Sharded, eng *diagnose.Engine, tr *trace.Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 
@@ -79,5 +81,10 @@ func metricsHandler(pool *fleet.Pool, srv *fleet.Server, jw *journal.Sharded, en
 			fmt.Fprintf(w, "trader_journal_fsyncs_total %d\n", js.Syncs)
 			fmt.Fprintf(w, "trader_journal_segments %d\n", js.Segments)
 		}
+
+		if tr != nil {
+			writeTraceMetrics(w, tr, pool)
+		}
+		writeProcessMetrics(w)
 	})
 }

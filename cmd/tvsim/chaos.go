@@ -3,7 +3,7 @@ package main
 import (
 	"encoding/binary"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -84,10 +84,11 @@ func chaosObsMessage(id string, at sim.Time) wire.Message {
 // role in a loop until the wall deadline. -duration is wall seconds here —
 // chaos is a wall-clock soak, not a virtual-time scenario.
 func runChaos(addr, prefix string, n int, codec string, seed int64, wallSecs int, dur wire.Durability, deltas bool, blocks int) error {
-	log.Printf("tvsim: chaos soak: %d devices against %s for %ds (roles: flood, hostile, churn, flap, slowread, byzantine + steady baseline)",
-		n, addr, wallSecs)
+	slog.Info("chaos soak starting", "component", "chaos",
+		"devices", n, "addr", addr, "wall_seconds", wallSecs,
+		"roles", "flood,hostile,churn,flap,slowread,byzantine,steady")
 	if deltas {
-		log.Printf("tvsim: chaos: compliant roles piggyback spectrum deltas (%d blocks) on their heartbeats", blocks)
+		slog.Info("compliant roles piggyback spectrum deltas", "component", "chaos", "blocks", blocks)
 	}
 	deadline := time.Now().Add(time.Duration(wallSecs) * time.Second)
 	tallies := make(map[string]*chaosTally, len(chaosRoles))
@@ -130,11 +131,13 @@ func runChaos(addr, prefix string, n int, codec string, seed int64, wallSecs int
 	}
 	wg.Wait()
 
-	log.Printf("tvsim: chaos soak done; per-role outcome:")
+	slog.Info("chaos soak done", "component", "chaos")
 	for _, role := range []string{"steady", "flood", "hostile", "churn", "flap", "slowread", "byzantine"} {
 		t := tallies[role]
-		log.Printf("tvsim: chaos %-9s: %d conns (%d dial failures), %d frames sent, %d dropped by daemon, %d error frames, %d credit stalls",
-			role, t.conns.Load(), t.dialErrs.Load(), t.frames.Load(), t.drops.Load(), t.errFrames.Load(), t.stalls.Load())
+		slog.Info("chaos role outcome", "component", "chaos", "role", role,
+			"conns", t.conns.Load(), "dial_failures", t.dialErrs.Load(),
+			"frames", t.frames.Load(), "dropped", t.drops.Load(),
+			"error_frames", t.errFrames.Load(), "credit_stalls", t.stalls.Load())
 	}
 	// The soak's only local invariant: the daemon outlived all of it. The
 	// steady baseline must have kept streaming; everything else is judged

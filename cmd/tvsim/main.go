@@ -30,8 +30,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,6 +46,12 @@ import (
 	"trader/internal/tvsim"
 	"trader/internal/wire"
 )
+
+// fatal is the slog replacement for log.Fatalf: one error record, exit 1.
+func fatal(msg string, args ...any) {
+	slog.Error(msg, args...)
+	os.Exit(1)
+}
 
 // knownFaults maps schedule names to fault definitions.
 var knownFaults = map[string]faults.Fault{
@@ -85,30 +92,41 @@ func main() {
 	durability := flag.String("durability", string(wire.DurFsync), "in -connect mode, durability class to request in the Hello handshake: fsync (ack = journaled) or dispatch (ack = monitored; long-tail devices)")
 	chaos := flag.Bool("chaos", false, "in -connect mode, run the overload soak instead of the fleet scenario: floods, credit-hostile clients, connection churn, flapping, slow readers and byzantine frames around a steady baseline; -duration is wall seconds")
 	idPrefix := flag.String("id-prefix", "tvsim", "in -connect mode, device-ID prefix (IDs are PREFIX-000000…); give each tvsim instance its own prefix when several feed one fleet — e.g. one per federation edge — so their device identities stay disjoint")
+	logFormat := flag.String("log-format", "text", "structured log output: text or json")
 	flag.Parse()
+
+	switch *logFormat {
+	case "json":
+		slog.SetDefault(slog.New(slog.NewJSONHandler(os.Stderr, nil)))
+	case "text", "":
+		slog.SetDefault(slog.New(slog.NewTextHandler(os.Stderr, nil)))
+	default:
+		fmt.Fprintf(os.Stderr, "tvsim: unknown -log-format %q (want text or json)\n", *logFormat)
+		os.Exit(1)
+	}
 
 	schedule, err := parseFaults(*faultList)
 	if err != nil {
-		log.Fatalf("tvsim: %v", err)
+		fatal("bad -faults", "err", err)
 	}
 	dur, ok := wire.DurabilityByName(*durability)
 	if !ok {
-		log.Fatalf("tvsim: unknown -durability %q (want %s or %s)", *durability, wire.DurFsync, wire.DurDispatch)
+		fatal("unknown -durability", "durability", *durability)
 	}
 
 	if *chaos {
 		if *connect == "" {
-			log.Fatalf("tvsim: -chaos requires -connect (it soaks a live traderd)")
+			fatal("-chaos requires -connect (it soaks a live traderd)")
 		}
 		if err := runChaos(*connect, *idPrefix, *n, *codec, *seed, *duration, dur, *deltas, *blocks); err != nil {
-			log.Fatalf("tvsim: chaos: %v", err)
+			fatal("chaos soak failed", "err", err)
 		}
 		return
 	}
 
 	if *connect != "" {
 		if err := runFleet(*connect, *idPrefix, *n, *codec, *seed, *duration, *faultEvery, *blocks, *pace, dur, *deltas, schedule); err != nil {
-			log.Fatalf("tvsim: connect: %v", err)
+			fatal("fleet session failed", "err", err)
 		}
 		return
 	}
@@ -290,18 +308,24 @@ func (d *fleetTV) read(wc *wire.Conn) {
 			switch msg.Control {
 			case wire.CtrlReset:
 				// Monitor-side state was re-armed; nothing to tear down on
-				// a simulated TV — acknowledge so the controller knows.
-				_ = d.send(wire.Ack(d.id, wire.CtrlReset, d.at()))
+				// a simulated TV — acknowledge so the controller knows. The
+				// echoed trace context closes the control span chain on the
+				// daemon (§6.2).
+				ack := wire.Ack(d.id, wire.CtrlReset, d.at())
+				ack.Trace = msg.Trace
+				_ = d.send(ack)
 			case wire.CtrlRestart:
 				// Honored synchronously: a restarting SUO stops consuming
 				// its old connection (a quarantine verdict racing the
 				// restart is re-delivered by the daemon on the next
 				// handshake). The next Decode sees the closed connection
 				// and ends this reader.
-				d.restart()
+				d.restart(msg.Trace)
 			case wire.CtrlQuarantine:
 				d.quarantines.Add(1)
-				_ = d.send(wire.Ack(d.id, wire.CtrlQuarantine, d.at()))
+				ack := wire.Ack(d.id, wire.CtrlQuarantine, d.at())
+				ack.Trace = msg.Trace
+				_ = d.send(ack)
 				d.mu.Lock()
 				d.quarantined, d.down = true, true
 				d.mu.Unlock()
@@ -314,8 +338,10 @@ func (d *fleetTV) read(wc *wire.Conn) {
 
 // restart honors CtrlRestart: drop the connection, re-handshake (the daemon
 // re-admits the ID — or, in journal mode, hands back the adopted device),
-// acknowledge, resume streaming.
-func (d *fleetTV) restart() {
+// acknowledge, resume streaming. The push's trace context rides through the
+// restart and is echoed on the ack, so the daemon's span chain measures the
+// full restart round-trip.
+func (d *fleetTV) restart(tc *wire.TraceContext) {
 	d.mu.Lock()
 	if d.quarantined || d.stopped {
 		d.mu.Unlock()
@@ -340,7 +366,7 @@ func (d *fleetTV) restart() {
 		time.Sleep(25 * time.Millisecond)
 	}
 	if err != nil {
-		log.Printf("tvsim: %s: restart re-handshake failed: %v", d.id, err)
+		slog.Warn("restart re-handshake failed", "component", "device", "device", d.id, "err", err)
 		return
 	}
 	d.mu.Lock()
@@ -358,7 +384,9 @@ func (d *fleetTV) restart() {
 	d.credits.Store(int64(granted))
 	// Only now is the restart honored: re-handshaken and streaming again.
 	d.restarts.Add(1)
-	_ = wc.Encode(wire.Ack(d.id, wire.CtrlRestart, d.at()))
+	ack := wire.Ack(d.id, wire.CtrlRestart, d.at())
+	ack.Trace = tc
+	_ = wc.Encode(ack)
 	go d.read(wc)
 }
 
@@ -481,7 +509,8 @@ func runOne(addr, id, codec string, seed int64, duration, blocks int, pace float
 
 // runFleet drives n concurrent remote TVs against the ingestion daemon.
 func runFleet(addr, prefix string, n int, codec string, seed int64, duration, faultEvery, blocks int, pace float64, dur wire.Durability, deltas bool, schedule []faults.Fault) error {
-	log.Printf("tvsim: connecting %d TVs to %s (codec %s, durability %s, faults on every %d'th)", n, addr, codec, dur, faultEvery)
+	slog.Info("connecting fleet", "component", "fleet",
+		"tvs", n, "addr", addr, "codec", codec, "durability", string(dur), "fault_every", faultEvery)
 	start := time.Now()
 	var wg sync.WaitGroup
 	stats := make([]deviceStats, n)
@@ -521,16 +550,18 @@ func runFleet(addr, prefix string, n int, codec string, seed int64, duration, fa
 		sentDeltas += stats[i].deltas
 		stalls += stats[i].stalls
 	}
-	log.Printf("tvsim: fleet session done in %v: %d/%d TVs completed, %d keys, %d frames streamed, %d monitor error reports, %d control commands received (%d restarts honored, %d quarantined), %d coverage snapshots served, %d spectrum deltas piggybacked",
-		time.Since(start), ok, n, keys, frames, reports, ctrls, restarts, quarantines, snapshots, sentDeltas)
+	slog.Info("fleet session done", "component", "fleet",
+		"took", time.Since(start).String(), "completed", ok, "tvs", n, "keys", keys,
+		"frames", frames, "reports", reports, "controls", ctrls, "restarts", restarts,
+		"quarantines", quarantines, "snapshots", snapshots, "deltas", sentDeltas)
 	if stalls > 0 {
-		log.Printf("tvsim: flow control: blocked on an exhausted credit window %d times (the daemon's backpressure, honored)", stalls)
+		slog.Info("flow control honored", "component", "fleet", "credit_stalls", stalls)
 	}
 	if ok == 0 && firstErr != nil {
 		return firstErr
 	}
 	if firstErr != nil {
-		log.Printf("tvsim: first failure: %v", firstErr)
+		slog.Warn("first device failure", "component", "fleet", "err", firstErr)
 	}
 	return nil
 }
@@ -543,18 +574,18 @@ func runStandalone(seed int64, duration int, socket string, schedule []faults.Fa
 
 	for _, fault := range schedule {
 		tv.Injector().Schedule(fault)
-		log.Printf("tvsim: scheduled %s", fault)
+		slog.Info("fault scheduled", "component", "standalone", "fault", fmt.Sprint(fault))
 	}
 
 	if socket != "" {
 		conn, err := net.Dial("unix", socket)
 		if err != nil {
-			log.Fatalf("tvsim: dial %s: %v", socket, err)
+			fatal("dial failed", "socket", socket, "err", err)
 		}
 		defer conn.Close()
 		wc := wire.NewConn(conn)
 		core.ForwardBus(tv.Bus(), wc, "tvsim", func(err error) {
-			log.Printf("tvsim: forward: %v", err)
+			slog.Warn("forward failed", "component", "standalone", "err", err)
 		})
 		// Print error reports coming back from the monitor.
 		go func() {
@@ -564,11 +595,11 @@ func runStandalone(seed int64, duration int, socket string, schedule []faults.Fa
 					return
 				}
 				if msg.Type == wire.TypeError && msg.Error != nil {
-					log.Printf("tvsim: MONITOR ERROR %s", *msg.Error)
+					slog.Info("monitor error report", "component", "standalone", "report", msg.Error.String())
 				}
 			}
 		}()
-		log.Printf("tvsim: streaming events to %s", socket)
+		slog.Info("streaming events", "component", "standalone", "socket", socket)
 	}
 
 	// Event accounting for the session summary.

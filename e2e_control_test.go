@@ -122,7 +122,11 @@ func (c *recoveryClient) read(wc *wire.Conn) {
 			switch msg.Control {
 			case wire.CtrlReset:
 				if live := c.conn(); live != nil {
-					_ = live.Encode(wire.Ack(c.id, wire.CtrlReset, sim.Time(c.lastAt.Load())))
+					ack := wire.Ack(c.id, wire.CtrlReset, sim.Time(c.lastAt.Load()))
+					// Echo the push's trace context (nil when untraced), so
+					// the server closes the exchange with a forced ack span.
+					ack.Trace = msg.Trace
+					_ = live.Encode(ack)
 				}
 			case wire.CtrlRestart:
 				// Honored synchronously: a restarting SUO stops consuming
@@ -130,7 +134,7 @@ func (c *recoveryClient) read(wc *wire.Conn) {
 				// lost with it — the server re-delivers a quarantine
 				// verdict on the next handshake). The next Decode sees the
 				// closed old connection and ends this reader.
-				c.restart()
+				c.restart(msg.Trace)
 			case wire.CtrlQuarantine:
 				c.quarantinesReceived.Add(1)
 				c.mu.Lock()
@@ -143,7 +147,7 @@ func (c *recoveryClient) read(wc *wire.Conn) {
 	}
 }
 
-func (c *recoveryClient) restart() {
+func (c *recoveryClient) restart(tc *wire.TraceContext) {
 	c.mu.Lock()
 	if c.quarantined || c.stopped {
 		c.mu.Unlock()
@@ -179,7 +183,9 @@ func (c *recoveryClient) restart() {
 	c.mu.Unlock()
 	// Only now is the restart honored: re-handshaken and streaming again.
 	c.restartsHonored.Add(1)
-	_ = wc.Encode(wire.Ack(c.id, wire.CtrlRestart, sim.Time(c.lastAt.Load())))
+	ack := wire.Ack(c.id, wire.CtrlRestart, sim.Time(c.lastAt.Load()))
+	ack.Trace = tc
+	_ = wc.Encode(ack)
 	go c.read(wc)
 }
 

@@ -61,6 +61,15 @@ type Options struct {
 	// Same contract as OnAction: controller goroutine, must not block or
 	// call back into the controller.
 	OnEscalate func(Action)
+	// OnIncident, when non-nil, observes every action at the restart rung
+	// or beyond — the point where the device's episode has become an
+	// incident worth a full evidence capture. The observability plane
+	// hooks here to write incident bundles (§6.2): by the time the hook
+	// runs the action's journal record is already appended, so a bundle
+	// built by scanning the journal sees the complete ladder history
+	// including this action. Same contract as OnAction: controller
+	// goroutine, must not block or call back into the controller.
+	OnIncident func(Action)
 	// Inbox is the report queue length (default 4096). Reports beyond it
 	// are shed and counted in Rollup().Dropped.
 	Inbox int
@@ -423,6 +432,9 @@ func (c *Controller) apply(act Action, d *devState) {
 	}
 	if c.opts.OnEscalate != nil && act.Rung > RungTolerate {
 		c.opts.OnEscalate(act)
+	}
+	if c.opts.OnIncident != nil && act.Rung >= RungRestart {
+		c.opts.OnIncident(act)
 	}
 }
 

@@ -26,12 +26,14 @@ import (
 	"io"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"trader/internal/control"
 	"trader/internal/fleet"
 	"trader/internal/journal"
 	"trader/internal/sim"
 	"trader/internal/spectrum"
+	"trader/internal/trace"
 	"trader/internal/wire"
 )
 
@@ -93,6 +95,12 @@ type Options struct {
 	// else off). Result calls with n ≤ TrackTop answer from the tracked
 	// candidates in O(K log K) instead of re-scanning every block.
 	TrackTop int
+	// Tracer, when non-nil, records diagnose spans (§6.2): episodic
+	// snapshot folds — escalation traffic — are traced forced, while
+	// continuous heartbeat-delta folds go through the sampling gate, so a
+	// high-rate delta stream cannot lap the forced ring the control plane's
+	// spans live in.
+	Tracer *trace.Tracer
 }
 
 // itemKind discriminates inbox items.
@@ -458,7 +466,11 @@ func (e *Engine) handleSnapshot(id string, m wire.Message) {
 			e.logf("diagnose: journal evidence from %s: %v", id, err)
 		}
 	}
+	start := time.Now()
 	folded := e.foldEvidence(evidence)
+	if tr := e.opts.Tracer; tr != nil {
+		tr.Span(tr.Force(), trace.KindDiagnose, -1, id, start, time.Since(start), true)
+	}
 	e.logf("diagnose: folded %d %s windows from %s (%d pulls outstanding)",
 		folded, p.label, id, len(e.pending))
 }
@@ -490,7 +502,20 @@ func (e *Engine) handleDelta(id string, m wire.Message) {
 			e.logf("diagnose: journal delta from %s: %v", id, err)
 		}
 	}
+	// Delta folds are continuous, heartbeat-cadence traffic: they go
+	// through the sampling gate, not Force — a fleet's delta stream would
+	// otherwise evict the control plane's forced spans within seconds.
+	ctx := trace.Context{}
+	var start time.Time
+	if tr := e.opts.Tracer; tr != nil {
+		if ctx = tr.Sample(); ctx.Live() {
+			start = time.Now()
+		}
+	}
 	e.foldEvidence(evidence)
+	if ctx.Live() {
+		e.opts.Tracer.Span(ctx, trace.KindDiagnose, -1, id, start, time.Since(start), false)
+	}
 }
 
 // foldEvidence folds one already-labeled evidence frame (Target carries the

@@ -11,6 +11,7 @@ import (
 	"trader/internal/fleet"
 	"trader/internal/journal"
 	"trader/internal/sim"
+	"trader/internal/trace"
 	"trader/internal/wire"
 )
 
@@ -36,6 +37,12 @@ type Aggregator struct {
 	Failover time.Duration
 	// HelloTimeout bounds the wait for an uplink's Hello (default 5s).
 	HelloTimeout time.Duration
+	// Tracer, when non-nil, records a receive-side uplink span for every
+	// rollup delta that arrives carrying a trace context. The span adopts
+	// the edge's trace ID — usually the edge's p999 tail-latency exemplar —
+	// so the aggregator's /trace names the edge-side span chains behind the
+	// tails it aggregates (§6.2).
+	Tracer *trace.Tracer
 	// Logf, when non-nil, receives rollup and lifecycle lines.
 	Logf func(format string, args ...any)
 
@@ -205,6 +212,11 @@ func (a *Aggregator) handle(nc net.Conn) {
 		switch {
 		case m.Type == wire.TypeRollup && m.Rollup != nil:
 			a.credit(st, m.Rollup)
+			if rctx := trace.FromWire(m.Trace); rctx.Live() {
+				// The edge attached a trace context (its current tail
+				// exemplar): record the receive side under the same trace.
+				a.Tracer.Span(rctx, trace.KindUplink, -1, id, time.Now(), 0, false)
+			}
 			// Always ack, even a stale retransmit: the ack is what lets the
 			// edge rotate its baseline forward.
 			if err := c.Encode(wire.Ack(id, "", sim.Time(m.Rollup.Seq))); err != nil {

@@ -8,6 +8,7 @@ import (
 
 	"trader/internal/fleet"
 	"trader/internal/journal"
+	"trader/internal/trace"
 	"trader/internal/wire"
 )
 
@@ -48,6 +49,13 @@ type Edge struct {
 	JournalDir string
 	// Flush is the rollup-delta cadence (default 250ms).
 	Flush time.Duration
+	// Tracer, when non-nil, records federation uplink/ack spans and makes
+	// each rollup delta carry the edge's current p999 tail-latency exemplar
+	// as its wire trace context (§6.2) — the link that lets the aggregator
+	// resolve an edge's tail spike to the span chain that produced it,
+	// across the federation tier. Give it the same tracer as the edge's
+	// fleet.Server and Pool so the exemplar's trace ID resolves locally.
+	Tracer *trace.Tracer
 	// Logf, when non-nil, receives uplink lifecycle lines.
 	Logf func(format string, args ...any)
 }
@@ -156,6 +164,11 @@ func (e *Edge) session(c *wire.Conn, flush time.Duration, done <-chan struct{}) 
 	}()
 
 	var inflight *Sample
+	// inflightCtx/inflightSent trace the in-flight delta: the uplink span
+	// is recorded at send, the ack span closes the round trip when the
+	// aggregator credits it.
+	var inflightCtx trace.Context
+	var inflightSent time.Time
 	flushNow := func() error {
 		if inflight != nil {
 			return nil // one delta in flight at a time
@@ -166,9 +179,26 @@ func (e *Edge) session(c *wire.Conn, flush time.Duration, done <-chan struct{}) 
 			return nil // nothing changed since the last credited flush
 		}
 		seq++
-		err := c.Encode(wire.Message{Type: wire.TypeRollup, SUO: e.ID,
-			Rollup: &wire.RollupDelta{Seq: seq, Devices: cur.Devices, Counters: delta.ToWire()}})
-		if err != nil {
+		m := wire.Message{Type: wire.TypeRollup, SUO: e.ID,
+			Rollup: &wire.RollupDelta{Seq: seq, Devices: cur.Devices, Counters: delta.ToWire()}}
+		inflightCtx, inflightSent = trace.Context{}, time.Now()
+		if e.Tracer != nil && e.Pool != nil {
+			// The rollup rides under the edge's current p999 exemplar trace
+			// when there is one (joining the ingest chain it names — that is
+			// how an aggregator-side tail spike resolves back down to one
+			// edge frame's lifecycle), or under a fresh trace otherwise.
+			lat := e.Pool.Latency()
+			ctx := trace.Context{Trace: lat.Exemplar(0.999)}
+			if !ctx.Live() {
+				ctx = e.Tracer.Force()
+			}
+			// Uplink spans are frequent steady-state traffic, so they live
+			// in the sampled rings, not the forced ring the control plane's
+			// never-lose spans are asserted against.
+			inflightCtx = e.Tracer.Span(ctx, trace.KindUplink, -1, e.ID, inflightSent, 0, false)
+			m.Trace = inflightCtx.Wire()
+		}
+		if err := c.Encode(m); err != nil {
 			return err
 		}
 		inflight = &cur
@@ -198,6 +228,12 @@ func (e *Edge) session(c *wire.Conn, flush time.Duration, done <-chan struct{}) 
 					acked = inflight.Counters
 					ackedDevices = inflight.Devices
 					inflight = nil
+					if inflightCtx.Live() {
+						// Close the uplink exchange: the ack span carries the
+						// delta's full uplink round-trip time.
+						e.Tracer.Span(inflightCtx, trace.KindAck, -1, e.ID, inflightSent, time.Since(inflightSent), false)
+						inflightCtx = trace.Context{}
+					}
 				}
 			case m.Type == wire.TypeControl && m.Control == wire.CtrlMigrate:
 				if err := e.migrate(c, m.SUO, m.Target); err != nil {

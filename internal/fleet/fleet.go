@@ -29,6 +29,7 @@ import (
 	"trader/internal/event"
 	"trader/internal/metrics"
 	"trader/internal/sim"
+	"trader/internal/trace"
 	"trader/internal/wire"
 )
 
@@ -48,6 +49,10 @@ type Options struct {
 	Shards int
 	// Queue is the per-shard command buffer length (default 1024).
 	Queue int
+	// Tracer, when non-nil, records dispatch and monitor spans for frames
+	// whose ingest was sampled (DispatchTraced). Unsampled frames — and a
+	// nil tracer — follow the exact pre-tracing hot path.
+	Tracer *trace.Tracer
 }
 
 func (o *Options) fill() {
@@ -391,6 +396,28 @@ func (p *Pool) DispatchAt(id string, e event.Event, ingest time.Time) error {
 	return p.send(p.ShardOf(id), func(s *shard) {
 		s.deliver(p, id, e)
 		s.lat.Record(time.Since(ingest))
+	})
+}
+
+// DispatchTraced is DispatchAt for sampled frames: the shard records a
+// dispatch span (enqueue → shard-goroutine pickup, the queue-wait the
+// shed tiers manage) and a monitor span (the device step itself) under
+// ctx, and the latency observation carries the trace ID as its bucket's
+// exemplar — the link that lets a p99 spike on /metrics resolve to the
+// span chain that produced it. A dead ctx takes the DispatchAt path
+// unchanged, so only the 1-in-N sampled frames pay for extra clock reads.
+func (p *Pool) DispatchTraced(id string, e event.Event, ingest time.Time, ctx trace.Context) error {
+	if !ctx.Live() || p.opts.Tracer == nil {
+		return p.DispatchAt(id, e, ingest)
+	}
+	tr := p.opts.Tracer
+	enq := time.Now()
+	return p.send(p.ShardOf(id), func(s *shard) {
+		pick := time.Now()
+		dctx := tr.Span(ctx, trace.KindDispatch, s.idx, id, enq, pick.Sub(enq), false)
+		s.deliver(p, id, e)
+		tr.Span(dctx, trace.KindMonitor, s.idx, id, pick, time.Since(pick), false)
+		s.lat.RecordEx(time.Since(ingest), ctx.Trace)
 	})
 }
 

@@ -13,6 +13,7 @@ import (
 	"trader/internal/core"
 	"trader/internal/event"
 	"trader/internal/sim"
+	"trader/internal/trace"
 	"trader/internal/wire"
 )
 
@@ -206,6 +207,13 @@ type Server struct {
 	// pressure anyway. Zero disables the tier.
 	ShedObservationsAt float64
 	ShedHeartbeatsAt   float64
+	// Tracer, when non-nil, enables the frame-lifecycle tracing plane
+	// (§6.2): one in Tracer's SampleN observation frames is traced from
+	// decode through monitor step (give the Pool the same tracer so the
+	// dispatch side records its half), every control push is traced forced
+	// and carries its context on the wire, and a device's ack — echoing
+	// that context back — closes the exchange as a forced ack span.
+	Tracer *trace.Tracer
 	// Logf, when non-nil, receives connection lifecycle log lines.
 	Logf func(format string, args ...any)
 
@@ -391,6 +399,9 @@ func (s *Server) Close() {
 }
 
 // Control pushes a control command down one registered device's connection.
+// With a Tracer attached the push is traced forced — never sampled away —
+// and the frame carries the trace context, so the device's ack echoes it
+// back and the round trip closes as control span → ack span.
 func (s *Server) Control(id string, cmd wire.ControlCommand) error {
 	s.mu.Lock()
 	c := s.conns[id]
@@ -398,7 +409,15 @@ func (s *Server) Control(id string, cmd wire.ControlCommand) error {
 	if c == nil || !c.ready.Load() {
 		return fmt.Errorf("fleet: no connected device %q", id)
 	}
-	return c.send(wire.Message{Type: wire.TypeControl, SUO: id, Control: cmd})
+	m := wire.Message{Type: wire.TypeControl, SUO: id, Control: cmd}
+	if s.Tracer != nil {
+		// The control span marks the push instant (the ack span carries the
+		// round trip's duration); its child context rides the wire so the
+		// ack parents under it.
+		ctx := s.Tracer.Span(s.Tracer.Force(), trace.KindControl, -1, id, time.Now(), 0, true)
+		m.Trace = ctx.Wire()
+	}
+	return c.send(m)
 }
 
 // RequestSnapshot asks one registered device for its coverage spectrum: a
@@ -727,6 +746,11 @@ func (s *Server) handle(conn net.Conn) {
 			if msg.Event == nil {
 				continue
 			}
+			// The ingest sampling gate (§6.2): one in SampleN admitted
+			// observations opens a trace here; everything below threads tctx
+			// through unconditionally because a dead context makes every
+			// tracer call a no-op.
+			tctx := s.Tracer.Sample()
 			if window > 0 {
 				if credits == 0 {
 					// Only a peer ignoring its exhausted window gets here: a
@@ -758,10 +782,23 @@ func (s *Server) handle(conn net.Conn) {
 				} else {
 					s.Pool.AddShed(id, wire.ShedRecord{Observations: 1})
 				}
+				if tctx.Live() {
+					// A sampled-then-shed frame still leaves a span: the shed
+					// decision is exactly the kind of tail-latency explanation
+					// exemplars exist to surface.
+					s.Tracer.Span(tctx, trace.KindShed, s.Pool.ShardOf(id), id, ingest, time.Since(ingest), false)
+				}
 				continue
 			}
 			if !advance(msg.Event.At) {
 				return
+			}
+			if tctx.Live() {
+				// The ingest span closes at admission: decode, credit and
+				// shed vetting are behind the frame, the journal and shard
+				// are ahead. It is the chain's root — the exemplar a /metrics
+				// scrape surfaces resolves back to it.
+				tctx = s.Tracer.Span(tctx, trace.KindIngest, s.Pool.ShardOf(id), id, ingest, time.Since(ingest), false)
 			}
 			// Write-ahead: the frame must be in the journal before the pool
 			// sees it, tagged with the handshaken ID (not the spoofable SUO
@@ -771,9 +808,13 @@ func (s *Server) handle(conn net.Conn) {
 			// wait for the fsync; on a plain journal the append is durable
 			// before the dispatch, as before.
 			var dispatchErr error
-			dispatch := func() { dispatchErr = s.Pool.DispatchAt(id, *msg.Event, ingest) }
+			dispatch := func() { dispatchErr = s.Pool.DispatchTraced(id, *msg.Event, ingest, tctx) }
 			if s.Journal != nil {
 				jm := wire.Message{Type: msg.Type, SUO: id, Event: msg.Event, At: msg.Event.At}
+				var jstart time.Time
+				if tctx.Live() {
+					jstart = time.Now()
+				}
 				var err error
 				if tiered != nil {
 					err = tiered.AppendThen(jm, !relaxed, dispatch)
@@ -785,6 +826,15 @@ func (s *Server) handle(conn net.Conn) {
 				if err != nil {
 					s.logf("fleet: device %q: journal: %v", id, err)
 					return
+				}
+				if tctx.Live() {
+					// The journal span covers the append and this frame's
+					// share of the fsync batch (a dispatch-class connection's
+					// append returns without waiting, and its short span says
+					// so). Parented on ingest, as a sibling of the dispatch
+					// span the shard records — the dispatch was enqueued
+					// under the stream lock, before the fsync resolved.
+					s.Tracer.Span(tctx, trace.KindJournal, s.Pool.ShardOf(id), id, jstart, time.Since(jstart), false)
 				}
 			} else {
 				// The connection's device is fixed at registration: frames
@@ -806,6 +856,12 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				s.creditGrants.Add(1)
 				credits = window
+				if tctx.Live() {
+					// The credit span marks a flow-control decision made on
+					// this frame's account: the half-spent window was topped
+					// back up mid-stream.
+					s.Tracer.Span(tctx, trace.KindCredit, s.Pool.ShardOf(id), id, ingest, time.Since(ingest), false)
+				}
 			}
 		case wire.TypeHeartbeat:
 			if s.ShedHeartbeatsAt > 0 && s.Pool.Pressure(id) >= s.ShedHeartbeatsAt {
@@ -888,6 +944,11 @@ func (s *Server) handle(conn net.Conn) {
 			// device may send before resuming its observation stream.
 			if !advance(msg.At) {
 				return
+			}
+			if actx := trace.FromWire(msg.Trace); actx.Live() {
+				// The device echoed a control push's trace context: close the
+				// exchange with a forced ack span parented on the push's span.
+				s.Tracer.Span(actx, trace.KindAck, -1, id, ingest, time.Since(ingest), true)
 			}
 			if s.OnAck != nil {
 				s.OnAck(id, msg)

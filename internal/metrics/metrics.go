@@ -72,6 +72,11 @@ type Histogram struct {
 	counts [numBuckets]atomic.Uint64
 	count  atomic.Uint64
 	sum    atomic.Int64
+	// exemplars holds, per bucket, the trace ID of the most recent sampled
+	// observation that landed there (§6.2 exemplars): a latency bucket is a
+	// count, an exemplar is the name of a span chain explaining one of the
+	// observations it counted. Zero means "no sampled observation yet".
+	exemplars [numBuckets]atomic.Uint64
 }
 
 // New returns an empty histogram.
@@ -79,14 +84,23 @@ func New() *Histogram { return &Histogram{} }
 
 // Record adds one observation. Negative durations clamp to zero; durations
 // beyond ~18 minutes saturate the top bucket.
-func (h *Histogram) Record(d time.Duration) {
+func (h *Histogram) Record(d time.Duration) { h.RecordEx(d, 0) }
+
+// RecordEx adds one observation and, when traceID is nonzero (the
+// observation belongs to a sampled trace), stamps it as the bucket's
+// exemplar. The unsampled path pays nothing beyond Record.
+func (h *Histogram) RecordEx(d time.Duration, traceID uint64) {
 	v := int64(d)
 	if v < 0 {
 		v = 0
 	}
-	h.counts[bucketOf(v)].Add(1)
+	b := bucketOf(v)
+	h.counts[b].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	if traceID != 0 {
+		h.exemplars[b].Store(traceID)
+	}
 }
 
 // Snapshot copies the histogram's current state.
@@ -94,6 +108,7 @@ func (h *Histogram) Snapshot() Snapshot {
 	var s Snapshot
 	for i := range h.counts {
 		s.counts[i] = h.counts[i].Load()
+		s.exemplars[i] = h.exemplars[i].Load()
 	}
 	s.count = h.count.Load()
 	s.sum = h.sum.Load()
@@ -102,15 +117,21 @@ func (h *Histogram) Snapshot() Snapshot {
 
 // Snapshot is an immutable copy of a histogram, mergeable across shards.
 type Snapshot struct {
-	counts [numBuckets]uint64
-	count  uint64
-	sum    int64
+	counts    [numBuckets]uint64
+	exemplars [numBuckets]uint64
+	count     uint64
+	sum       int64
 }
 
-// Merge adds another snapshot's observations into s.
+// Merge adds another snapshot's observations into s. Exemplars are not
+// additive; a bucket keeps its own unless the other snapshot has one and
+// it does not — any sampled witness beats none.
 func (s *Snapshot) Merge(o Snapshot) {
 	for i := range s.counts {
 		s.counts[i] += o.counts[i]
+		if s.exemplars[i] == 0 {
+			s.exemplars[i] = o.exemplars[i]
+		}
 	}
 	s.count += o.count
 	s.sum += o.sum
@@ -129,6 +150,11 @@ func (s *Snapshot) Quantile(q float64) time.Duration {
 	if s.count == 0 {
 		return 0
 	}
+	return time.Duration(upperOf(s.quantileBucket(q)))
+}
+
+// quantileBucket returns the index of the bucket holding quantile q's rank.
+func (s *Snapshot) quantileBucket(q float64) int {
 	target := uint64(math.Ceil(q * float64(s.count)))
 	if target < 1 {
 		target = 1
@@ -140,10 +166,33 @@ func (s *Snapshot) Quantile(q float64) time.Duration {
 	for i, c := range s.counts {
 		cum += c
 		if cum >= target {
-			return time.Duration(upperOf(i))
+			return i
 		}
 	}
-	return time.Duration(upperOf(numBuckets - 1))
+	return numBuckets - 1
+}
+
+// Exemplar returns the trace ID witnessing quantile q: the exemplar of
+// the bucket holding q's rank, or failing that the nearest bucket with
+// one — searching upward first (a tail quantile's interesting witness is
+// the slower outlier, not the faster median) and then downward. Zero
+// means no sampled observation has been recorded anywhere near q.
+func (s *Snapshot) Exemplar(q float64) uint64 {
+	if s.count == 0 {
+		return 0
+	}
+	at := s.quantileBucket(q)
+	for i := at; i < numBuckets; i++ {
+		if s.exemplars[i] != 0 {
+			return s.exemplars[i]
+		}
+	}
+	for i := at - 1; i >= 0; i-- {
+		if s.exemplars[i] != 0 {
+			return s.exemplars[i]
+		}
+	}
+	return 0
 }
 
 // Max returns the upper edge of the highest non-empty bucket (0 when empty).

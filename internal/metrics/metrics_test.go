@@ -172,3 +172,56 @@ func TestWritePromCounters(t *testing.T) {
 		t.Fatalf("got %q, want %q", got, want)
 	}
 }
+
+// Exemplars: RecordEx stamps the bucket, Exemplar resolves a quantile to
+// the nearest sampled witness, and Merge prefers any witness over none.
+func TestExemplars(t *testing.T) {
+	h := New()
+	for i := 0; i < 99; i++ {
+		h.Record(100 * time.Microsecond) // unsampled bulk
+	}
+	h.RecordEx(80*time.Millisecond, 0xabcdef) // the sampled tail outlier
+	s := h.Snapshot()
+	if got := s.Exemplar(0.99); got != 0xabcdef {
+		t.Fatalf("p99 exemplar %#x, want 0xabcdef", got)
+	}
+	// The bulk has no exemplar of its own; the median resolves upward to
+	// the only witness there is.
+	if got := s.Exemplar(0.5); got != 0xabcdef {
+		t.Fatalf("p50 exemplar %#x, want upward fallback 0xabcdef", got)
+	}
+	// A witness below the quantile is found by the downward fallback.
+	h2 := New()
+	h2.RecordEx(50*time.Microsecond, 0x11)
+	for i := 0; i < 99; i++ {
+		h2.Record(80 * time.Millisecond)
+	}
+	s2 := h2.Snapshot()
+	if got := s2.Exemplar(0.99); got != 0x11 {
+		t.Fatalf("downward fallback exemplar %#x, want 0x11", got)
+	}
+	var empty Snapshot
+	if empty.Exemplar(0.99) != 0 {
+		t.Fatal("empty snapshot must have no exemplar")
+	}
+}
+
+func TestExemplarMerge(t *testing.T) {
+	a := New()
+	a.Record(time.Millisecond)
+	b := New()
+	b.RecordEx(time.Millisecond, 0x77)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	sa.Merge(sb)
+	if got := sa.Exemplar(0.5); got != 0x77 {
+		t.Fatalf("merged exemplar %#x, want 0x77 (witness beats none)", got)
+	}
+	// An existing witness is kept over the merged-in one.
+	c := New()
+	c.RecordEx(time.Millisecond, 0x88)
+	sc := c.Snapshot()
+	sc.Merge(sb)
+	if got := sc.Exemplar(0.5); got != 0x88 {
+		t.Fatalf("merged exemplar %#x, want own 0x88 kept", got)
+	}
+}

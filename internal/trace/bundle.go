@@ -1,0 +1,176 @@
+// Incident bundles: when the control ladder escalates a device to the
+// restart rung (or past it), the daemon snapshots everything an operator
+// needs to explain the escalation into one directory —
+//
+//	<incident-dir>/incident-<device>-<seq>/
+//	    bundle.json   deterministic: rebuilt byte-identically from the journal
+//	    live.json     live-only: recent spans, counters, ladder, top-K spectrum
+//
+// The split is the point. bundle.json is a pure function of the device's
+// journal stream up to the triggering action — the journaled control
+// history plus the fail-labeled diagnosis evidence — so a journal replay
+// reproduces it byte for byte (the e2e suite pins this). live.json holds
+// what only the live process knows: the span rings, shed/credit counters
+// and the current suspect ranking at the moment the ladder fired.
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"trader/internal/wire"
+)
+
+// FrameSource yields journal frames in stream order. journal.Reader
+// satisfies it; the indirection keeps trace free of a journal dependency
+// (and lets tests feed synthetic streams).
+type FrameSource interface {
+	Next() (wire.Message, error)
+}
+
+// IncidentAction is one journaled control-ladder action in a bundle.
+type IncidentAction struct {
+	At      int64  `json:"at"`
+	Rung    string `json:"rung"`              // Target of the TypeControl record
+	Command string `json:"command,omitempty"` // pushed wire command; empty for tolerate
+}
+
+// IncidentEvidence summarises one fail-labeled diagnosis evidence record
+// for the device: what kind, when, and how much coverage it carried.
+type IncidentEvidence struct {
+	Type    string `json:"type"` // "snapshot" or "delta"
+	At      int64  `json:"at"`
+	Windows int    `json:"windows,omitempty"` // snapshot: retained windows
+	Seq     uint64 `json:"seq,omitempty"`     // delta: window sequence number
+}
+
+// Incident is the deterministic half of a bundle: everything in it is a
+// pure function of the device's journal stream up to (and including) the
+// triggering action, so replaying the journal rebuilds it byte for byte.
+type Incident struct {
+	Device string `json:"device"`
+	// Seq numbers the incident: the triggering action is the Seq'th
+	// restart-or-quarantine action journaled for this device.
+	Seq int `json:"seq"`
+	// Actions is the device's full ladder history through the trigger.
+	Actions []IncidentAction `json:"actions"`
+	// Evidence lists the device's fail-labeled diagnosis evidence
+	// journaled before the trigger.
+	Evidence []IncidentEvidence `json:"evidence,omitempty"`
+}
+
+// isIncidentTrigger reports whether a journaled control action is severe
+// enough to open an incident: the ladder reached restart or beyond.
+func isIncidentTrigger(m wire.Message) bool {
+	return m.Type == wire.TypeControl &&
+		(m.Control == wire.CtrlRestart || m.Control == wire.CtrlQuarantine)
+}
+
+// BuildIncident scans a journal stream and reconstructs the deterministic
+// half of the device's seq'th incident (seq counts from 1). It stops at
+// the triggering action, so actions and evidence journaled after it — by
+// a run that kept going — do not leak in; that is what makes the live
+// bundle and a later replay byte-identical. The device's frames all live
+// on one shard stream (actions and evidence are routed by SUO like every
+// other frame), so the scan sees them in append order.
+func BuildIncident(src FrameSource, device string, seq int) (*Incident, error) {
+	if seq < 1 {
+		return nil, fmt.Errorf("trace: incident seq %d (want ≥ 1)", seq)
+	}
+	inc := &Incident{Device: device, Seq: seq}
+	triggers := 0
+	for {
+		m, err := src.Next()
+		if err == io.EOF {
+			return nil, fmt.Errorf("trace: incident %d for %s not in journal (saw %d triggers)",
+				seq, device, triggers)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: incident scan: %w", err)
+		}
+		if m.SUO != device {
+			continue
+		}
+		switch {
+		case m.Type == wire.TypeControl:
+			inc.Actions = append(inc.Actions, IncidentAction{
+				At: int64(m.At), Rung: m.Target, Command: string(m.Control)})
+			if isIncidentTrigger(m) {
+				if triggers++; triggers == seq {
+					return inc, nil
+				}
+			}
+		case m.Type == wire.TypeSnapshot && m.Target == "fail" && m.Snapshot != nil:
+			inc.Evidence = append(inc.Evidence, IncidentEvidence{
+				Type: "snapshot", At: int64(m.At), Windows: len(m.Snapshot.Windows)})
+		case m.Type == wire.TypeSpectrumDelta && m.Target == "fail" && m.Delta != nil:
+			inc.Evidence = append(inc.Evidence, IncidentEvidence{
+				Type: "delta", At: int64(m.At), Seq: m.Delta.Seq})
+		}
+	}
+}
+
+// TopSuspect is one entry of the diagnosis ranking frozen into live.json.
+type TopSuspect struct {
+	Block     int     `json:"block"`
+	Component string  `json:"component,omitempty"`
+	Score     float64 `json:"score"`
+}
+
+// LiveReport is the live-only half of a bundle: the state only the
+// running process holds at the moment the ladder fired.
+type LiveReport struct {
+	WrittenNS int64            `json:"written_ns"`
+	Rung      string           `json:"rung,omitempty"`
+	Class     string           `json:"class,omitempty"`
+	Counters  map[string]int64 `json:"counters,omitempty"`
+	TopK      []TopSuspect     `json:"top_suspects,omitempty"`
+	// Spans are the device's recent spans plus every retained forced
+	// span — the flight-recorder contents at the moment of escalation.
+	Spans []ExportSpan `json:"spans"`
+}
+
+// Marshal renders the deterministic bundle document. One rendering path
+// for the live writer and the replay verifier keeps "byte-identical"
+// a property of the data, not of who serialised it.
+func (inc *Incident) Marshal() ([]byte, error) {
+	b, err := json.MarshalIndent(inc, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Dir names an incident's bundle directory under root.
+func Dir(root, device string, seq int) string {
+	return filepath.Join(root, fmt.Sprintf("incident-%s-%d", device, seq))
+}
+
+// WriteBundle writes one incident bundle directory: bundle.json (the
+// deterministic half) and live.json (the live half). It returns the
+// bundle directory path.
+func WriteBundle(root string, inc *Incident, live *LiveReport) (string, error) {
+	dir := Dir(root, inc.Device, inc.Seq)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	det, err := inc.Marshal()
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "bundle.json"), det, 0o644); err != nil {
+		return "", err
+	}
+	lv, err := json.MarshalIndent(live, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "live.json"), append(lv, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return dir, nil
+}

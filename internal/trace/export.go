@@ -1,0 +1,100 @@
+// Span exports: the /trace endpoint's JSON shape and the Chrome
+// trace-event format (chrome://tracing, Perfetto). Both render IDs as
+// %016x hex — the same rendering the exemplar info-series and incident
+// bundles use, so an ID copied from any export greps in every other.
+
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// ID renders a trace or span ID the canonical way: 16 hex digits.
+func ID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// ExportSpan is the JSON shape of one span, shared by the /trace
+// endpoint and incident bundles.
+type ExportSpan struct {
+	TraceID string `json:"trace_id"`
+	SpanID  string `json:"span_id"`
+	Parent  string `json:"parent,omitempty"`
+	Kind    string `json:"kind"`
+	Forced  bool   `json:"forced,omitempty"`
+	Shard   int    `json:"shard"`
+	Device  string `json:"device,omitempty"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Export converts spans to their JSON shape.
+func Export(spans []Span) []ExportSpan {
+	out := make([]ExportSpan, 0, len(spans))
+	for _, s := range spans {
+		e := ExportSpan{TraceID: ID(s.TraceID), SpanID: ID(s.SpanID),
+			Kind: s.Kind.String(), Forced: s.Forced, Shard: s.Shard,
+			Device: s.Device, StartNS: s.Start, DurNS: s.Dur}
+		if s.Parent != 0 {
+			e.Parent = ID(s.Parent)
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// WriteJSON writes spans as the /trace endpoint's default document:
+// {"spans": [...]}, oldest first.
+func WriteJSON(w io.Writer, spans []Span) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Spans []ExportSpan `json:"spans"`
+	}{Export(spans)})
+}
+
+// chromeEvent is one complete ("ph":"X") trace event. Timestamps and
+// durations are microseconds; fractional values keep sub-microsecond
+// spans visible instead of rounding them to zero-width slivers.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// WriteChrome writes spans in Chrome trace-event format: load the file in
+// chrome://tracing or ui.perfetto.dev and the frame lifecycle renders as
+// one track per shard (forced spans on track -1's row via shard id).
+func WriteChrome(w io.Writer, spans []Span) error {
+	events := make([]chromeEvent, 0, len(spans))
+	for _, s := range spans {
+		cat := "frame"
+		if s.Forced {
+			cat = "control"
+		}
+		args := map[string]any{
+			"trace_id": ID(s.TraceID),
+			"span_id":  ID(s.SpanID),
+		}
+		if s.Parent != 0 {
+			args["parent"] = ID(s.Parent)
+		}
+		if s.Device != "" {
+			args["device"] = s.Device
+		}
+		events = append(events, chromeEvent{
+			Name: s.Kind.String(), Cat: cat, Ph: "X",
+			TS: float64(s.Start) / 1e3, Dur: float64(s.Dur) / 1e3,
+			PID: 1, TID: s.Shard, Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []chromeEvent `json:"traceEvents"`
+	}{events})
+}

@@ -1,0 +1,446 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trader/internal/wire"
+)
+
+func testTracer(sampleN, capacity int) *Tracer {
+	return New(Options{Shards: 4, Capacity: capacity, SampleN: sampleN, Seed: 42})
+}
+
+func TestSamplingRate(t *testing.T) {
+	tr := testTracer(8, 64)
+	live := 0
+	for i := 0; i < 800; i++ {
+		if tr.Sample().Live() {
+			live++
+		}
+	}
+	if live != 100 {
+		t.Fatalf("1-in-8 sampling over 800 frames: %d live contexts, want 100", live)
+	}
+	none := New(Options{Shards: 1, SampleN: 0, Seed: 1})
+	for i := 0; i < 100; i++ {
+		if none.Sample().Live() {
+			t.Fatal("SampleN 0 must never sample")
+		}
+	}
+	if !none.Force().Live() {
+		t.Fatal("Force must return a live context even with sampling off")
+	}
+}
+
+func TestNilTracerIsInert(t *testing.T) {
+	var tr *Tracer
+	if tr.Sample().Live() || tr.Force().Live() {
+		t.Fatal("nil tracer produced a live context")
+	}
+	ctx := tr.Span(Context{Trace: 1}, KindIngest, 0, "d", time.Now(), time.Millisecond, false)
+	if ctx.Trace != 1 {
+		t.Fatal("nil tracer must pass the context through")
+	}
+	if tr.Snapshot() != nil || tr.ForcedOverflow() != 0 || tr.Written() != 0 {
+		t.Fatal("nil tracer must report nothing")
+	}
+}
+
+func TestSpanChainParenting(t *testing.T) {
+	tr := testTracer(1, 64)
+	start := time.Unix(0, 1000)
+	root := tr.Sample()
+	ingest := tr.Span(root, KindIngest, 2, "sim-000", start, time.Microsecond, false)
+	journal := tr.Span(ingest, KindJournal, 2, "sim-000", start.Add(time.Microsecond), time.Microsecond, false)
+	tr.Span(journal, KindDispatch, 2, "sim-000", start.Add(2*time.Microsecond), time.Microsecond, false)
+
+	spans := tr.Trace(root.Trace)
+	if len(spans) != 3 {
+		t.Fatalf("trace has %d spans, want 3", len(spans))
+	}
+	if spans[0].Kind != KindIngest || spans[0].Parent != 0 {
+		t.Fatalf("first span %v: want ingest root with no parent", spans[0])
+	}
+	if spans[1].Kind != KindJournal || spans[1].Parent != spans[0].SpanID {
+		t.Fatalf("journal span parent %#x, want ingest span %#x", spans[1].Parent, spans[0].SpanID)
+	}
+	if spans[2].Parent != spans[1].SpanID {
+		t.Fatalf("dispatch span parent %#x, want journal span %#x", spans[2].Parent, spans[1].SpanID)
+	}
+	for _, s := range spans {
+		if s.Device != "sim-000" || s.Shard != 2 {
+			t.Fatalf("span %+v lost device/shard", s)
+		}
+	}
+}
+
+func TestWireRoundTripContext(t *testing.T) {
+	tr := testTracer(1, 16)
+	ctx := tr.Force()
+	child := tr.Span(ctx, KindControl, -1, "dev", time.Now(), 0, true)
+	tc := child.Wire()
+	if tc == nil || tc.TraceID != ctx.Trace || tc.Parent != child.Span {
+		t.Fatalf("Wire() = %+v, want trace %#x parent %#x", tc, ctx.Trace, child.Span)
+	}
+	back := FromWire(tc)
+	if back != child {
+		t.Fatalf("FromWire round trip: %+v != %+v", back, child)
+	}
+	if (Context{}).Wire() != nil {
+		t.Fatal("dead context must convert to a nil wire context")
+	}
+	if FromWire(nil).Live() {
+		t.Fatal("nil wire context must convert to a dead context")
+	}
+}
+
+// TestRingWraparound overfills a ring and checks it retains exactly the
+// newest capacity spans, oldest first, and accounts the evictions.
+func TestRingWraparound(t *testing.T) {
+	r := NewRing(16)
+	const writes = 100
+	for i := 1; i <= writes; i++ {
+		r.put(Span{TraceID: uint64(i), SpanID: uint64(i), Kind: KindIngest, Start: int64(i)})
+	}
+	got := r.Snapshot(nil)
+	if len(got) != 16 {
+		t.Fatalf("wrapped ring snapshot has %d spans, want 16", len(got))
+	}
+	for i, s := range got {
+		if want := uint64(writes - 16 + i + 1); s.TraceID != want {
+			t.Fatalf("slot %d: trace %d, want %d (oldest-first)", i, s.TraceID, want)
+		}
+	}
+	if ev := r.Evicted(); ev != writes-16 {
+		t.Fatalf("Evicted() = %d, want %d", ev, writes-16)
+	}
+}
+
+// TestRingConcurrentWriters hammers one ring from many goroutines under
+// -race while a reader snapshots continuously: no torn spans may surface.
+func TestRingConcurrentWriters(t *testing.T) {
+	r := NewRing(64)
+	const writers, per = 8, 2000
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, s := range r.Snapshot(nil) {
+				// Writers stamp every field of a span with the same value,
+				// so any mismatch is a torn read escaping the seqlock.
+				if s.SpanID != s.TraceID || uint64(s.Start) != s.TraceID {
+					t.Errorf("torn span surfaced: %+v", s)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				v := uint64(w*per + i + 1)
+				r.put(Span{TraceID: v, SpanID: v, Start: int64(v), Kind: KindMonitor, Device: "dev-concurrent"})
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+	if r.Written() != writers*per {
+		t.Fatalf("Written() = %d, want %d", r.Written(), writers*per)
+	}
+}
+
+// TestTracerConcurrent drives the full tracer (sampling, forced spans,
+// snapshots) from many goroutines under -race.
+func TestTracerConcurrent(t *testing.T) {
+	tr := testTracer(4, 128)
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				if ctx := tr.Sample(); ctx.Live() {
+					ctx = tr.Span(ctx, KindIngest, shard%4, "dev", time.Now(), time.Microsecond, false)
+					tr.Span(ctx, KindDispatch, shard%4, "dev", time.Now(), time.Microsecond, false)
+				}
+				if i%50 == 0 {
+					fc := tr.Force()
+					tr.Span(fc, KindControl, -1, "dev", time.Now(), 0, true)
+				}
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			tr.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if tr.ForcedOverflow() != 0 {
+		t.Fatalf("forced ring overflowed (%d) below capacity", tr.ForcedOverflow())
+	}
+	spans := tr.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("no spans retained after concurrent load")
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].Start < spans[i-1].Start {
+			t.Fatal("Snapshot not ordered by start time")
+		}
+	}
+}
+
+func TestForcedOverflowCounts(t *testing.T) {
+	tr := New(Options{Shards: 1, Capacity: 16, SampleN: 1, Seed: 7})
+	for i := 0; i < 20; i++ {
+		tr.Span(tr.Force(), KindControl, -1, "dev", time.Unix(0, int64(i)), 0, true)
+	}
+	if ov := tr.ForcedOverflow(); ov != 4 {
+		t.Fatalf("ForcedOverflow() = %d, want 4", ov)
+	}
+	// Sampled traffic must not be able to evict forced spans.
+	tr2 := New(Options{Shards: 1, Capacity: 16, SampleN: 1, Seed: 7})
+	tr2.Span(tr2.Force(), KindControl, -1, "dev", time.Unix(0, 1), 0, true)
+	for i := 0; i < 1000; i++ {
+		tr2.Span(tr2.Sample(), KindIngest, 0, "dev", time.Unix(0, int64(i)), 0, false)
+	}
+	if ov := tr2.ForcedOverflow(); ov != 0 {
+		t.Fatalf("sampled flood evicted forced spans: overflow %d", ov)
+	}
+}
+
+func TestDeviceTruncation(t *testing.T) {
+	tr := testTracer(1, 16)
+	long := strings.Repeat("x", 40)
+	tr.Span(tr.Force(), KindIngest, 0, long, time.Unix(0, 1), 0, true)
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(spans))
+	}
+	if want := long[:32]; spans[0].Device != want {
+		t.Fatalf("device = %q (len %d), want 32-byte truncation", spans[0].Device, len(spans[0].Device))
+	}
+}
+
+func TestExportJSONShape(t *testing.T) {
+	tr := testTracer(1, 16)
+	ctx := tr.Sample()
+	tr.Span(ctx, KindIngest, 1, "sim-007", time.Unix(0, 5000), 1500*time.Nanosecond, false)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Spans []ExportSpan `json:"spans"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal /trace document: %v", err)
+	}
+	if len(doc.Spans) != 1 {
+		t.Fatalf("document has %d spans, want 1", len(doc.Spans))
+	}
+	s := doc.Spans[0]
+	if s.TraceID != ID(ctx.Trace) || len(s.TraceID) != 16 {
+		t.Fatalf("trace_id %q, want %016x", s.TraceID, ctx.Trace)
+	}
+	if s.Kind != "ingest" || s.Device != "sim-007" || s.Shard != 1 || s.StartNS != 5000 || s.DurNS != 1500 {
+		t.Fatalf("exported span %+v", s)
+	}
+}
+
+func TestExportChromeShape(t *testing.T) {
+	tr := testTracer(1, 16)
+	ctx := tr.Force()
+	tr.Span(ctx, KindControl, -1, "sim-001", time.Unix(0, 2_000_000), 500*time.Microsecond, true)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, tr.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Cat  string            `json:"cat"`
+			Ph   string            `json:"ph"`
+			TS   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			PID  int               `json:"pid"`
+			TID  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal chrome document: %v", err)
+	}
+	if len(doc.TraceEvents) != 1 {
+		t.Fatalf("document has %d events, want 1", len(doc.TraceEvents))
+	}
+	ev := doc.TraceEvents[0]
+	if ev.Ph != "X" || ev.Name != "control" || ev.Cat != "control" {
+		t.Fatalf("event %+v: want a complete control-category event", ev)
+	}
+	if ev.TS != 2000 || ev.Dur != 500 {
+		t.Fatalf("event ts/dur %v/%v µs, want 2000/500", ev.TS, ev.Dur)
+	}
+	if ev.Args["trace_id"] != ID(ctx.Trace) || ev.Args["device"] != "sim-001" {
+		t.Fatalf("event args %v", ev.Args)
+	}
+}
+
+// frameStream is a FrameSource over a fixed slice.
+type frameStream struct {
+	msgs []wire.Message
+	i    int
+}
+
+func (s *frameStream) Next() (wire.Message, error) {
+	if s.i >= len(s.msgs) {
+		return wire.Message{}, io.EOF
+	}
+	s.i++
+	return s.msgs[s.i-1], nil
+}
+
+func incidentJournal() []wire.Message {
+	return []wire.Message{
+		{Type: wire.TypeInput, SUO: "sim-003", At: 10},
+		{Type: wire.TypeControl, SUO: "sim-003", Target: "tolerate", At: 20},
+		{Type: wire.TypeSpectrumDelta, SUO: "sim-003", Target: "fail", At: 25,
+			Delta: &wire.SpectrumDelta{Seq: 4, Blocks: 64}},
+		{Type: wire.TypeControl, SUO: "sim-007", Control: wire.CtrlRestart, Target: "restart", At: 28},
+		{Type: wire.TypeControl, SUO: "sim-003", Control: wire.CtrlReset, Target: "reset", At: 30},
+		{Type: wire.TypeSnapshot, SUO: "sim-003", Target: "fail", At: 35,
+			Snapshot: &wire.Snapshot{Blocks: 64, Windows: make([]wire.SpectrumWindow, 3)}},
+		{Type: wire.TypeSnapshot, SUO: "sim-004", Target: "pass", At: 36,
+			Snapshot: &wire.Snapshot{Blocks: 64, Windows: make([]wire.SpectrumWindow, 2)}},
+		{Type: wire.TypeControl, SUO: "sim-003", Control: wire.CtrlRestart, Target: "restart", At: 40},
+		// After the trigger: must not appear in incident 1's bundle.
+		{Type: wire.TypeControl, SUO: "sim-003", Control: wire.CtrlQuarantine, Target: "quarantine", At: 50},
+	}
+}
+
+func TestBuildIncident(t *testing.T) {
+	inc, err := BuildIncident(&frameStream{msgs: incidentJournal()}, "sim-003", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc.Actions) != 3 {
+		t.Fatalf("incident has %d actions, want 3 (tolerate, reset, restart)", len(inc.Actions))
+	}
+	if last := inc.Actions[2]; last.Rung != "restart" || last.Command != string(wire.CtrlRestart) {
+		t.Fatalf("trigger action %+v", last)
+	}
+	if len(inc.Evidence) != 2 {
+		t.Fatalf("incident has %d evidence records, want 2 (delta + fail snapshot)", len(inc.Evidence))
+	}
+	if inc.Evidence[0].Type != "delta" || inc.Evidence[0].Seq != 4 {
+		t.Fatalf("evidence[0] = %+v", inc.Evidence[0])
+	}
+	if inc.Evidence[1].Type != "snapshot" || inc.Evidence[1].Windows != 3 {
+		t.Fatalf("evidence[1] = %+v", inc.Evidence[1])
+	}
+
+	// seq 2 extends through the quarantine.
+	inc2, err := BuildIncident(&frameStream{msgs: incidentJournal()}, "sim-003", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(inc2.Actions) != 4 || inc2.Actions[3].Rung != "quarantine" {
+		t.Fatalf("incident 2 actions %+v", inc2.Actions)
+	}
+	// seq 3 does not exist.
+	if _, err := BuildIncident(&frameStream{msgs: incidentJournal()}, "sim-003", 3); err == nil {
+		t.Fatal("incident 3 should not be found")
+	}
+}
+
+// TestBundleDeterminism pins the byte-stability contract: building the
+// same incident from two scans of the same stream marshals identically,
+// and frames after the trigger cannot perturb it.
+func TestBundleDeterminism(t *testing.T) {
+	a, err := BuildIncident(&frameStream{msgs: incidentJournal()}, "sim-003", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second "replay" scan over a journal that has since grown.
+	grown := append(incidentJournal(),
+		wire.Message{Type: wire.TypeControl, SUO: "sim-003", Control: wire.CtrlRestart, Target: "restart", At: 99})
+	b, err := BuildIncident(&frameStream{msgs: grown}, "sim-003", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, err := a.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bb, err := b.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ab, bb) {
+		t.Fatalf("bundle not byte-stable across replay:\n%s\nvs\n%s", ab, bb)
+	}
+}
+
+func TestWriteBundle(t *testing.T) {
+	dir := t.TempDir()
+	inc, err := BuildIncident(&frameStream{msgs: incidentJournal()}, "sim-003", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := &LiveReport{WrittenNS: 123, Rung: "restart",
+		Counters: map[string]int64{"shed_tier1": 2},
+		TopK:     []TopSuspect{{Block: 17, Component: "pricing", Score: 0.9}},
+		Spans:    Export([]Span{{TraceID: 1, SpanID: 2, Kind: KindControl, Forced: true, Shard: -1}})}
+	out, err := WriteBundle(dir, inc, live)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := Dir(dir, "sim-003", 1); out != want {
+		t.Fatalf("bundle dir %q, want %q", out, want)
+	}
+	raw, err := os.ReadFile(filepath.Join(out, "bundle.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Incident
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("bundle.json does not parse: %v", err)
+	}
+	if back.Device != "sim-003" || len(back.Actions) != 3 {
+		t.Fatalf("bundle.json content %+v", back)
+	}
+	lraw, err := os.ReadFile(filepath.Join(out, "live.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lback LiveReport
+	if err := json.Unmarshal(lraw, &lback); err != nil {
+		t.Fatalf("live.json does not parse: %v", err)
+	}
+	if lback.Rung != "restart" || len(lback.Spans) != 1 || lback.Spans[0].Kind != "control" {
+		t.Fatalf("live.json content %+v", lback)
+	}
+}

@@ -85,9 +85,14 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 // Binary payload layout (after the codec-independent 4-byte length prefix):
 //
 //	u8   message type tag (see typeTag)
-//	u8   flags: bit0 = event present, bit1 = error present,
+//	uvar flags: bit0 = event present, bit1 = error present,
 //	     bit2 = snapshot present, bit3 = checkpoint present,
-//	     bit4 = shed-marker present
+//	     bit4 = shed-marker present, bit5 = rollup present,
+//	     bit6 = handoff present, bit7 = spectrum-delta present,
+//	     bit8 = trace-context present. Flag values 0–127 encode as the
+//	     single byte they always were; the uvarint widening is what let
+//	     bit8 exist once the byte was full, and pre-trace frames are
+//	     byte-identical under it.
 //	str  SUO                        (str = uvarint length + raw bytes)
 //	var  At                         (var = zig-zag varint, sim.Time ticks)
 //	str  Control
@@ -126,6 +131,8 @@ func (jsonCodec) Unmarshal(payload []byte, m *Message) error {
 //	uvar seq; uvar blocks
 //	uvar n; n × (uvar index, var word)        sparse coverage words,
 //	                                          strictly ascending indices
+//	-- if flags bit8, the trace context:
+//	uvar traceID; uvar parent
 //
 // The checkpoint record (bit3) additionally carries, after the devices
 // list, the per-verdict partitions of a continuous diagnosis engine:
@@ -149,24 +156,42 @@ const (
 	flagRollup        = 1 << 5
 	flagHandoff       = 1 << 6
 	flagSpectrumDelta = 1 << 7
+	flagTrace         = 1 << 8
 )
+
+// flagOfField names every flag bit after the Message field it gates —
+// ARCHITECTURE.md §2.9 carries the normative flag-bit registry, and
+// TestFrameRegistry (run by `make docs`) fails the build when this map and
+// that table disagree. Like tags, bits are append-only: never renumbered,
+// never reused.
+var flagOfField = map[string]uint64{
+	"event":      flagEvent,
+	"error":      flagError,
+	"snapshot":   flagSnapshot,
+	"checkpoint": flagCheckpoint,
+	"shed":       flagShed,
+	"rollup":     flagRollup,
+	"handoff":    flagHandoff,
+	"delta":      flagSpectrumDelta,
+	"trace":      flagTrace,
+}
 
 // tagOfType assigns every message type its binary wire tag. ARCHITECTURE.md
 // §2.9 carries the normative frame registry; TestFrameRegistry (run by
 // `make docs`) fails the build when this map and that table disagree.
 var tagOfType = map[MsgType]byte{
-	TypeHello:       1,
-	TypeInput:       2,
-	TypeOutput:      3,
-	TypeState:       4,
-	TypeControl:     5,
-	TypeError:       6,
-	TypeHeartbeat:   7,
-	TypeSpecInfo:    8,
-	TypeAck:         9,
-	TypeSnapshotReq: 10,
-	TypeSnapshot:    11,
-	TypeCheckpoint:  12,
+	TypeHello:         1,
+	TypeInput:         2,
+	TypeOutput:        3,
+	TypeState:         4,
+	TypeControl:       5,
+	TypeError:         6,
+	TypeHeartbeat:     7,
+	TypeSpecInfo:      8,
+	TypeAck:           9,
+	TypeSnapshotReq:   10,
+	TypeSnapshot:      11,
+	TypeCheckpoint:    12,
 	TypeCredit:        13,
 	TypeShed:          14,
 	TypeRollup:        15,
@@ -196,7 +221,7 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	if !ok {
 		return dst, fmt.Errorf("wire: binary: unencodable message type %q", m.Type)
 	}
-	var flags byte
+	var flags uint64
 	if m.Event != nil {
 		flags |= flagEvent
 	}
@@ -221,7 +246,11 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 	if m.Delta != nil {
 		flags |= flagSpectrumDelta
 	}
-	dst = append(dst, tag, flags)
+	if m.Trace != nil {
+		flags |= flagTrace
+	}
+	dst = append(dst, tag)
+	dst = binary.AppendUvarint(dst, flags)
 	dst = appendStr(dst, m.SUO)
 	dst = binary.AppendVarint(dst, int64(m.At))
 	dst = appendStr(dst, string(m.Control))
@@ -379,6 +408,10 @@ func (binaryCodec) Append(dst []byte, m Message) ([]byte, error) {
 			dst = binary.AppendVarint(dst, int64(d.Words[i]))
 		}
 	}
+	if tc := m.Trace; tc != nil {
+		dst = binary.AppendUvarint(dst, tc.TraceID)
+		dst = binary.AppendUvarint(dst, tc.Parent)
+	}
 	return dst, nil
 }
 
@@ -468,7 +501,7 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 	if r.err == nil && !ok {
 		return fmt.Errorf("wire: binary: unknown message type tag %d", tag)
 	}
-	flags := r.u8("flags")
+	flags := r.uvar("flags")
 	m.Type = typ
 	m.SUO = r.str("suo")
 	m.At = sim.Time(r.varint("at"))
@@ -758,6 +791,14 @@ func (binaryCodec) Unmarshal(payload []byte, m *Message) error {
 		}
 		if r.err == nil {
 			m.Delta = d
+		}
+	}
+	if flags&flagTrace != 0 {
+		tc := &TraceContext{}
+		tc.TraceID = r.uvar("trace id")
+		tc.Parent = r.uvar("trace parent")
+		if r.err == nil {
+			m.Trace = tc
 		}
 	}
 	if r.err != nil {

@@ -58,6 +58,12 @@ func sampleMessages() []Message {
 			Seq: 12, Blocks: 130, Index: []uint32{0, 1, 2}, Words: []uint64{0x1, 0xffffffffffffffff, 0x3}}},
 		{Type: TypeSpectrumDelta, SUO: "tv-0001", Target: "fail", At: 3100,
 			Delta: &SpectrumDelta{Seq: 13, Blocks: 130}}, // empty closed window
+		{Type: TypeControl, SUO: "tv-0001", Control: CtrlRestart, Target: "restart", At: 5000,
+			Trace: &TraceContext{TraceID: 0xdeadbeefcafe0123, Parent: 7}},
+		{Type: TypeRollup, SUO: "edge-0", Rollup: &RollupDelta{Seq: 4, Devices: 16},
+			Trace: &TraceContext{TraceID: 1}}, // exemplar trace, no parent
+		{Type: TypeAck, SUO: "tv-0001", Control: CtrlRestart, At: 5100,
+			Trace: &TraceContext{TraceID: 0xdeadbeefcafe0123, Parent: 9}}, // device echo of control trace
 		{Type: TypeCheckpoint, At: 4000, Checkpoint: &Checkpoint{Plane: "diagnosis", At: 4000,
 			Counters: []CheckpointCounter{{Name: "nfail", V: 2}},
 			Parts: []CheckpointPart{

@@ -78,6 +78,8 @@ func FuzzDecode(f *testing.F) {
 		{Type: TypeError, SUO: "fuzz-dev", Error: &rep, At: 42},
 		{Type: TypeHeartbeat, SUO: "fuzz-dev", At: 99},
 		{Type: TypeControl, SUO: "fuzz-dev", Control: CtrlRestart, Target: "restart", At: 99},
+		{Type: TypeControl, SUO: "fuzz-dev", Control: CtrlRestart, Target: "restart", At: 108,
+			Trace: &TraceContext{TraceID: 0xdeadbeefcafe0123, Parent: 7}},
 		Ack("fuzz-dev", CtrlRestart, 100),
 		{Type: TypeSnapshotReq, SUO: "fuzz-dev", At: 101},
 		{Type: TypeSnapshot, SUO: "fuzz-dev", Target: "fail", At: 102, Snapshot: &snap},

@@ -289,6 +289,24 @@ type Message struct {
 	// frames; in journals the Target field labels it "fail" or "pass",
 	// exactly like labeled snapshot evidence).
 	Delta *SpectrumDelta `json:"delta,omitempty"`
+	// Trace carries the frame's trace context (§6 observability plane):
+	// sampled control pushes attach it so the device's ack echoes it back,
+	// and edge rollup frames attach the edge's current tail-latency
+	// exemplar so the aggregator can resolve a p999 spike to the span
+	// chain that produced it. Absent on unsampled traffic — pre-tracing
+	// peers round-trip unchanged.
+	Trace *TraceContext `json:"trace,omitempty"`
+}
+
+// TraceContext is the wire-propagated identity of one traced frame
+// lifecycle: a fleet-unique trace ID plus the span the receiver should
+// parent its own spans under. It crosses tiers — daemon → device on
+// control pushes (echoed on the ack), edge → aggregator on rollup frames —
+// so a span chain reconstructs causality across process boundaries without
+// log correlation. IDs render as %016x hex in every export.
+type TraceContext struct {
+	TraceID uint64 `json:"trace_id"`
+	Parent  uint64 `json:"parent,omitempty"`
 }
 
 // RollupDelta is the payload of a TypeRollup frame: the signed change in an
